@@ -1,0 +1,33 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+
+/// E10: non-1NF flattening throughput (Example 4) across relation
+/// sizes and set arities.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_unnest");
+    for &(rows, arity) in &[(500usize, 4usize), (500, 32), (4000, 4)] {
+        let src = workloads::unnest(rows, arity);
+        let label = format!("{rows}x{arity}");
+        group.bench_function(BenchmarkId::new("unnest", label), |b| {
+            b.iter(|| {
+                let d = db(&src, Dialect::Elps, SetUniverse::Reject);
+                std::hint::black_box(lps_bench::eval(&d).count("s", 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

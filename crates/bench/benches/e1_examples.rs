@@ -1,0 +1,74 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, eval};
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+
+/// E1: each paper example as a micro-benchmark (parse + evaluate).
+fn bench(c: &mut Criterion) {
+    let examples: &[(&str, &str)] = &[
+        (
+            "ex1_disj",
+            "pair({a, b}, {c}). pair({a, b}, {b, c}). pair({}, {a}).
+             disj(X, Y) :- pair(X, Y), forall U in X, forall V in Y: U != V.",
+        ),
+        (
+            "ex2_subset",
+            "pair({a}, {a, b}). pair({a, b}, {a}). pair({}, {z}).
+             subset(X, Y) :- pair(X, Y), forall U in X: U in Y.",
+        ),
+        (
+            "ex3_union",
+            "cand({a}, {b}, {a, b}). cand({a}, {b}, {a, b, c}). cand({}, {}, {}).
+             u(X, Y, Z) :- cand(X, Y, Z), (forall U in X: U in Z),
+                 (forall V in Y: V in Z), (forall W in Z: (W in X ; W in Y)).",
+        ),
+        (
+            "ex4_unnest",
+            "r(x1, {p, q}). r(x2, {q}). r(x3, {}).
+             s(X, Y) :- r(X, Ys), Y in Ys.",
+        ),
+        (
+            "ex5_sum",
+            "input({3, 5, 9}).
+             visit(Z) :- input(Z).
+             visit(X) :- visit(Z), disj_union(X, _Y, Z).
+             sum(S, 0) :- visit(S), S = {}.
+             sum(S, N) :- visit(S), S = {N}.
+             sum(Z, K) :- visit(Z), disj_union(X, Y, Z), X != {}, Y != {},
+                          sum(X, M), sum(Y, N), M + N = K.",
+        ),
+        (
+            "ex6_parts",
+            "parts(widget, {bolt, nut, gear}). cost(bolt, 2). cost(nut, 1). cost(gear, 7).
+             visit(Y) :- parts(_X, Y).
+             visit(X) :- visit(Z), disj_union(X, _Y, Z).
+             sum_costs(S, 0) :- visit(S), S = {}.
+             sum_costs(S, N) :- visit(S), S = {P}, cost(P, N).
+             sum_costs(Z, K) :- visit(Z), disj_union(X, Y, Z), X != {}, Y != {},
+                                sum_costs(X, M), sum_costs(Y, N), M + N = K.
+             obj_cost(X, N) :- parts(X, Y), sum_costs(Y, N).",
+        ),
+    ];
+    let mut group = c.benchmark_group("e1_examples");
+    for (name, src) in examples {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let d = db(src, Dialect::Elps, SetUniverse::Reject);
+                std::hint::black_box(eval(&d).stats().facts_derived)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

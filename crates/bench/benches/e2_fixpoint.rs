@@ -1,0 +1,44 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db_cfg, workloads};
+use lps_core::Dialect;
+use lps_engine::{EvalConfig, FixpointStrategy};
+
+/// E2: naive vs semi-naive fixpoint on transitive closure (Theorem 5's
+/// operator, literal vs optimized).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_fixpoint");
+    for &n in &[16usize, 48, 96] {
+        let src = workloads::transitive_closure(n, 7);
+        for (label, strategy) in [
+            ("naive", FixpointStrategy::Naive),
+            ("seminaive", FixpointStrategy::SemiNaive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &src, |b, src| {
+                b.iter(|| {
+                    let d = db_cfg(
+                        src,
+                        Dialect::Elps,
+                        EvalConfig {
+                            strategy,
+                            ..EvalConfig::default()
+                        },
+                    );
+                    std::hint::black_box(lps_bench::eval(&d).count("t", 2))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_core::transform::translations::{elps_to_horn_scons, elps_to_horn_union};
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+use lps_syntax::{parse_program, pretty_program};
+
+/// E3: Theorem 10 head-to-head — the same `disj` program evaluated
+/// directly as ELPS vs translated to Horn+union / Horn+scons (whose
+/// accumulator predicates enumerate subsets).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_equivalence");
+    for &m in &[2usize, 3, 4] {
+        // The translated programs' accumulator predicates enumerate
+        // subsets — exponential in m, so the sweep stays small (the
+        // report binary pushes the direct side much further).
+        let src = workloads::disj_pairs(m, 4, 11);
+        let parsed = parse_program(&src).unwrap();
+        let horn_union = pretty_program(&elps_to_horn_union(&parsed).unwrap());
+        let horn_scons = pretty_program(&elps_to_horn_scons(&parsed).unwrap());
+        for (label, program) in [
+            ("direct", src.clone()),
+            ("horn_union", horn_union),
+            ("horn_scons", horn_scons),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, m), &program, |b, p| {
+                b.iter(|| {
+                    let d = db(p, Dialect::Elps, SetUniverse::Reject);
+                    std::hint::black_box(lps_bench::eval(&d).count("disj", 2))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_core::transform::positive::{compile_positive_paper, compilation_size, normalize_program};
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+use lps_syntax::{parse_program, pretty_program};
+
+/// E4: Theorem-6 compilation — the paper's construction vs the
+/// optimized normalizer, compile time and evaluated cost, at growing
+/// quantifier depth.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_positive");
+    for &d in &[2usize, 3, 4] {
+        let src = workloads::positive_depth(d);
+        let parsed = parse_program(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("compile_paper", d), &parsed, |b, p| {
+            b.iter(|| {
+                let out = compile_positive_paper(p).unwrap();
+                std::hint::black_box(compilation_size(p, &out))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compile_opt", d), &parsed, |b, p| {
+            b.iter(|| {
+                let out = normalize_program(p).unwrap();
+                std::hint::black_box(compilation_size(p, &out))
+            })
+        });
+        // Evaluated cost of each compiled form.
+        let paper_src = pretty_program(&compile_positive_paper(&parsed).unwrap());
+        group.bench_with_input(BenchmarkId::new("eval_paper", d), &paper_src, |b, p| {
+            b.iter(|| {
+                let d = db(p, Dialect::Elps, SetUniverse::ActiveSets);
+                std::hint::black_box(lps_bench::eval(&d).stats().facts_derived)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eval_opt", d), &src, |b, p| {
+            b.iter(|| {
+                let d = db(p, Dialect::Elps, SetUniverse::ActiveSets);
+                std::hint::black_box(lps_bench::eval(&d).stats().facts_derived)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

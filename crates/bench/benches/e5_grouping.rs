@@ -1,0 +1,40 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_core::transform::setof::setof_database;
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+
+/// E5: set construction — LDL grouping (linear) vs the §4.2
+/// stratified-negation construction over the powerset (exponential).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_grouping");
+    for &n in &[3usize, 5, 7] {
+        let grouping_src = workloads::setof_grouping(n);
+        group.bench_with_input(BenchmarkId::new("grouping", n), &grouping_src, |b, src| {
+            b.iter(|| {
+                let d = db(src, Dialect::StratifiedElps, SetUniverse::Reject);
+                std::hint::black_box(lps_bench::eval(&d).count("collected", 2))
+            })
+        });
+        let facts = workloads::setof_facts(n);
+        group.bench_with_input(BenchmarkId::new("negation_4_2", n), &facts, |b, src| {
+            b.iter(|| {
+                let d = setof_database(src, "a", "the_set", n).unwrap();
+                std::hint::black_box(lps_bench::eval(&d).count("the_set", 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

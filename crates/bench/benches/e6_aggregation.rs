@@ -1,0 +1,42 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_bench::workloads::SumStyle;
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+
+/// E6: cost roll-up formulations — Example 5's disjoint-union
+/// recursion vs scons peeling vs canonical scons_min chains.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_aggregation");
+    for &k in &[3usize, 5, 7] {
+        for (label, style) in [
+            ("disj_union", SumStyle::DisjUnion),
+            ("scons", SumStyle::Scons),
+            ("scons_min", SumStyle::SconsMin),
+        ] {
+            // disj_union is Θ(3^k) (every subset splits every way):
+            // k=7 is already ~500 ms; larger points live in the report
+            // binary only.
+            let src = workloads::bom(k, style);
+            group.bench_with_input(BenchmarkId::new(label, k), &src, |b, src| {
+                b.iter(|| {
+                    let d = db(src, Dialect::Elps, SetUniverse::Reject);
+                    std::hint::black_box(lps_bench::eval(&d).count("obj_cost", 2))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_term::{setops, TermStore, Value};
+
+/// E7: set-algebra microbenches on canonical interned sets, plus the
+/// interning ablation (TermId equality vs structural Value equality).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_setops");
+    for &n in &[16usize, 256, 4096] {
+        let mut store = TermStore::new();
+        let elems: Vec<_> = (0..n as i64).map(|i| store.int(i)).collect();
+        let evens: Vec<_> = elems.iter().copied().step_by(2).collect();
+        let set_all = store.set(elems.clone());
+        let set_even = store.set(evens);
+        let needle = store.int(n as i64 / 2);
+
+        group.bench_with_input(BenchmarkId::new("member", n), &(), |b, _| {
+            b.iter(|| std::hint::black_box(setops::member(&store, needle, set_all)))
+        });
+        group.bench_with_input(BenchmarkId::new("subset", n), &(), |b, _| {
+            b.iter(|| std::hint::black_box(setops::subset(&store, set_even, set_all)))
+        });
+        group.bench_with_input(BenchmarkId::new("union", n), &(), |b, _| {
+            let mut st = store.clone();
+            b.iter(|| std::hint::black_box(setops::union(&mut st, set_even, set_all)))
+        });
+        // Equality: interned (O(1)) vs structural (O(n)). Re-interning
+        // the same elements yields the same id — that id comparison is
+        // the measured operation.
+        let mut st2 = store.clone();
+        let set_all_again = st2.set(elems.clone());
+        let v1 = Value::from_store(&store, set_all);
+        let v2 = Value::from_store(&store, set_all);
+        group.bench_with_input(BenchmarkId::new("eq_interned", n), &(), |b, _| {
+            b.iter(|| std::hint::black_box(set_all == set_all_again))
+        });
+        group.bench_with_input(BenchmarkId::new("eq_structural", n), &(), |b, _| {
+            b.iter(|| std::hint::black_box(v1 == v2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db, workloads};
+use lps_core::Dialect;
+use lps_engine::SetUniverse;
+
+/// E8: stratified evaluation — chains of k negation strata.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_strata");
+    for &k in &[2usize, 8, 24] {
+        let src = workloads::strata_chain(k, 64);
+        group.bench_with_input(BenchmarkId::new("chain", k), &src, |b, src| {
+            b.iter(|| {
+                let d = db(src, Dialect::StratifiedElps, SetUniverse::Reject);
+                std::hint::black_box(lps_bench::eval(&d).stats().strata)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

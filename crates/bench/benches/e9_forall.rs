@@ -1,0 +1,43 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+use lps_bench::{db_cfg, workloads};
+use lps_core::Dialect;
+use lps_engine::EvalConfig;
+
+/// E9: the element→set inverted-index trigger for semi-naive
+/// re-evaluation of (∀x∈X) rules, on vs off. The workload chains the
+/// quantified predicate off a recursive one so the trigger fires.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_forall");
+    for &sets in &[200usize, 800, 2000] {
+        let src = workloads::forall_trigger(sets, 64, 3, 5);
+        for trigger in [true, false] {
+            let label = if trigger { "indexed" } else { "recompute" };
+            group.bench_with_input(BenchmarkId::new(label, sets), &src, |b, src| {
+                b.iter(|| {
+                    let d = db_cfg(
+                        src,
+                        Dialect::Elps,
+                        EvalConfig {
+                            forall_trigger_index: trigger,
+                            ..EvalConfig::default()
+                        },
+                    );
+                    std::hint::black_box(lps_bench::eval(&d).count("all_grown", 1))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = configured(); targets = bench }
+criterion_main!(benches);

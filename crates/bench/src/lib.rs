@@ -1,0 +1,117 @@
+//! Workload generators and measurement helpers for the experiment
+//! suite (EXPERIMENTS.md). Each `e*` Criterion bench and the `report`
+//! binary build on these.
+
+#![forbid(unsafe_code)]
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+use lps_core::{Database, Dialect, Model};
+use lps_engine::{EvalConfig, SetUniverse};
+
+/// Build a database from source with a dialect and universe policy.
+pub fn db(src: &str, dialect: Dialect, universe: SetUniverse) -> Database {
+    let mut db = Database::with_config(
+        dialect,
+        EvalConfig {
+            set_universe: universe,
+            ..EvalConfig::default()
+        },
+    );
+    db.load_str(src).expect("workload parses");
+    db
+}
+
+/// Build a database with full evaluation-config control.
+pub fn db_cfg(src: &str, dialect: Dialect, config: EvalConfig) -> Database {
+    let mut db = Database::with_config(dialect, config);
+    db.load_str(src).expect("workload parses");
+    db
+}
+
+/// Evaluate and return the model, panicking on error (workloads are
+/// known-good).
+pub fn eval(db: &Database) -> Model {
+    db.evaluate().expect("workload evaluates")
+}
+
+/// Wall-clock one evaluation.
+pub fn time_eval(db: &Database) -> (Duration, Model) {
+    let start = Instant::now();
+    let model = eval(db);
+    (start.elapsed(), model)
+}
+
+/// Median-of-`n` wall time for `f` (report binary; Criterion handles
+/// its own statistics).
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Render a plain-text table: header plus rows.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = format!("\n== {title} ==\n");
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sources_evaluate() {
+        let src = workloads::transitive_closure(8, 42);
+        let d = db(&src, Dialect::Elps, SetUniverse::Reject);
+        let m = eval(&d);
+        assert!(m.count("t", 2) > 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            "demo",
+            &["n", "time"],
+            &[vec!["1".into(), "2.0".into()], vec!["10".into(), "3.5".into()]],
+        );
+        assert!(t.contains("demo"));
+        assert!(t.contains("time"));
+    }
+}

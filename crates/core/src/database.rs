@@ -1,0 +1,332 @@
+//! High-level API: parse → validate → sort-check → compile (Theorem 6)
+//! → lower → evaluate → query.
+
+use lps_engine::{Engine, EvalConfig, EvalStats};
+use lps_syntax::{parse_program, Clause, HeadArg, HeadAtom, Item, Program, Span, Term};
+
+use crate::dialect::Dialect;
+use crate::error::CoreError;
+use crate::lower::load_program_sorted;
+use crate::sorts::{infer_sorts, SortTable};
+use crate::transform::positive::normalize_program;
+use crate::validate::validate_program;
+
+pub use lps_term::Value;
+
+/// A logic-programming-with-sets database: program text plus facts,
+/// evaluated on demand.
+///
+/// ```
+/// use lps_core::{Database, Dialect, Value};
+///
+/// let mut db = Database::new(Dialect::Lps);
+/// db.load_str(
+///     "parts(widget, {bolt, nut, gear}).
+///      has_part(X, P) :- parts(X, Ps), P in Ps.",
+/// ).unwrap();
+/// let model = db.evaluate().unwrap();
+/// let rows = model.extension("has_part");
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.contains(&vec![Value::atom("widget"), Value::atom("bolt")]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database {
+    dialect: Dialect,
+    config: EvalConfig,
+    program: Program,
+}
+
+impl Database {
+    /// Empty database in the given dialect with default evaluation
+    /// settings.
+    pub fn new(dialect: Dialect) -> Self {
+        Database {
+            dialect,
+            config: EvalConfig::default(),
+            program: Program { items: Vec::new() },
+        }
+    }
+
+    /// Empty database with explicit evaluation settings.
+    pub fn with_config(dialect: Dialect, config: EvalConfig) -> Self {
+        Database {
+            dialect,
+            config,
+            program: Program { items: Vec::new() },
+        }
+    }
+
+    /// The dialect this database enforces.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Evaluation settings (mutable until [`Database::evaluate`]).
+    pub fn config_mut(&mut self) -> &mut EvalConfig {
+        &mut self.config
+    }
+
+    /// Parse and append program text (declarations, facts, rules).
+    pub fn load_str(&mut self, src: &str) -> Result<&mut Self, CoreError> {
+        let parsed = parse_program(src)?;
+        self.program.items.extend(parsed.items);
+        Ok(self)
+    }
+
+    /// Append an already-parsed program.
+    pub fn load_program(&mut self, program: Program) -> &mut Self {
+        self.program.items.extend(program.items);
+        self
+    }
+
+    /// Append one ground fact built from owned values.
+    pub fn add_fact(&mut self, pred: &str, args: &[Value]) -> &mut Self {
+        let head = HeadAtom {
+            pred: pred.to_owned(),
+            args: args
+                .iter()
+                .map(|v| HeadArg::Term(value_to_term(v)))
+                .collect(),
+            span: Span::default(),
+        };
+        self.program.items.push(Item::Clause(Clause {
+            head,
+            body: None,
+            span: Span::default(),
+        }));
+        self
+    }
+
+    /// The accumulated source program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Validate and sort-check without evaluating.
+    pub fn check(&self) -> Result<SortTable, CoreError> {
+        validate_program(&self.program, self.dialect)?;
+        infer_sorts(&self.program, self.dialect)
+    }
+
+    /// The Theorem-6-normalized program that will actually be lowered.
+    pub fn normalized(&self) -> Result<Program, CoreError> {
+        self.check()?;
+        normalize_program(&self.program)
+    }
+
+    /// Validate, compile, evaluate to the least model.
+    pub fn evaluate(&self) -> Result<Model, CoreError> {
+        let normalized = self.normalized()?;
+        // Re-infer sorts over the *normalized* program so auxiliary
+        // predicates introduced by the Theorem-6 compiler carry sort
+        // information too; universe enumeration in the engine respects
+        // it (lenient inference: never fails here).
+        let sorts = infer_sorts(&normalized, crate::Dialect::StratifiedElps).ok();
+        let mut engine = Engine::new(self.config);
+        load_program_sorted(&mut engine, &normalized, sorts.as_ref())?;
+        let stats = engine.run()?;
+        Ok(Model { engine, stats })
+    }
+}
+
+fn value_to_term(v: &Value) -> Term {
+    match v {
+        Value::Atom(a) => Term::Const(a.clone(), Span::default()),
+        Value::Int(i) => Term::Int(*i, Span::default()),
+        Value::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(value_to_term).collect(),
+            Span::default(),
+        ),
+        Value::Set(elems) => Term::SetLit(
+            elems.iter().map(value_to_term).collect(),
+            Span::default(),
+        ),
+    }
+}
+
+/// The least (stratified-perfect) model of a database, queryable.
+#[derive(Debug)]
+pub struct Model {
+    engine: Engine,
+    stats: EvalStats,
+}
+
+impl Model {
+    /// Evaluation statistics (`T_P` rounds, facts derived, …).
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Direct access to the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access (interning query terms).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Does `pred(args…)` hold in the least model?
+    pub fn holds(&mut self, pred: &str, args: &[Value]) -> bool {
+        let Some(id) = self.engine.lookup_pred(pred, args.len()) else {
+            return false;
+        };
+        let tuple: Vec<_> = args
+            .iter()
+            .map(|v| v.intern(self.engine.store_mut()))
+            .collect();
+        self.engine.holds(id, &tuple)
+    }
+
+    /// The full extension of a predicate, as sorted owned rows. The
+    /// arity is resolved by name; if several arities exist, use
+    /// [`Model::extension_n`].
+    pub fn extension(&self, pred: &str) -> Vec<Vec<Value>> {
+        for arity in 0..=32 {
+            if let Some(id) = self.engine.lookup_pred(pred, arity) {
+                return self.engine.extension(id);
+            }
+        }
+        Vec::new()
+    }
+
+    /// The extension of `pred/arity`.
+    pub fn extension_n(&self, pred: &str, arity: usize) -> Vec<Vec<Value>> {
+        self.engine
+            .lookup_pred(pred, arity)
+            .map(|id| self.engine.extension(id))
+            .unwrap_or_default()
+    }
+
+    /// Number of facts for a predicate.
+    pub fn count(&self, pred: &str, arity: usize) -> usize {
+        self.engine
+            .lookup_pred(pred, arity)
+            .map(|id| self.engine.tuples(id).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_engine::SetUniverse;
+
+    #[test]
+    fn example_1_and_2_disj_subset() {
+        let mut db = Database::new(Dialect::Lps);
+        db.load_str(
+            "pair({a, b}, {c}).
+             pair({a, b}, {b, c}).
+             pair({}, {a}).
+             disj(X, Y) :- pair(X, Y), forall U in X, forall V in Y: U != V.
+             sub(X, Y) :- pair(X, Y), forall U in X: U in Y.",
+        )
+        .unwrap();
+        let mut m = db.evaluate().unwrap();
+        let ab = Value::set([Value::atom("a"), Value::atom("b")]);
+        let c = Value::set([Value::atom("c")]);
+        let bc = Value::set([Value::atom("b"), Value::atom("c")]);
+        let empty = Value::empty_set();
+        let a = Value::set([Value::atom("a")]);
+        assert!(m.holds("disj", &[ab.clone(), c.clone()]));
+        assert!(!m.holds("disj", &[ab.clone(), bc.clone()]));
+        assert!(m.holds("disj", &[empty.clone(), a.clone()]));
+        assert!(m.holds("sub", &[empty, a]));
+        assert!(!m.holds("sub", &[ab, c]));
+    }
+
+    #[test]
+    fn example_3_union_with_disjunction_body() {
+        // The Theorem-6 path: disjunction under a quantifier, checked
+        // against candidate triples provided by a driver relation.
+        let mut db = Database::new(Dialect::Lps);
+        db.load_str(
+            "cand({a}, {b}, {a, b}).
+             cand({a}, {b}, {a, b, c}).
+             cand({a}, {}, {a}).
+             u(X, Y, Z) :- cand(X, Y, Z),
+                 (forall U in X: U in Z),
+                 (forall V in Y: V in Z),
+                 (forall W in Z: (W in X ; W in Y)).",
+        )
+        .unwrap();
+        let mut m = db.evaluate().unwrap();
+        let a = Value::set([Value::atom("a")]);
+        let b = Value::set([Value::atom("b")]);
+        let ab = Value::set([Value::atom("a"), Value::atom("b")]);
+        let abc = Value::set([Value::atom("a"), Value::atom("b"), Value::atom("c")]);
+        let empty = Value::empty_set();
+        assert!(m.holds("u", &[a.clone(), b.clone(), ab]));
+        assert!(!m.holds("u", &[a.clone(), b, abc]));
+        assert!(m.holds("u", &[a.clone(), empty, a]));
+    }
+
+    #[test]
+    fn theorem_8_shape_requires_policy() {
+        // b(X) :- forall U in X: a(U). — X only under the quantifier.
+        let mut db = Database::new(Dialect::Lps);
+        db.load_str("a(c1). b(X) :- forall U in X: a(U).").unwrap();
+        assert!(db.evaluate().is_err(), "rejected under default policy");
+
+        let mut db = Database::with_config(
+            Dialect::Lps,
+            EvalConfig {
+                set_universe: SetUniverse::ActiveSubsets { max_card: 2 },
+                ..EvalConfig::default()
+            },
+        );
+        db.load_str("a(c1). a(c2). item(c3). b(X) :- forall U in X: a(U).")
+            .unwrap();
+        let mut m = db.evaluate().unwrap();
+        // b holds for every subset of {x : a(x)} — Theorem 8's point:
+        // the defining clause admits all subsets, not just the full set.
+        let c1 = Value::atom("c1");
+        let c2 = Value::atom("c2");
+        assert!(m.holds("b", &[Value::empty_set()]));
+        assert!(m.holds("b", &[Value::set([c1.clone()])]));
+        assert!(m.holds("b", &[Value::set([c2.clone()])]));
+        assert!(m.holds("b", &[Value::set([c1.clone(), c2.clone()])]));
+        assert!(!m.holds("b", &[Value::set([Value::atom("c3")])]));
+        assert!(!m.holds("b", &[Value::set([c1, Value::atom("c3")])]));
+    }
+
+    #[test]
+    fn add_fact_api() {
+        let mut db = Database::new(Dialect::Elps);
+        db.add_fact(
+            "owns",
+            &[
+                Value::atom("alice"),
+                Value::set([Value::atom("car"), Value::int(3)]),
+            ],
+        );
+        db.load_str("rich(P) :- owns(P, S), card(S, N), N >= 2.")
+            .unwrap();
+        let mut m = db.evaluate().unwrap();
+        assert!(m.holds("rich", &[Value::atom("alice")]));
+    }
+
+    #[test]
+    fn stats_are_exposed() {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str("e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+            .unwrap();
+        let m = db.evaluate().unwrap();
+        assert!(m.stats().facts_derived >= 5);
+        assert!(m.stats().iterations >= 2);
+        assert_eq!(m.count("t", 2), 3);
+    }
+
+    #[test]
+    fn dialect_violations_surface_from_evaluate() {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str("p(X) :- q(X), not r(X).").unwrap();
+        assert!(matches!(
+            db.evaluate().unwrap_err(),
+            CoreError::InvalidClause { .. }
+        ));
+    }
+}

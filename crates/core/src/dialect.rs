@@ -1,0 +1,56 @@
+//! Language dialects: which fragment of the paper a program lives in.
+
+/// The language fragments defined by the paper, in increasing
+/// generality.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Dialect {
+    /// *Pure LPS* (Definition 5): clause bodies are a restricted-
+    /// universal-quantifier prefix over a conjunction of atomic
+    /// formulas; one level of set nesting; no disjunction, no
+    /// existentials, no negation, no grouping.
+    PureLps,
+    /// *LPS with positive bodies* (§4.1, Theorem 6): bodies are
+    /// arbitrary positive formulas — compiled down to pure LPS with
+    /// auxiliary predicates. Still one level of set nesting.
+    Lps,
+    /// *ELPS* (§5): arbitrarily nested finite sets, positive bodies.
+    #[default]
+    Elps,
+    /// ELPS plus stratified negation and LDL grouping heads (§4.2, §6).
+    StratifiedElps,
+}
+
+impl Dialect {
+    /// Whether set values may nest (depth > 1) and functions may take
+    /// set arguments.
+    pub fn allows_nesting(self) -> bool {
+        matches!(self, Dialect::Elps | Dialect::StratifiedElps)
+    }
+
+    /// Whether `not` and grouping heads are allowed.
+    pub fn allows_negation(self) -> bool {
+        matches!(self, Dialect::StratifiedElps)
+    }
+
+    /// Whether disjunction/existentials are allowed in bodies (to be
+    /// compiled away per Theorem 6).
+    pub fn allows_positive_bodies(self) -> bool {
+        !matches!(self, Dialect::PureLps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!Dialect::PureLps.allows_nesting());
+        assert!(!Dialect::PureLps.allows_positive_bodies());
+        assert!(!Dialect::Lps.allows_nesting());
+        assert!(Dialect::Lps.allows_positive_bodies());
+        assert!(Dialect::Elps.allows_nesting());
+        assert!(!Dialect::Elps.allows_negation());
+        assert!(Dialect::StratifiedElps.allows_negation());
+    }
+}

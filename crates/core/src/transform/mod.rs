@@ -1,0 +1,10 @@
+//! Program transformations from the paper.
+//!
+//! * [`positive`] — Theorem 6: positive-formula bodies → pure LPS.
+//! * [`translations`] — Theorems 10/11: ELPS ⇄ Horn+`union` ⇄
+//!   Horn+`scons` ⇄ LDL grouping.
+//! * [`setof`] — §4.2: set construction via stratified negation.
+
+pub mod positive;
+pub mod setof;
+pub mod translations;

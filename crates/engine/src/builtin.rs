@@ -1,0 +1,943 @@
+//! Builtin relation evaluation with binding modes.
+//!
+//! Each builtin supports a set of *modes*: which arguments must be
+//! bound for evaluation to be possible, and what gets enumerated when
+//! the others are free. [`mode_ok`] is the static mode table used by
+//! the planner; [`enumerate`] produces the candidate ground argument
+//! tuples at run time (the caller pattern-matches them back against
+//! the argument patterns, which handles destructuring like `X = {N}`).
+//!
+//! Free set-sorted arguments (e.g. `x in S` with `S` free, `subseteq`
+//! with a free side) are enumerated over the **active set universe** —
+//! every set interned in the store — under the [`SetUniverse`] policy.
+//! This is the executable restriction of the paper's infinitary
+//! Herbrand sort-s universe (see DESIGN.md §3).
+
+use lps_term::{setops, TermId, TermStore};
+
+use crate::config::SetUniverse;
+use crate::error::EngineError;
+use crate::rule::Builtin;
+
+/// Is the builtin evaluable when exactly the arguments flagged in
+/// `bound` are bound, under the given set-universe policy?
+pub fn mode_ok(b: Builtin, bound: &[bool], policy: SetUniverse) -> bool {
+    debug_assert_eq!(bound.len(), b.arity());
+    let enumerable = !matches!(policy, SetUniverse::Reject);
+    match b {
+        Builtin::Eq => bound[0] || bound[1],
+        Builtin::Ne | Builtin::NotIn | Builtin::Lt | Builtin::Le => bound[0] && bound[1],
+        Builtin::In => bound[1] || enumerable,
+        Builtin::SubsetEq => (bound[0] && bound[1]) || enumerable,
+        Builtin::Union => {
+            (bound[0] && bound[1]) || (bound[2] && (bound[0] || bound[1] || enumerable))
+        }
+        Builtin::DisjUnion | Builtin::Scons | Builtin::SconsMin => {
+            (bound[0] && bound[1]) || bound[2]
+        }
+        Builtin::Card => bound[0] || (bound[1] && enumerable),
+        Builtin::Add | Builtin::Sub => bound.iter().filter(|&&b| b).count() >= 2,
+        Builtin::Mul => (bound[0] && bound[1]) || (bound[2] && (bound[0] || bound[1])),
+    }
+}
+
+/// Candidate ground argument tuples for `b`, given the already-known
+/// ground values in `known` (`None` = free). Guaranteed consistent
+/// with the bound positions, so the caller's pattern matching on bound
+/// positions always succeeds.
+///
+/// May intern new terms (computed unions, integers) into `store`.
+pub fn enumerate(
+    b: Builtin,
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+    policy: SetUniverse,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    debug_assert_eq!(known.len(), b.arity());
+    match b {
+        Builtin::Eq => eq(known),
+        Builtin::Ne => {
+            let (x, y) = (req(b, known, 0)?, req(b, known, 1)?);
+            Ok(if x != y { vec![vec![x, y]] } else { vec![] })
+        }
+        Builtin::In => member(known, store, policy),
+        Builtin::NotIn => {
+            let (x, s) = (req(b, known, 0)?, req(b, known, 1)?);
+            // ELPS (§5): atoms have no elements, so x ∉ atom holds.
+            let holds = match store.set_elems(s) {
+                Some(elems) => elems.binary_search(&x).is_err(),
+                None => true,
+            };
+            Ok(if holds { vec![vec![x, s]] } else { vec![] })
+        }
+        Builtin::SubsetEq => subseteq(known, store, policy),
+        Builtin::Union => union(known, store, policy),
+        Builtin::DisjUnion => disj_union(known, store),
+        Builtin::Scons => scons(known, store),
+        Builtin::SconsMin => scons_min(known, store),
+        Builtin::Card => card(known, store),
+        Builtin::Add => add(known, store),
+        Builtin::Sub => sub(known, store),
+        Builtin::Mul => mul(known, store),
+        Builtin::Lt | Builtin::Le => {
+            let (x, y) = (req(b, known, 0)?, req(b, known, 1)?);
+            let (m, n) = (int_arg(b, store, x)?, int_arg(b, store, y)?);
+            let holds = if b == Builtin::Lt { m < n } else { m <= n };
+            Ok(if holds { vec![vec![x, y]] } else { vec![] })
+        }
+    }
+}
+
+fn req(b: Builtin, known: &[Option<TermId>], i: usize) -> Result<TermId, EngineError> {
+    known[i].ok_or_else(|| EngineError::UnsupportedMode {
+        builtin: b.name(),
+        mode: mode_string(known),
+    })
+}
+
+fn mode_string(known: &[Option<TermId>]) -> String {
+    let parts: Vec<&str> = known
+        .iter()
+        .map(|k| if k.is_some() { "bound" } else { "free" })
+        .collect();
+    format!("({})", parts.join(", "))
+}
+
+fn set_arg(b: Builtin, store: &TermStore, id: TermId) -> Result<Vec<TermId>, EngineError> {
+    store
+        .set_elems(id)
+        .map(<[TermId]>::to_vec)
+        .ok_or_else(|| EngineError::TypeError {
+            builtin: b.name(),
+            detail: format!("expected a set, got `{}`", store.display(id)),
+        })
+}
+
+fn int_arg(b: Builtin, store: &TermStore, id: TermId) -> Result<i64, EngineError> {
+    store.as_int(id).ok_or_else(|| EngineError::TypeError {
+        builtin: b.name(),
+        detail: format!("expected an integer, got `{}`", store.display(id)),
+    })
+}
+
+fn is_set(store: &TermStore, id: TermId) -> bool {
+    store.is_set(id)
+}
+
+fn active_sets(store: &TermStore) -> Vec<TermId> {
+    store.set_ids().to_vec()
+}
+
+fn eq(known: &[Option<TermId>]) -> Result<Vec<Vec<TermId>>, EngineError> {
+    match (known[0], known[1]) {
+        (Some(x), Some(y)) => Ok(if x == y { vec![vec![x, y]] } else { vec![] }),
+        (Some(x), None) => Ok(vec![vec![x, x]]),
+        (None, Some(y)) => Ok(vec![vec![y, y]]),
+        (None, None) => Err(EngineError::UnsupportedMode {
+            builtin: Builtin::Eq.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn member(
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+    policy: SetUniverse,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    match (known[0], known[1]) {
+        (Some(x), Some(s)) => {
+            // ELPS (§5): membership in an atom is false, not an error.
+            let holds = matches!(store.set_elems(s), Some(elems) if elems.binary_search(&x).is_ok());
+            Ok(if holds { vec![vec![x, s]] } else { vec![] })
+        }
+        (None, Some(s)) => {
+            let elems = store.set_elems(s).map(<[_]>::to_vec).unwrap_or_default();
+            Ok(elems.into_iter().map(|e| vec![e, s]).collect())
+        }
+        (Some(x), None) => {
+            require_enumerable(Builtin::In, known, policy)?;
+            // Inverted index: all active sets containing x.
+            Ok(store
+                .sets_containing(x)
+                .iter()
+                .map(|&s| vec![x, s])
+                .collect())
+        }
+        (None, None) => {
+            require_enumerable(Builtin::In, known, policy)?;
+            let mut out = Vec::new();
+            for s in active_sets(store) {
+                for &e in store.set_elems(s).expect("active sets are sets") {
+                    out.push(vec![e, s]);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn require_enumerable(
+    b: Builtin,
+    known: &[Option<TermId>],
+    policy: SetUniverse,
+) -> Result<(), EngineError> {
+    if matches!(policy, SetUniverse::Reject) {
+        Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: format!(
+                "{} (set enumeration disabled; configure SetUniverse::ActiveSets)",
+                mode_string(known)
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn subseteq(
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+    policy: SetUniverse,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::SubsetEq;
+    match (known[0], known[1]) {
+        (Some(x), Some(y)) => {
+            check_set(b, store, x)?;
+            check_set(b, store, y)?;
+            Ok(if setops::subset(store, x, y) {
+                vec![vec![x, y]]
+            } else {
+                vec![]
+            })
+        }
+        (None, Some(y)) => {
+            check_set(b, store, y)?;
+            require_enumerable(b, known, policy)?;
+            Ok(active_sets(store)
+                .into_iter()
+                .filter(|&s| setops::subset(store, s, y))
+                .map(|s| vec![s, y])
+                .collect())
+        }
+        (Some(x), None) => {
+            check_set(b, store, x)?;
+            require_enumerable(b, known, policy)?;
+            Ok(active_sets(store)
+                .into_iter()
+                .filter(|&s| setops::subset(store, x, s))
+                .map(|s| vec![x, s])
+                .collect())
+        }
+        (None, None) => {
+            require_enumerable(b, known, policy)?;
+            let sets = active_sets(store);
+            let mut out = Vec::new();
+            for &x in &sets {
+                for &y in &sets {
+                    if setops::subset(store, x, y) {
+                        out.push(vec![x, y]);
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn check_set(b: Builtin, store: &TermStore, id: TermId) -> Result<(), EngineError> {
+    if is_set(store, id) {
+        Ok(())
+    } else {
+        Err(EngineError::TypeError {
+            builtin: b.name(),
+            detail: format!("expected a set, got `{}`", store.display(id)),
+        })
+    }
+}
+
+fn union(
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+    policy: SetUniverse,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::Union;
+    match (known[0], known[1], known[2]) {
+        (Some(x), Some(y), z) => {
+            check_set(b, store, x)?;
+            check_set(b, store, y)?;
+            let u = setops::union(store, x, y);
+            Ok(match z {
+                Some(z) if z != u => vec![],
+                _ => vec![vec![x, y, u]],
+            })
+        }
+        (Some(x), None, Some(z)) => {
+            check_set(b, store, x)?;
+            check_set(b, store, z)?;
+            if !setops::subset(store, x, z) {
+                return Ok(vec![]);
+            }
+            require_enumerable(b, known, policy)?;
+            Ok(active_sets(store)
+                .into_iter()
+                .filter(|&y| setops::union(store, x, y) == z)
+                .map(|y| vec![x, y, z])
+                .collect())
+        }
+        (None, Some(y), Some(z)) => {
+            check_set(b, store, y)?;
+            check_set(b, store, z)?;
+            if !setops::subset(store, y, z) {
+                return Ok(vec![]);
+            }
+            require_enumerable(b, known, policy)?;
+            Ok(active_sets(store)
+                .into_iter()
+                .filter(|&x| setops::union(store, x, y) == z)
+                .map(|x| vec![x, y, z])
+                .collect())
+        }
+        (None, None, Some(z)) => {
+            check_set(b, store, z)?;
+            require_enumerable(b, known, policy)?;
+            let candidates: Vec<TermId> = active_sets(store)
+                .into_iter()
+                .filter(|&s| setops::subset(store, s, z))
+                .collect();
+            let mut out = Vec::new();
+            for &x in &candidates {
+                for &y in &candidates {
+                    if setops::union(store, x, y) == z {
+                        out.push(vec![x, y, z]);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn disj_union(
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::DisjUnion;
+    match (known[0], known[1], known[2]) {
+        (Some(x), Some(y), z) => {
+            check_set(b, store, x)?;
+            check_set(b, store, y)?;
+            if !setops::disjoint(store, x, y) {
+                return Ok(vec![]);
+            }
+            let u = setops::union(store, x, y);
+            Ok(match z {
+                Some(z) if z != u => vec![],
+                _ => vec![vec![x, y, u]],
+            })
+        }
+        (Some(x), None, Some(z)) => {
+            check_set(b, store, x)?;
+            check_set(b, store, z)?;
+            if !setops::subset(store, x, z) {
+                return Ok(vec![]);
+            }
+            let y = setops::difference(store, z, x);
+            Ok(vec![vec![x, y, z]])
+        }
+        (None, Some(y), Some(z)) => {
+            check_set(b, store, y)?;
+            check_set(b, store, z)?;
+            if !setops::subset(store, y, z) {
+                return Ok(vec![]);
+            }
+            let x = setops::difference(store, z, y);
+            Ok(vec![vec![x, y, z]])
+        }
+        (None, None, Some(z)) => {
+            check_set(b, store, z)?;
+            // The paper-faithful inverse mode (Example 5): all 2^|z|
+            // ordered disjoint partitions.
+            Ok(setops::disjoint_union_decompositions(store, z)
+                .into_iter()
+                .map(|(x, y)| vec![x, y, z])
+                .collect())
+        }
+        _ => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn scons(known: &[Option<TermId>], store: &mut TermStore) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::Scons;
+    match (known[0], known[1], known[2]) {
+        (Some(x), Some(y), z) => {
+            check_set(b, store, y)?;
+            let s = setops::scons(store, x, y);
+            Ok(match z {
+                Some(z) if z != s => vec![],
+                _ => vec![vec![x, y, s]],
+            })
+        }
+        (None, None, Some(z)) => {
+            check_set(b, store, z)?;
+            // Z = {x} ∪ Y admits, per x ∈ Z, both Y = Z∖{x} and Y = Z.
+            let mut out = Vec::new();
+            for (x, rest) in setops::scons_decompositions(store, z) {
+                out.push(vec![x, rest, z]);
+                out.push(vec![x, z, z]);
+            }
+            Ok(out)
+        }
+        (Some(x), None, Some(z)) => {
+            check_set(b, store, z)?;
+            if !setops::member(store, x, z) {
+                return Ok(vec![]);
+            }
+            let singleton = store.set(vec![x]);
+            let rest = setops::difference(store, z, singleton);
+            let mut out = vec![vec![x, rest, z]];
+            if rest != z {
+                out.push(vec![x, z, z]);
+            }
+            Ok(out)
+        }
+        (None, Some(y), Some(z)) => {
+            check_set(b, store, y)?;
+            check_set(b, store, z)?;
+            if !setops::subset(store, y, z) {
+                return Ok(vec![]);
+            }
+            let extra = setops::difference(store, z, y);
+            let extra_elems = set_arg(b, store, extra)?;
+            match extra_elems.len() {
+                0 => {
+                    // Y = Z: any x ∈ Z works.
+                    let elems = set_arg(b, store, z)?;
+                    Ok(elems.into_iter().map(|x| vec![x, y, z]).collect())
+                }
+                1 => Ok(vec![vec![extra_elems[0], y, z]]),
+                _ => Ok(vec![]),
+            }
+        }
+        _ => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn scons_min(
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::SconsMin;
+    match (known[0], known[1], known[2]) {
+        (None, None, Some(z)) => {
+            check_set(b, store, z)?;
+            Ok(setops::scons_min_decomposition(store, z)
+                .map(|(x, rest)| vec![vec![x, rest, z]])
+                .unwrap_or_default())
+        }
+        (Some(x), Some(y), z) => {
+            check_set(b, store, y)?;
+            if setops::member(store, x, y) {
+                return Ok(vec![]);
+            }
+            let s = setops::scons(store, x, y);
+            let min = *store.set_elems(s).expect("scons returns a set").first()
+                .expect("nonempty by construction");
+            if min != x {
+                return Ok(vec![]);
+            }
+            Ok(match z {
+                Some(z) if z != s => vec![],
+                _ => vec![vec![x, y, s]],
+            })
+        }
+        _ => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn card(known: &[Option<TermId>], store: &mut TermStore) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let b = Builtin::Card;
+    match (known[0], known[1]) {
+        (Some(s), n) => {
+            let c = set_arg(b, store, s)?.len() as i64;
+            let c_id = store.int(c);
+            Ok(match n {
+                Some(n) if n != c_id => vec![],
+                _ => vec![vec![s, c_id]],
+            })
+        }
+        (None, Some(n)) => {
+            let want = int_arg(b, store, n)?;
+            if want < 0 {
+                return Ok(vec![]);
+            }
+            Ok(active_sets(store)
+                .into_iter()
+                .filter(|&s| store.card(s) == Some(want as usize))
+                .map(|s| vec![s, n])
+                .collect())
+        }
+        (None, None) => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+    }
+}
+
+fn arith3(
+    b: Builtin,
+    known: &[Option<TermId>],
+    store: &mut TermStore,
+    f: impl Fn(Option<i64>, Option<i64>, Option<i64>) -> Option<Option<(i64, i64, i64)>>,
+) -> Result<Vec<Vec<TermId>>, EngineError> {
+    let vals: Vec<Option<i64>> = known
+        .iter()
+        .map(|k| k.map(|id| int_arg(b, store, id)).transpose())
+        .collect::<Result<_, _>>()?;
+    match f(vals[0], vals[1], vals[2]) {
+        None => Err(EngineError::UnsupportedMode {
+            builtin: b.name(),
+            mode: mode_string(known),
+        }),
+        Some(None) => Ok(vec![]),
+        Some(Some((m, n, k))) => {
+            let ids = vec![store.int(m), store.int(n), store.int(k)];
+            Ok(vec![ids])
+        }
+    }
+}
+
+fn add(known: &[Option<TermId>], store: &mut TermStore) -> Result<Vec<Vec<TermId>>, EngineError> {
+    arith3(Builtin::Add, known, store, |m, n, k| match (m, n, k) {
+        (Some(m), Some(n), k) => {
+            let sum = m.checked_add(n)?;
+            Some(match k {
+                Some(k) if k != sum => None,
+                _ => Some((m, n, sum)),
+            })
+        }
+        (Some(m), None, Some(k)) => Some(k.checked_sub(m).map(|n| (m, n, k))),
+        (None, Some(n), Some(k)) => Some(k.checked_sub(n).map(|m| (m, n, k))),
+        _ => None,
+    })
+}
+
+fn sub(known: &[Option<TermId>], store: &mut TermStore) -> Result<Vec<Vec<TermId>>, EngineError> {
+    arith3(Builtin::Sub, known, store, |m, n, k| match (m, n, k) {
+        (Some(m), Some(n), k) => {
+            let diff = m.checked_sub(n)?;
+            Some(match k {
+                Some(k) if k != diff => None,
+                _ => Some((m, n, diff)),
+            })
+        }
+        (Some(m), None, Some(k)) => Some(m.checked_sub(k).map(|n| (m, n, k))),
+        (None, Some(n), Some(k)) => Some(k.checked_add(n).map(|m| (m, n, k))),
+        _ => None,
+    })
+}
+
+fn mul(known: &[Option<TermId>], store: &mut TermStore) -> Result<Vec<Vec<TermId>>, EngineError> {
+    arith3(Builtin::Mul, known, store, |m, n, k| match (m, n, k) {
+        (Some(m), Some(n), k) => {
+            let prod = m.checked_mul(n)?;
+            Some(match k {
+                Some(k) if k != prod => None,
+                _ => Some((m, n, prod)),
+            })
+        }
+        (Some(m), None, Some(k)) => {
+            if m == 0 {
+                // 0 * n = k: n is unconstrained — unsupported mode.
+                None
+            } else {
+                Some((k % m == 0).then_some((m, k / m, k)))
+            }
+        }
+        (None, Some(n), Some(k)) => {
+            if n == 0 {
+                None
+            } else {
+                Some((k % n == 0).then_some((k / n, n, k)))
+            }
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_abc() -> (TermStore, TermId, TermId, TermId) {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let c = st.atom("c");
+        (st, a, b, c)
+    }
+
+    #[test]
+    fn eq_propagates_either_direction() {
+        let (mut st, a, _, _) = store_abc();
+        assert_eq!(
+            enumerate(Builtin::Eq, &[Some(a), None], &mut st, SetUniverse::Reject).unwrap(),
+            vec![vec![a, a]]
+        );
+        assert_eq!(
+            enumerate(Builtin::Eq, &[None, Some(a)], &mut st, SetUniverse::Reject).unwrap(),
+            vec![vec![a, a]]
+        );
+        assert!(enumerate(Builtin::Eq, &[None, None], &mut st, SetUniverse::Reject).is_err());
+    }
+
+    #[test]
+    fn member_enumerates_elements() {
+        let (mut st, a, b, c) = store_abc();
+        let s = st.set(vec![a, c]);
+        let sols =
+            enumerate(Builtin::In, &[None, Some(s)], &mut st, SetUniverse::Reject).unwrap();
+        assert_eq!(sols, vec![vec![a, s], vec![c, s]]);
+        // Bound membership test.
+        assert_eq!(
+            enumerate(Builtin::In, &[Some(b), Some(s)], &mut st, SetUniverse::Reject)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn member_free_set_uses_inverted_index_under_policy() {
+        let (mut st, a, b, _) = store_abc();
+        let s1 = st.set(vec![a]);
+        let s2 = st.set(vec![a, b]);
+        let _s3 = st.set(vec![b]);
+        let sols =
+            enumerate(Builtin::In, &[Some(a), None], &mut st, SetUniverse::ActiveSets).unwrap();
+        assert_eq!(sols, vec![vec![a, s1], vec![a, s2]]);
+        // Policy Reject refuses.
+        assert!(enumerate(Builtin::In, &[Some(a), None], &mut st, SetUniverse::Reject).is_err());
+    }
+
+    #[test]
+    fn member_of_atom_is_false_not_error() {
+        // ELPS (§5): atoms have no elements.
+        let (mut st, a, b, _) = store_abc();
+        let sols =
+            enumerate(Builtin::In, &[Some(a), Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        assert!(sols.is_empty());
+        let sols =
+            enumerate(Builtin::NotIn, &[Some(a), Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        assert_eq!(sols.len(), 1);
+        let sols =
+            enumerate(Builtin::In, &[None, Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn union_forward_and_check() {
+        let (mut st, a, b, c) = store_abc();
+        let xy = st.set(vec![a, b]);
+        let yz = st.set(vec![b, c]);
+        let all = st.set(vec![a, b, c]);
+        let sols = enumerate(
+            Builtin::Union,
+            &[Some(xy), Some(yz), None],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert_eq!(sols, vec![vec![xy, yz, all]]);
+        // Check mode with wrong z fails.
+        let sols = enumerate(
+            Builtin::Union,
+            &[Some(xy), Some(yz), Some(xy)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn union_inverse_enumerates_active_sets() {
+        let (mut st, a, b, _) = store_abc();
+        let sa = st.set(vec![a]);
+        let sb = st.set(vec![b]);
+        let sab = st.set(vec![a, b]);
+        let empty = st.empty_set();
+        let sols = enumerate(
+            Builtin::Union,
+            &[None, None, Some(sab)],
+            &mut st,
+            SetUniverse::ActiveSets,
+        )
+        .unwrap();
+        // Active sets: {a}, {b}, {a,b}, {}. Pairs unioning to {a,b}:
+        // ({a},{b}), ({b},{a}), ({a},{a,b}), ({a,b},{a}), ({b},{a,b}),
+        // ({a,b},{b}), ({a,b},{a,b}), ({},{a,b}), ({a,b},{}).
+        assert_eq!(sols.len(), 9);
+        for sol in &sols {
+            assert_eq!(setops::union(&mut st, sol[0], sol[1]), sab);
+        }
+        assert!(sols.contains(&vec![sa, sb, sab]));
+        assert!(sols.contains(&vec![empty, sab, sab]));
+    }
+
+    #[test]
+    fn disj_union_inverse_is_exponential_partition() {
+        let (mut st, a, b, _) = store_abc();
+        let sab = st.set(vec![a, b]);
+        let sols = enumerate(
+            Builtin::DisjUnion,
+            &[None, None, Some(sab)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert_eq!(sols.len(), 4, "2^2 ordered partitions");
+        // Forward mode refuses overlapping operands.
+        let sa = st.set(vec![a]);
+        let sols = enumerate(
+            Builtin::DisjUnion,
+            &[Some(sa), Some(sa), None],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn disj_union_difference_mode() {
+        let (mut st, a, b, c) = store_abc();
+        let all = st.set(vec![a, b, c]);
+        let sa = st.set(vec![a]);
+        let sbc = st.set(vec![b, c]);
+        let sols = enumerate(
+            Builtin::DisjUnion,
+            &[Some(sa), None, Some(all)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert_eq!(sols, vec![vec![sa, sbc, all]]);
+    }
+
+    #[test]
+    fn scons_decomposition_includes_both_rest_variants() {
+        let (mut st, a, b, _) = store_abc();
+        let sab = st.set(vec![a, b]);
+        let sols = enumerate(
+            Builtin::Scons,
+            &[None, None, Some(sab)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        // For each x ∈ {a,b}: (x, Z∖{x}, Z) and (x, Z, Z).
+        assert_eq!(sols.len(), 4);
+        for sol in &sols {
+            let rebuilt = setops::scons(&mut st, sol[0], sol[1]);
+            assert_eq!(rebuilt, sab);
+        }
+    }
+
+    #[test]
+    fn scons_min_is_single_canonical() {
+        let (mut st, a, b, _) = store_abc();
+        let sab = st.set(vec![a, b]);
+        let sb = st.set(vec![b]);
+        let sols = enumerate(
+            Builtin::SconsMin,
+            &[None, None, Some(sab)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert_eq!(sols, vec![vec![a, sb, sab]]);
+        let empty = st.empty_set();
+        let sols = enumerate(
+            Builtin::SconsMin,
+            &[None, None, Some(empty)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn card_computes_and_filters() {
+        let (mut st, a, b, _) = store_abc();
+        let sab = st.set(vec![a, b]);
+        let sols =
+            enumerate(Builtin::Card, &[Some(sab), None], &mut st, SetUniverse::Reject).unwrap();
+        let two = st.int(2);
+        assert_eq!(sols, vec![vec![sab, two]]);
+        // Reverse: active sets of card 1.
+        let sa = st.set(vec![a]);
+        let one = st.int(1);
+        let sols = enumerate(
+            Builtin::Card,
+            &[None, Some(one)],
+            &mut st,
+            SetUniverse::ActiveSets,
+        )
+        .unwrap();
+        assert_eq!(sols, vec![vec![sa, one]]);
+    }
+
+    #[test]
+    fn arithmetic_all_modes() {
+        let mut st = TermStore::new();
+        let i2 = st.int(2);
+        let i3 = st.int(3);
+        let i5 = st.int(5);
+        let i6 = st.int(6);
+        // add
+        assert_eq!(
+            enumerate(Builtin::Add, &[Some(i2), Some(i3), None], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i2, i3, i5]]
+        );
+        assert_eq!(
+            enumerate(Builtin::Add, &[Some(i2), None, Some(i5)], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i2, i3, i5]]
+        );
+        assert_eq!(
+            enumerate(Builtin::Add, &[None, Some(i3), Some(i5)], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i2, i3, i5]]
+        );
+        // sub: 5 - 3 = 2
+        assert_eq!(
+            enumerate(Builtin::Sub, &[Some(i5), Some(i3), None], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i5, i3, i2]]
+        );
+        // mul: 2 * 3 = 6; inverse 6 / 2 = 3
+        assert_eq!(
+            enumerate(Builtin::Mul, &[Some(i2), Some(i3), None], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i2, i3, i6]]
+        );
+        assert_eq!(
+            enumerate(Builtin::Mul, &[Some(i2), None, Some(i6)], &mut st, SetUniverse::Reject)
+                .unwrap(),
+            vec![vec![i2, i3, i6]]
+        );
+        // non-divisible product: no solutions.
+        assert!(enumerate(
+            Builtin::Mul,
+            &[Some(i2), None, Some(i5)],
+            &mut st,
+            SetUniverse::Reject
+        )
+        .unwrap()
+        .is_empty());
+        // 0 * n = 0 is an unsupported mode (n unconstrained).
+        let zero = st.int(0);
+        assert!(enumerate(
+            Builtin::Mul,
+            &[Some(zero), None, Some(zero)],
+            &mut st,
+            SetUniverse::Reject
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut st = TermStore::new();
+        let i2 = st.int(2);
+        let i3 = st.int(3);
+        assert_eq!(
+            enumerate(Builtin::Lt, &[Some(i2), Some(i3)], &mut st, SetUniverse::Reject)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(enumerate(Builtin::Lt, &[Some(i3), Some(i2)], &mut st, SetUniverse::Reject)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            enumerate(Builtin::Le, &[Some(i2), Some(i2)], &mut st, SetUniverse::Reject)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Comparing a non-integer is a type error.
+        let a = st.atom("a");
+        assert!(
+            enumerate(Builtin::Lt, &[Some(a), Some(i2)], &mut st, SetUniverse::Reject).is_err()
+        );
+    }
+
+    #[test]
+    fn subseteq_modes() {
+        let (mut st, a, b, _) = store_abc();
+        let sa = st.set(vec![a]);
+        let sab = st.set(vec![a, b]);
+        // Both bound.
+        assert_eq!(
+            enumerate(
+                Builtin::SubsetEq,
+                &[Some(sa), Some(sab)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap()
+            .len(),
+            1
+        );
+        // Free left side: active subsets of {a,b} are {a} and {a,b}
+        // (the empty set hasn't been interned yet).
+        let sols = enumerate(
+            Builtin::SubsetEq,
+            &[None, Some(sab)],
+            &mut st,
+            SetUniverse::ActiveSets,
+        )
+        .unwrap();
+        assert_eq!(sols.len(), 2);
+        // Reject policy errors on the free mode.
+        assert!(enumerate(
+            Builtin::SubsetEq,
+            &[None, Some(sab)],
+            &mut st,
+            SetUniverse::Reject
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mode_table_matches_enumerate_behaviour() {
+        // Spot-check a few rows of the static mode table.
+        assert!(mode_ok(Builtin::Eq, &[true, false], SetUniverse::Reject));
+        assert!(!mode_ok(Builtin::Eq, &[false, false], SetUniverse::Reject));
+        assert!(mode_ok(Builtin::In, &[false, true], SetUniverse::Reject));
+        assert!(!mode_ok(Builtin::In, &[true, false], SetUniverse::Reject));
+        assert!(mode_ok(Builtin::In, &[true, false], SetUniverse::ActiveSets));
+        assert!(mode_ok(Builtin::DisjUnion, &[false, false, true], SetUniverse::Reject));
+        assert!(!mode_ok(Builtin::Union, &[false, false, true], SetUniverse::Reject));
+        assert!(mode_ok(Builtin::Union, &[false, false, true], SetUniverse::ActiveSets));
+        assert!(mode_ok(Builtin::Add, &[true, false, true], SetUniverse::Reject));
+        assert!(!mode_ok(Builtin::Add, &[true, false, false], SetUniverse::Reject));
+    }
+}

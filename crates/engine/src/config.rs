@@ -1,0 +1,130 @@
+//! Evaluation configuration and statistics.
+
+/// Which fixpoint algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FixpointStrategy {
+    /// Semi-naive evaluation with delta relations (default).
+    #[default]
+    SemiNaive,
+    /// Naive evaluation: every rule over full relations each round —
+    /// the literal `T_P ↑ ω` of Theorem 5, kept as the ablation
+    /// baseline for experiment E2.
+    Naive,
+}
+
+/// Policy for variables that range over the sort-*s* universe without
+/// being bound by any body literal (e.g. the translated Theorem-10
+/// programs, or the Theorem-8 demonstration `b(X) :- forall U in X:
+/// a(U)`).
+///
+/// The paper's Herbrand universe `Uˢ` is the *full* finite powerset of
+/// `Uᵃ` (Definition 7) — infinite for evaluation purposes. These
+/// policies carve out the finite fragments that make the theorems'
+/// constructive content executable (see DESIGN.md §3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SetUniverse {
+    /// Reject such rules as unsafe (strict range-restriction).
+    #[default]
+    Reject,
+    /// Enumerate the *active* sets: every set interned so far (EDB
+    /// sets, set literals, and sets built by builtins during
+    /// evaluation). Grows monotonically during the fixpoint.
+    ActiveSets,
+    /// Enumerate all subsets of the active *atom* domain up to the
+    /// given cardinality, materializing them up front. Exponential —
+    /// exactly what Theorem 8's powerset demonstration needs.
+    ActiveSubsets {
+        /// Maximum cardinality of enumerated subsets.
+        max_card: usize,
+    },
+}
+
+/// Evaluation settings.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Fixpoint algorithm.
+    pub strategy: FixpointStrategy,
+    /// Handling of set-sorted variables with no binding literal.
+    pub set_universe: SetUniverse,
+    /// Upper bound on fixpoint rounds (guards non-terminating
+    /// constructor recursion).
+    pub max_iterations: usize,
+    /// Use the element→set inverted index to restrict re-evaluation of
+    /// `(∀x∈X)` rules to candidate sets containing newly derived
+    /// elements (experiment E9). Only affects semi-naive evaluation.
+    pub forall_trigger_index: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            strategy: FixpointStrategy::SemiNaive,
+            set_universe: SetUniverse::Reject,
+            max_iterations: 100_000,
+            forall_trigger_index: true,
+        }
+    }
+}
+
+/// Counters describing one evaluation run. `T_P` round counts are the
+/// quantity Theorem 5 bounds by ω; benches report them alongside wall
+/// time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds executed across all strata.
+    pub iterations: usize,
+    /// Facts derived (inserted and new) including loaded facts.
+    pub facts_derived: usize,
+    /// Rule-evaluation passes (rule × variant × round).
+    pub rule_evaluations: usize,
+    /// Tuples produced before deduplication.
+    pub tuples_considered: usize,
+    /// Number of strata.
+    pub strata: usize,
+}
+
+impl EvalStats {
+    /// Merge counters from a stratum run.
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.iterations += other.iterations;
+        self.facts_derived += other.facts_derived;
+        self.rule_evaluations += other.rule_evaluations;
+        self.tuples_considered += other.tuples_considered;
+        self.strata += other.strata;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let c = EvalConfig::default();
+        assert_eq!(c.strategy, FixpointStrategy::SemiNaive);
+        assert_eq!(c.set_universe, SetUniverse::Reject);
+        assert!(c.forall_trigger_index);
+        assert!(c.max_iterations > 0);
+    }
+
+    #[test]
+    fn stats_absorb_sums() {
+        let mut a = EvalStats {
+            iterations: 2,
+            facts_derived: 10,
+            rule_evaluations: 5,
+            tuples_considered: 20,
+            strata: 1,
+        };
+        a.absorb(EvalStats {
+            iterations: 3,
+            facts_derived: 1,
+            rule_evaluations: 2,
+            tuples_considered: 4,
+            strata: 1,
+        });
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.facts_derived, 11);
+        assert_eq!(a.strata, 2);
+    }
+}

@@ -1,0 +1,703 @@
+//! The public evaluation session: register predicates, load facts and
+//! rules, run to fixpoint, query results.
+
+use lps_term::{setops, FxHashSet, TermId, TermStore, Value};
+
+use crate::config::{EvalConfig, EvalStats, SetUniverse};
+use crate::error::EngineError;
+use crate::fixpoint::run_stratum;
+use crate::plan::{compile_rule, CompiledRule};
+use crate::pred::{PredId, PredRegistry};
+use crate::relation::Relation;
+use crate::rule::Rule;
+use crate::strata::stratify;
+
+/// An evaluation session over a program's rules and facts.
+///
+/// ```
+/// use lps_engine::{Engine, EvalConfig};
+/// use lps_engine::pattern::{Pattern, VarId};
+/// use lps_engine::rule::{BodyLit, Rule};
+///
+/// let mut engine = Engine::new(EvalConfig::default());
+/// let edge = engine.pred("edge", 2);
+/// let path = engine.pred("path", 2);
+/// let (a, b, c) = {
+///     let st = engine.store_mut();
+///     (st.atom("a"), st.atom("b"), st.atom("c"))
+/// };
+/// engine.fact(edge, vec![a, b]).unwrap();
+/// engine.fact(edge, vec![b, c]).unwrap();
+/// let v = |i| Pattern::Var(VarId(i));
+/// // path(X, Y) :- edge(X, Y).
+/// engine.rule(Rule {
+///     head: path,
+///     head_args: vec![v(0), v(1)],
+///     group: None,
+///     outer: vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+///     quant: None,
+///     num_vars: 2,
+///     var_names: vec!["X".into(), "Y".into()],
+///     var_sorts: vec![],
+/// }).unwrap();
+/// // path(X, Z) :- edge(X, Y), path(Y, Z).
+/// engine.rule(Rule {
+///     head: path,
+///     head_args: vec![v(0), v(2)],
+///     group: None,
+///     outer: vec![
+///         BodyLit::Pos(edge, vec![v(0), v(1)]),
+///         BodyLit::Pos(path, vec![v(1), v(2)]),
+///     ],
+///     quant: None,
+///     num_vars: 3,
+///     var_names: vec!["X".into(), "Y".into(), "Z".into()],
+///     var_sorts: vec![],
+/// }).unwrap();
+/// engine.run().unwrap();
+/// assert!(engine.holds(path, &[a, c]));
+/// assert_eq!(engine.tuples(path).count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    store: TermStore,
+    preds: PredRegistry,
+    full: Vec<Relation>,
+    delta: Vec<Relation>,
+    rules: Vec<Rule>,
+    config: EvalConfig,
+    last_stats: EvalStats,
+}
+
+/// Hard cap on the atom-domain size for the `ActiveSubsets` powerset
+/// materialization (2^20 sets is already a million).
+const MAX_POWERSET_ATOMS: usize = 20;
+
+impl Engine {
+    /// New session with the given configuration.
+    pub fn new(config: EvalConfig) -> Self {
+        Engine {
+            store: TermStore::new(),
+            preds: PredRegistry::new(),
+            full: Vec::new(),
+            delta: Vec::new(),
+            rules: Vec::new(),
+            config,
+            last_stats: EvalStats::default(),
+        }
+    }
+
+    /// The term store (for interning constants and reading results).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Mutable access to the term store.
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (before calling
+    /// [`Engine::run`]).
+    pub fn config_mut(&mut self) -> &mut EvalConfig {
+        &mut self.config
+    }
+
+    /// Statistics from the most recent [`Engine::run`].
+    pub fn stats(&self) -> EvalStats {
+        self.last_stats
+    }
+
+    /// Register (or look up) a predicate by name and arity.
+    pub fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        let sym = self.store.symbols_mut().intern(name);
+        let id = self.preds.register(sym, arity);
+        while self.full.len() <= id.index() {
+            self.full.push(Relation::new(0));
+            self.delta.push(Relation::new(0));
+        }
+        // (Re)size the relation if this is the first registration.
+        if self.full[id.index()].arity() != arity && self.full[id.index()].is_empty() {
+            self.full[id.index()] = Relation::new(arity);
+            self.delta[id.index()] = Relation::new(arity);
+        }
+        id
+    }
+
+    /// Predicate metadata.
+    pub fn pred_name(&self, id: PredId) -> String {
+        self.store
+            .symbols()
+            .name(self.preds.info(id).name)
+            .to_owned()
+    }
+
+    /// Look up a registered predicate.
+    pub fn lookup_pred(&self, name: &str, arity: usize) -> Option<PredId> {
+        let sym = self.store.symbols().get(name)?;
+        self.preds.get(sym, arity)
+    }
+
+    /// The predicate registry.
+    pub fn preds(&self) -> &PredRegistry {
+        &self.preds
+    }
+
+    /// Load a ground fact.
+    pub fn fact(&mut self, pred: PredId, tuple: Vec<TermId>) -> Result<(), EngineError> {
+        let arity = self.preds.info(pred).arity;
+        if tuple.len() != arity {
+            return Err(EngineError::ArityMismatch {
+                pred: self.pred_name(pred),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        self.full[pred.index()].insert(tuple.into_boxed_slice());
+        Ok(())
+    }
+
+    /// Convenience: load a fact with owned [`Value`] arguments.
+    pub fn fact_values(&mut self, pred: PredId, values: &[Value]) -> Result<(), EngineError> {
+        let tuple: Vec<TermId> = values.iter().map(|v| v.intern(&mut self.store)).collect();
+        self.fact(pred, tuple)
+    }
+
+    /// Add a rule. Arity consistency is checked against the registry.
+    pub fn rule(&mut self, rule: Rule) -> Result<(), EngineError> {
+        let arity = self.preds.info(rule.head).arity;
+        if rule.head_args.len() != arity {
+            return Err(EngineError::ArityMismatch {
+                pred: self.pred_name(rule.head),
+                expected: arity,
+                got: rule.head_args.len(),
+            });
+        }
+        for lit in rule.all_body_lits() {
+            let (pred, n) = match lit {
+                crate::rule::BodyLit::Pos(p, args) | crate::rule::BodyLit::Neg(p, args) => {
+                    (*p, args.len())
+                }
+                crate::rule::BodyLit::Builtin(b, args) => {
+                    if args.len() != b.arity() {
+                        return Err(EngineError::ArityMismatch {
+                            pred: b.name().to_owned(),
+                            expected: b.arity(),
+                            got: args.len(),
+                        });
+                    }
+                    continue;
+                }
+            };
+            let expected = self.preds.info(pred).arity;
+            if n != expected {
+                return Err(EngineError::ArityMismatch {
+                    pred: self.pred_name(pred),
+                    expected,
+                    got: n,
+                });
+            }
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Evaluate to fixpoint: stratify, compile, run each stratum.
+    pub fn run(&mut self) -> Result<EvalStats, EngineError> {
+        // Materialize the bounded powerset universe if configured.
+        if let SetUniverse::ActiveSubsets { max_card } = self.config.set_universe {
+            let atoms: Vec<TermId> = self
+                .store
+                .ids()
+                .filter(|&id| self.store.is_atomic(id))
+                .collect();
+            if atoms.len() > MAX_POWERSET_ATOMS {
+                return Err(EngineError::UniverseTooLarge {
+                    atoms: atoms.len(),
+                    max: MAX_POWERSET_ATOMS,
+                });
+            }
+            setops::subsets_up_to(&mut self.store, &atoms, max_card);
+        }
+
+        let idb: FxHashSet<PredId> = self.rules.iter().map(|r| r.head).collect();
+        let names = {
+            let store = &self.store;
+            let preds = &self.preds;
+            move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
+        };
+
+        let strat = stratify(&self.rules, self.preds.len(), &names)?;
+
+        let mut compiled: Vec<CompiledRule> = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            compiled.push(compile_rule(
+                rule,
+                &self.preds,
+                &names,
+                &idb,
+                self.config.set_universe,
+            )?);
+        }
+
+        // Satisfy index requests.
+        for cr in &compiled {
+            for &(pred, mask, is_delta) in &cr.index_requests {
+                self.full[pred.index()].ensure_index(mask);
+                if is_delta {
+                    self.delta[pred.index()].ensure_index(mask);
+                }
+            }
+        }
+
+        // Facts with ground heads load directly; everything else
+        // evaluates per stratum.
+        let mut stats = EvalStats::default();
+        let mut regular_by_stratum: Vec<Vec<&CompiledRule>> = vec![Vec::new(); strat.num_strata];
+        let mut grouping_by_stratum: Vec<Vec<&CompiledRule>> = vec![Vec::new(); strat.num_strata];
+        for cr in &compiled {
+            if cr.rule.is_fact() {
+                continue;
+            }
+            let s = strat.stratum(cr.rule.head);
+            if cr.rule.group.is_some() {
+                grouping_by_stratum[s].push(cr);
+            } else {
+                regular_by_stratum[s].push(cr);
+            }
+        }
+        for cr in &compiled {
+            if cr.rule.is_fact() {
+                let tuple: Vec<TermId> = cr
+                    .rule
+                    .head_args
+                    .iter()
+                    .map(|p| match p {
+                        crate::pattern::Pattern::Ground(id) => *id,
+                        _ => unreachable!("is_fact guarantees ground head"),
+                    })
+                    .collect();
+                if self.full[cr.rule.head.index()].insert(tuple.into_boxed_slice()) {
+                    stats.facts_derived += 1;
+                }
+            }
+        }
+
+        for s in 0..strat.num_strata {
+            let stratum_stats = run_stratum(
+                &mut self.store,
+                &mut self.full,
+                &mut self.delta,
+                &regular_by_stratum[s],
+                &grouping_by_stratum[s],
+                &self.config,
+            )?;
+            stats.absorb(stratum_stats);
+        }
+
+        self.last_stats = stats;
+        Ok(stats)
+    }
+
+    /// The full relation of a predicate (after [`Engine::run`]).
+    pub fn relation(&self, pred: PredId) -> &Relation {
+        &self.full[pred.index()]
+    }
+
+    /// Whether a ground tuple holds.
+    pub fn holds(&self, pred: PredId, tuple: &[TermId]) -> bool {
+        self.full[pred.index()].contains(tuple)
+    }
+
+    /// Iterate over the tuples of a predicate.
+    pub fn tuples(&self, pred: PredId) -> impl Iterator<Item = &[TermId]> {
+        self.full[pred.index()].iter()
+    }
+
+    /// Extract a predicate's extension as owned [`Value`] rows, sorted
+    /// — a stable form for tests and for the Theorem-10/11 equivalence
+    /// harness.
+    pub fn extension(&self, pred: PredId) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self
+            .tuples(pred)
+            .map(|t| t.iter().map(|&id| Value::from_store(&self.store, id)).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Pattern, VarId};
+    use crate::rule::{BodyLit, Builtin, GroupSpec, QuantGroup};
+
+    fn v(i: u32) -> Pattern {
+        Pattern::Var(VarId(i))
+    }
+
+    fn plain_rule(head: PredId, head_args: Vec<Pattern>, outer: Vec<BodyLit>, nv: usize) -> Rule {
+        Rule {
+            head,
+            head_args,
+            group: None,
+            outer,
+            quant: None,
+            num_vars: nv,
+            var_names: (0..nv).map(|i| format!("V{i}")).collect(),
+            var_sorts: vec![],
+        }
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = Engine::new(EvalConfig::default());
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let ids: Vec<TermId> = (0..5)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+                BodyLit::Pos(path, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        let stats = e.run().unwrap();
+        // 4+3+2+1 = 10 paths.
+        assert_eq!(e.tuples(path).count(), 10);
+        assert!(e.holds(path, &[ids[0], ids[4]]));
+        assert!(!e.holds(path, &[ids[4], ids[0]]));
+        assert!(stats.iterations >= 3, "chain of length 4 needs rounds");
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let build = |strategy| {
+            let mut e = Engine::new(EvalConfig {
+                strategy,
+                ..EvalConfig::default()
+            });
+            let edge = e.pred("edge", 2);
+            let path = e.pred("path", 2);
+            let ids: Vec<TermId> = (0..6)
+                .map(|i| e.store_mut().atom(&format!("n{i}")))
+                .collect();
+            for i in 0..5 {
+                e.fact(edge, vec![ids[i], ids[i + 1]]).unwrap();
+            }
+            e.fact(edge, vec![ids[5], ids[0]]).unwrap(); // cycle
+            e.rule(plain_rule(
+                path,
+                vec![v(0), v(1)],
+                vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+                2,
+            ))
+            .unwrap();
+            e.rule(plain_rule(
+                path,
+                vec![v(0), v(2)],
+                vec![
+                    BodyLit::Pos(edge, vec![v(0), v(1)]),
+                    BodyLit::Pos(path, vec![v(1), v(2)]),
+                ],
+                3,
+            ))
+            .unwrap();
+            e.run().unwrap();
+            e.extension(path)
+        };
+        let naive = build(crate::config::FixpointStrategy::Naive);
+        let semi = build(crate::config::FixpointStrategy::SemiNaive);
+        assert_eq!(naive, semi);
+        assert_eq!(naive.len(), 36, "complete digraph on the 6-cycle");
+    }
+
+    #[test]
+    fn example_1_disj_via_quantifiers() {
+        // disj(X, Y) :- pair(X, Y), (∀u∈X)(∀w∈Y) u != w.
+        let mut e = Engine::new(EvalConfig::default());
+        let pair = e.pred("pair", 2);
+        let disj = e.pred("disj", 2);
+        let st = e.store_mut();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let c = st.atom("c");
+        let s_ab = st.set(vec![a, b]);
+        let s_c = st.set(vec![c]);
+        let s_bc = st.set(vec![b, c]);
+        let s_empty = st.empty_set();
+        e.fact(pair, vec![s_ab, s_c]).unwrap();
+        e.fact(pair, vec![s_ab, s_bc]).unwrap();
+        e.fact(pair, vec![s_empty, s_bc]).unwrap();
+        e.rule(Rule {
+            head: disj,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(pair, vec![v(0), v(1)])],
+            quant: Some(QuantGroup {
+                binders: vec![(VarId(2), v(0)), (VarId(3), v(1))],
+                inner: vec![BodyLit::Builtin(Builtin::Ne, vec![v(2), v(3)])],
+            }),
+            num_vars: 4,
+            var_names: vec!["X".into(), "Y".into(), "U".into(), "W".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.run().unwrap();
+        assert!(e.holds(disj, &[s_ab, s_c]));
+        assert!(!e.holds(disj, &[s_ab, s_bc]), "{{a,b}} ∩ {{b,c}} ≠ ∅");
+        assert!(e.holds(disj, &[s_empty, s_bc]), "∅ is disjoint from all");
+    }
+
+    #[test]
+    fn example_4_unnest() {
+        // s(X, Y) :- r(X, Ys), Y in Ys.
+        let mut e = Engine::new(EvalConfig::default());
+        let r = e.pred("r", 2);
+        let s = e.pred("s", 2);
+        let st = e.store_mut();
+        let x1 = st.atom("x1");
+        let p = st.atom("p");
+        let q = st.atom("q");
+        let set_pq = st.set(vec![p, q]);
+        e.fact(r, vec![x1, set_pq]).unwrap();
+        e.rule(Rule {
+            head: s,
+            head_args: vec![v(0), v(2)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(r, vec![v(0), v(1)]),
+                BodyLit::Builtin(Builtin::In, vec![v(2), v(1)]),
+            ],
+            quant: None,
+            num_vars: 3,
+            var_names: vec!["X".into(), "Ys".into(), "Y".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.run().unwrap();
+        assert!(e.holds(s, &[x1, p]));
+        assert!(e.holds(s, &[x1, q]));
+        assert_eq!(e.tuples(s).count(), 2);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        // unreachable(X) :- node(X), not reach(X).
+        let mut e = Engine::new(EvalConfig::default());
+        let node = e.pred("node", 1);
+        let edge = e.pred("edge", 2);
+        let reach = e.pred("reach", 1);
+        let unreach = e.pred("unreachable", 1);
+        let ids: Vec<TermId> = (0..4)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for &n in &ids {
+            e.fact(node, vec![n]).unwrap();
+        }
+        e.fact(edge, vec![ids[0], ids[1]]).unwrap();
+        e.fact(reach, vec![ids[0]]).unwrap();
+        e.rule(plain_rule(
+            reach,
+            vec![v(1)],
+            vec![
+                BodyLit::Pos(reach, vec![v(0)]),
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+            ],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            unreach,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(node, vec![v(0)]),
+                BodyLit::Neg(reach, vec![v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+        e.run().unwrap();
+        assert!(!e.holds(unreach, &[ids[0]]));
+        assert!(!e.holds(unreach, &[ids[1]]));
+        assert!(e.holds(unreach, &[ids[2]]));
+        assert!(e.holds(unreach, &[ids[3]]));
+    }
+
+    #[test]
+    fn ldl_grouping_head() {
+        // owns(P, <C>) :- car(P, C).
+        let mut e = Engine::new(EvalConfig::default());
+        let car = e.pred("car", 2);
+        let owns = e.pred("owns", 2);
+        let st = e.store_mut();
+        let alice = st.atom("alice");
+        let bob = st.atom("bob");
+        let c1 = st.atom("c1");
+        let c2 = st.atom("c2");
+        let c3 = st.atom("c3");
+        e.fact(car, vec![alice, c1]).unwrap();
+        e.fact(car, vec![alice, c2]).unwrap();
+        e.fact(car, vec![bob, c3]).unwrap();
+        e.rule(Rule {
+            head: owns,
+            head_args: vec![v(0), v(1)],
+            group: Some(GroupSpec {
+                arg_pos: 1,
+                var: VarId(1),
+            }),
+            outer: vec![BodyLit::Pos(car, vec![v(0), v(1)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["P".into(), "C".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.run().unwrap();
+        let set_alice = e.store_mut().set(vec![c1, c2]);
+        let set_bob = e.store_mut().set(vec![c3]);
+        assert!(e.holds(owns, &[alice, set_alice]));
+        assert!(e.holds(owns, &[bob, set_bob]));
+        assert_eq!(e.tuples(owns).count(), 2);
+    }
+
+    #[test]
+    fn example_5_sum_via_disjoint_union() {
+        // sum({}, 0).
+        // sum(X, N) :- num_set(X), X = {N}.
+        // sum(Z, K) :- num_set(Z), disj_union(X, Y, Z), X != {},
+        //              Y != {}, sum(X, M), sum(Y, N), add(M, N, K).
+        // (num_set bounds the recursion to subsets that occur; here we
+        //  drive it with every subset decomposition instead, exactly as
+        //  the paper's recursion does, seeded by sum({n}, n).)
+        let mut e = Engine::new(EvalConfig::default());
+        let num_set = e.pred("num_set", 1);
+        let sum = e.pred("sum", 2);
+        let st = e.store_mut();
+        let nums: Vec<TermId> = [3i64, 5, 9].iter().map(|&n| st.int(n)).collect();
+        let zero = st.int(0);
+        let whole = st.set(nums.clone());
+        let empty = st.empty_set();
+        e.fact(num_set, vec![whole]).unwrap();
+        // Close num_set under disjoint decomposition so the recursion
+        // has its subsets available.
+        e.rule(Rule {
+            head: num_set,
+            head_args: vec![v(1)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(num_set, vec![v(0)]),
+                BodyLit::Builtin(Builtin::DisjUnion, vec![v(1), v(2), v(0)]),
+            ],
+            quant: None,
+            num_vars: 3,
+            var_names: vec!["Z".into(), "X".into(), "Y".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        // sum({}, 0).
+        e.rule(Rule {
+            head: sum,
+            head_args: vec![Pattern::Ground(empty), Pattern::Ground(zero)],
+            group: None,
+            outer: vec![],
+            quant: None,
+            num_vars: 0,
+            var_names: vec![],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        // sum(X, N) :- num_set(X), X = {N}.
+        e.rule(Rule {
+            head: sum,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(num_set, vec![v(0)]),
+                BodyLit::Builtin(
+                    Builtin::Eq,
+                    vec![v(0), Pattern::Set(Box::new([v(1)]))],
+                ),
+            ],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "N".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        // The recursive clause.
+        e.rule(Rule {
+            head: sum,
+            head_args: vec![v(0), v(6)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(num_set, vec![v(0)]),
+                BodyLit::Builtin(Builtin::DisjUnion, vec![v(1), v(2), v(0)]),
+                BodyLit::Pos(sum, vec![v(1), v(4)]),
+                BodyLit::Pos(sum, vec![v(2), v(5)]),
+                BodyLit::Builtin(Builtin::Add, vec![v(4), v(5), v(6)]),
+            ],
+            quant: None,
+            num_vars: 7,
+            var_names: (0..7).map(|i| format!("V{i}")).collect(),
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.run().unwrap();
+        let seventeen = e.store_mut().int(17);
+        assert!(e.holds(sum, &[whole, seventeen]));
+        // Sums are functional: one value per set.
+        let whole_sums: Vec<_> = e
+            .tuples(sum)
+            .filter(|t| t[0] == whole)
+            .map(|t| t[1])
+            .collect();
+        assert_eq!(whole_sums, vec![seventeen]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut e = Engine::new(EvalConfig::default());
+        let p = e.pred("p", 2);
+        let a = e.store_mut().atom("a");
+        let err = e.fact(p, vec![a]).unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn powerset_universe_materializes_on_run() {
+        let mut e = Engine::new(EvalConfig {
+            set_universe: SetUniverse::ActiveSubsets { max_card: 2 },
+            ..EvalConfig::default()
+        });
+        let item = e.pred("item", 1);
+        let a = e.store_mut().atom("a");
+        let b = e.store_mut().atom("b");
+        e.fact(item, vec![a]).unwrap();
+        e.fact(item, vec![b]).unwrap();
+        e.run().unwrap();
+        // ∅, {a}, {b}, {a,b} all interned.
+        assert_eq!(e.store().set_ids().len(), 4);
+    }
+}

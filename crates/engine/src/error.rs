@@ -1,0 +1,138 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors raised while planning or evaluating a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A rule cannot be evaluated safely: some variable can never be
+    /// bound by any literal ordering.
+    Unsafe {
+        /// Head predicate name.
+        rule_head: String,
+        /// Offending variable name.
+        var: String,
+        /// Explanation of what binding was missing.
+        detail: String,
+    },
+    /// Negation (or grouping) occurs inside a recursive cycle, so the
+    /// program has no stratification (§4.2 / [ABW86]).
+    NotStratified {
+        /// Predicate on the offending cycle.
+        pred: String,
+        /// Predicate it depends on through negation/grouping.
+        through: String,
+    },
+    /// A builtin was invoked with a binding pattern it does not
+    /// support (e.g. `add` with two free arguments).
+    UnsupportedMode {
+        /// Builtin name.
+        builtin: &'static str,
+        /// Human-readable mode description, e.g. `(free, free, bound)`.
+        mode: String,
+    },
+    /// A builtin received an argument of the wrong shape at runtime
+    /// (e.g. `card` of a non-set, `add` of a non-integer).
+    TypeError {
+        /// Builtin name.
+        builtin: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Evaluation exceeded the configured iteration budget — the
+    /// program likely generates unboundedly many terms (possible in
+    /// ELPS: set constructors act like function symbols).
+    IterationLimit {
+        /// The configured bound.
+        limit: usize,
+    },
+    /// Arity mismatch when loading facts or constructing rules.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Declared/registered arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+    /// The `ActiveSubsets` universe policy would materialize too many
+    /// sets (the powerset is exponential in the atom count).
+    UniverseTooLarge {
+        /// Atoms in the active domain.
+        atoms: usize,
+        /// The hard cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Unsafe {
+                rule_head,
+                var,
+                detail,
+            } => write!(
+                f,
+                "unsafe rule for `{rule_head}`: variable `{var}` cannot be bound ({detail})"
+            ),
+            EngineError::NotStratified { pred, through } => write!(
+                f,
+                "program is not stratified: `{pred}` depends negatively (or via grouping) on \
+                 `{through}` inside a recursive cycle"
+            ),
+            EngineError::UnsupportedMode { builtin, mode } => {
+                write!(f, "builtin `{builtin}` does not support mode {mode}")
+            }
+            EngineError::TypeError { builtin, detail } => {
+                write!(f, "type error in builtin `{builtin}`: {detail}")
+            }
+            EngineError::IterationLimit { limit } => write!(
+                f,
+                "fixpoint did not converge within {limit} iterations \
+                 (set constructors may be generating unboundedly many terms)"
+            ),
+            EngineError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for `{pred}`: expected {expected} arguments, got {got}"
+            ),
+            EngineError::UniverseTooLarge { atoms, max } => write!(
+                f,
+                "ActiveSubsets universe over {atoms} atoms exceeds the cap of {max} \
+                 (the powerset would be 2^{atoms} sets)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = EngineError::Unsafe {
+            rule_head: "p".into(),
+            var: "X".into(),
+            detail: "only occurs under a universal quantifier".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`p`"));
+        assert!(msg.contains("`X`"));
+
+        let e = EngineError::NotStratified {
+            pred: "win".into(),
+            through: "win".into(),
+        };
+        assert!(e.to_string().contains("stratified"));
+
+        let e = EngineError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Fixpoint drivers: naive and semi-naive evaluation of one stratum.
+//!
+//! The naive driver is the literal `T_P ↑ ω` of Theorem 5: every rule
+//! is applied to the full relations each round until nothing new is
+//! derived. The semi-naive driver runs delta variants (each rule
+//! re-joined from last round's new tuples) plus a *quantifier trigger*
+//! pass: a rule whose `(∀x∈X)` group reads recursive predicates is
+//! re-evaluated when those predicates grow, restricted — when the
+//! element→set inverted index applies — to domain sets containing a
+//! newly derived element (experiment E9).
+
+use lps_term::{FxHashSet, TermId, TermStore};
+
+use crate::config::{EvalConfig, EvalStats, FixpointStrategy};
+use crate::error::EngineError;
+use crate::eval::{eval_rule_variant, QuantTrigger, RelViews};
+use crate::pattern::Pattern;
+use crate::plan::CompiledRule;
+use crate::pred::PredId;
+use crate::relation::Relation;
+use crate::rule::BodyLit;
+
+/// Derived head tuples from one rule pass.
+type Derived = Vec<(PredId, Box<[TermId]>)>;
+
+/// Run one stratum to fixpoint. `regular` are ordinary rules whose
+/// heads live in this stratum; `grouping` are LDL grouping rules
+/// (evaluated once, first — their bodies are complete lower strata).
+pub fn run_stratum(
+    store: &mut TermStore,
+    full: &mut [Relation],
+    delta: &mut [Relation],
+    regular: &[&CompiledRule],
+    grouping: &[&CompiledRule],
+    config: &EvalConfig,
+) -> Result<EvalStats, EngineError> {
+    let mut stats = EvalStats {
+        strata: 1,
+        ..EvalStats::default()
+    };
+
+    // Grouping rules first (Definition 14): body strata are final.
+    for cr in grouping {
+        let derived = eval_grouping(cr, store, full, delta, config)?;
+        stats.rule_evaluations += 1;
+        stats.tuples_considered += derived.len();
+        for (pred, tuple) in derived {
+            if full[pred.index()].insert(tuple) {
+                stats.facts_derived += 1;
+            }
+        }
+    }
+
+    match config.strategy {
+        FixpointStrategy::Naive => naive(store, full, delta, regular, config, &mut stats)?,
+        FixpointStrategy::SemiNaive => {
+            seminaive(store, full, delta, regular, config, &mut stats)?
+        }
+    }
+    Ok(stats)
+}
+
+fn collect_variant(
+    cr: &CompiledRule,
+    variant_idx: usize,
+    store: &mut TermStore,
+    full: &[Relation],
+    delta: &[Relation],
+    config: &EvalConfig,
+    trigger: Option<&QuantTrigger<'_>>,
+) -> Result<Derived, EngineError> {
+    let views = RelViews { full, delta };
+    let mut out: Derived = Vec::new();
+    let rule = &cr.rule;
+    eval_rule_variant(
+        rule,
+        &cr.variants[variant_idx],
+        cr.quant_plan.as_ref(),
+        store,
+        &views,
+        config.set_universe,
+        trigger,
+        &mut |store, env| {
+            let mut tuple = Vec::with_capacity(rule.head_args.len());
+            for arg in &rule.head_args {
+                tuple.push(
+                    arg.build(store, env)
+                        .expect("planner guarantees head vars are bound"),
+                );
+            }
+            out.push((rule.head, tuple.into_boxed_slice()));
+            Ok(())
+        },
+    )?;
+    Ok(out)
+}
+
+/// Evaluate one grouping rule: join the body, then collect the set of
+/// grouping-variable values per binding of the remaining head
+/// arguments (Definition 14).
+fn eval_grouping(
+    cr: &CompiledRule,
+    store: &mut TermStore,
+    full: &[Relation],
+    delta: &[Relation],
+    config: &EvalConfig,
+) -> Result<Derived, EngineError> {
+    let rule = &cr.rule;
+    let group = rule.group.as_ref().expect("grouping rule");
+    let views = RelViews { full, delta };
+    // key (non-group head args) → collected group values.
+    let mut groups: lps_term::FxHashMap<Vec<TermId>, Vec<TermId>> =
+        lps_term::FxHashMap::default();
+    eval_rule_variant(
+        rule,
+        &cr.variants[0],
+        cr.quant_plan.as_ref(),
+        store,
+        &views,
+        config.set_universe,
+        None,
+        &mut |store, env| {
+            let mut key = Vec::with_capacity(rule.head_args.len() - 1);
+            for (pos, arg) in rule.head_args.iter().enumerate() {
+                if pos == group.arg_pos {
+                    continue;
+                }
+                key.push(
+                    arg.build(store, env)
+                        .expect("planner guarantees head vars are bound"),
+                );
+            }
+            let val = env.get(group.var).expect("grouping var bound");
+            groups.entry(key).or_default().push(val);
+            Ok(())
+        },
+    )?;
+
+    let mut out: Derived = Vec::with_capacity(groups.len());
+    for (key, vals) in groups {
+        let set = store.set(vals);
+        let mut tuple = Vec::with_capacity(rule.head_args.len());
+        let mut key_iter = key.into_iter();
+        for pos in 0..rule.head_args.len() {
+            if pos == group.arg_pos {
+                tuple.push(set);
+            } else {
+                tuple.push(key_iter.next().expect("key arity"));
+            }
+        }
+        out.push((rule.head, tuple.into_boxed_slice()));
+    }
+    Ok(out)
+}
+
+fn naive(
+    store: &mut TermStore,
+    full: &mut [Relation],
+    delta: &mut [Relation],
+    regular: &[&CompiledRule],
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<(), EngineError> {
+    loop {
+        if stats.iterations >= config.max_iterations {
+            return Err(EngineError::IterationLimit {
+                limit: config.max_iterations,
+            });
+        }
+        let sets_at_round_start = store.set_ids().len();
+        let mut derived: Derived = Vec::new();
+        for cr in regular {
+            derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+            stats.rule_evaluations += 1;
+        }
+        stats.iterations += 1;
+        stats.tuples_considered += derived.len();
+        let mut changed = false;
+        for (pred, tuple) in derived {
+            if full[pred.index()].insert(tuple) {
+                stats.facts_derived += 1;
+                changed = true;
+            }
+        }
+        // Rules that enumerate the active set universe may fire on sets
+        // interned during this round even when no fact was new yet.
+        let universe_grew = store.set_ids().len() > sets_at_round_start;
+        if !changed && !universe_grew {
+            return Ok(());
+        }
+    }
+}
+
+/// A binder variable is *trigger-safe* when it appears as a top-level
+/// argument of some positive inner literal: new inner tuples then carry
+/// the element values directly, so the inverted index gives a sound
+/// candidate-set restriction.
+fn quant_trigger_safe(cr: &CompiledRule) -> bool {
+    let Some(group) = &cr.rule.quant else {
+        return false;
+    };
+    group.binders.iter().all(|(qvar, _)| {
+        group.inner.iter().any(|lit| match lit {
+            BodyLit::Pos(_, args) => args.iter().any(|a| matches!(a, Pattern::Var(v) if v == qvar)),
+            _ => false,
+        })
+    })
+}
+
+fn seminaive(
+    store: &mut TermStore,
+    full: &mut [Relation],
+    delta: &mut [Relation],
+    regular: &[&CompiledRule],
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<(), EngineError> {
+    // Round 0: all rules, full relations.
+    let mut sets_seen = store.set_ids().len();
+    let mut derived: Derived = Vec::new();
+    for cr in regular {
+        derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+        stats.rule_evaluations += 1;
+    }
+    stats.iterations += 1;
+    stats.tuples_considered += derived.len();
+    for d in delta.iter_mut() {
+        d.clear();
+    }
+    for (pred, tuple) in derived {
+        if full[pred.index()].insert(tuple.clone()) {
+            stats.facts_derived += 1;
+            delta[pred.index()].insert(tuple);
+        }
+    }
+
+    loop {
+        let universe_grew = store.set_ids().len() > sets_seen;
+        sets_seen = store.set_ids().len();
+        if delta.iter().all(Relation::is_empty) && !universe_grew {
+            return Ok(());
+        }
+        if stats.iterations >= config.max_iterations {
+            return Err(EngineError::IterationLimit {
+                limit: config.max_iterations,
+            });
+        }
+
+        // Candidate sets for the ∀-trigger: sets containing any newly
+        // derived component.
+        let mut candidate_sets: FxHashSet<TermId> = FxHashSet::default();
+        if config.forall_trigger_index {
+            for d in delta.iter() {
+                for tuple in d.iter() {
+                    for &component in tuple {
+                        candidate_sets.extend(store.sets_containing(component));
+                        // A newly derived set value can also *be* a
+                        // domain (e.g. the domain variable is an
+                        // argument of the inner literal).
+                        if store.is_set(component) {
+                            candidate_sets.insert(component);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut derived: Derived = Vec::new();
+        for cr in regular {
+            // Universe-growth trigger: rules that enumerate the active
+            // set universe must re-run against the enlarged universe.
+            if universe_grew && cr.uses_active_universe {
+                derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+                stats.rule_evaluations += 1;
+            }
+            // Delta variants: re-join from each recursive literal.
+            for (vi, variant) in cr.variants.iter().enumerate().skip(1) {
+                let dlit = variant.delta_lit.expect("non-full variants have a delta");
+                let BodyLit::Pos(p, _) = &cr.rule.outer[dlit] else {
+                    unreachable!("delta literal is positive");
+                };
+                if delta[p.index()].is_empty() {
+                    continue;
+                }
+                derived.extend(collect_variant(cr, vi, store, full, delta, config, None)?);
+                stats.rule_evaluations += 1;
+            }
+            // Quantifier trigger: inner predicates grew.
+            if !cr.inner_preds.is_empty()
+                && cr
+                    .inner_preds
+                    .iter()
+                    .any(|p| !delta[p.index()].is_empty())
+            {
+                let trig = QuantTrigger {
+                    candidate_sets: &candidate_sets,
+                };
+                let trigger = if config.forall_trigger_index && quant_trigger_safe(cr) {
+                    Some(&trig)
+                } else {
+                    None
+                };
+                derived.extend(collect_variant(cr, 0, store, full, delta, config, trigger)?);
+                stats.rule_evaluations += 1;
+            }
+        }
+
+        stats.iterations += 1;
+        stats.tuples_considered += derived.len();
+        for d in delta.iter_mut() {
+            d.clear();
+        }
+        let mut changed = false;
+        for (pred, tuple) in derived {
+            if full[pred.index()].insert(tuple.clone()) {
+                stats.facts_derived += 1;
+                delta[pred.index()].insert(tuple);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}

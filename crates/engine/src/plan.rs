@@ -1,0 +1,868 @@
+//! Rule planning: safety analysis, join ordering, index selection.
+//!
+//! A [`Rule`] is compiled into a [`CompiledRule`]: one or more
+//! [`Variant`]s (the full variant plus one delta variant per positive
+//! outer literal, for semi-naive evaluation), each an ordered list of
+//! [`Step`]s, plus a [`QuantPlan`] describing how the restricted
+//! universal quantifier group is evaluated.
+//!
+//! Safety here is the operational counterpart of the paper's
+//! infinitary Herbrand semantics: a rule is *safe* when every variable
+//! is grounded by some literal ordering (range restriction). Variables
+//! that range over the sort-s universe without any binding literal are
+//! admitted only under a non-default [`SetUniverse`] policy, which
+//! bounds them to the active universe (DESIGN.md §3).
+
+use lps_term::FxHashSet;
+
+use crate::builtin::mode_ok;
+use crate::config::SetUniverse;
+use crate::error::EngineError;
+use crate::pattern::{Pattern, VarId};
+use crate::pred::{PredId, PredRegistry};
+use crate::relation::ColMask;
+use crate::rule::{BodyLit, Rule};
+
+/// One evaluation action within a variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// Evaluate a positive atom: index lookup on `mask` columns (or a
+    /// scan when `mask == 0`), then pattern-match the rest. `delta`
+    /// selects the delta relation instead of the full one.
+    Pos {
+        /// Index into `rule.outer`.
+        lit: usize,
+        /// Columns fully bound before this step.
+        mask: ColMask,
+        /// Read from the delta relation (semi-naive variants).
+        delta: bool,
+    },
+    /// Evaluate a builtin via `builtin::enumerate`.
+    BuiltinStep {
+        /// Index into `rule.outer`.
+        lit: usize,
+    },
+    /// Check a negated atom (all variables bound).
+    NegStep {
+        /// Index into `rule.outer`.
+        lit: usize,
+    },
+    /// Bind a variable that appears in no body literal by enumerating
+    /// the active universe (policy-gated). The paper's Theorem-6
+    /// construction produces such clauses (Example 9's
+    /// `N₇(X, Y, z) :- N₈(z, X)` holds for every `Y`); the bounded
+    /// universe makes them executable (DESIGN.md §3).
+    EnumUniverse {
+        /// The variable to enumerate.
+        var: VarId,
+        /// Restrict the universe to this sort (from `lps-core`'s
+        /// two-sorted inference); `None` = all terms.
+        sort: Option<lps_term::Sort>,
+    },
+}
+
+impl Step {
+    /// The outer-literal index this step evaluates (`None` for
+    /// universe enumeration).
+    pub fn lit(&self) -> Option<usize> {
+        match self {
+            Step::Pos { lit, .. } | Step::BuiltinStep { lit } | Step::NegStep { lit } => {
+                Some(*lit)
+            }
+            Step::EnumUniverse { .. } => None,
+        }
+    }
+}
+
+/// An ordered evaluation strategy for the outer literals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Variant {
+    /// Which outer literal reads from the delta relation (`None` for
+    /// the full variant).
+    pub delta_lit: Option<usize>,
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+    /// Check steps deferred until after the quantifier group: negated
+    /// or builtin literals whose variables are bound only by the
+    /// group's coverage analysis (e.g. `¬C(X)` in the §4.2 set
+    /// construction, where `X` is the quantifier domain).
+    pub post_steps: Vec<Step>,
+}
+
+/// Static plan for the quantifier group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantPlan {
+    /// Free variables of the group not bound by the outer steps —
+    /// bound at runtime by coverage analysis / active-universe
+    /// enumeration.
+    pub unbound_free: Vec<VarId>,
+    /// The subset of `unbound_free` that the head (or grouping slot)
+    /// needs. Dead unbound variables are clause-level existentials and
+    /// never require universe enumeration; live ones range over the
+    /// active universe in the vacuously-true case.
+    pub live_unbound: Vec<VarId>,
+    /// Sort restriction per `live_unbound` entry.
+    pub live_sorts: Vec<Option<lps_term::Sort>>,
+    /// Join plan for the inner conjunction over (quantified vars ∪
+    /// unbound free vars), with domains and outer vars assumed bound.
+    /// `None` when `unbound_free` is empty and the fast per-element
+    /// check suffices.
+    pub inner_steps: Option<Vec<Step>>,
+    /// Whether any quantifier domain is statically unbound (requires
+    /// active-set enumeration).
+    pub unbound_domain: bool,
+}
+
+/// A fully planned rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledRule {
+    /// The rule being planned (owned copy).
+    pub rule: Rule,
+    /// `variants[0]` is always the full variant.
+    pub variants: Vec<Variant>,
+    /// Plan for the quantifier group, if the rule has one.
+    pub quant_plan: Option<QuantPlan>,
+    /// IDB predicates appearing inside the quantifier group (trigger
+    /// set for semi-naive re-evaluation).
+    pub inner_preds: Vec<PredId>,
+    /// `(pred, mask, delta)` index requests to satisfy before running.
+    pub index_requests: Vec<(PredId, ColMask, bool)>,
+    /// Whether evaluation enumerates the active set universe (unbound
+    /// quantifier domains/free vars, or builtin modes with free
+    /// set-sorted arguments). Such rules must be re-run when new sets
+    /// are interned, even if no new facts arrived.
+    pub uses_active_universe: bool,
+}
+
+/// Compile `rule` under the given policy. `idb` says which predicates
+/// are derived (have rules) — only those get delta variants.
+pub fn compile_rule(
+    rule: &Rule,
+    preds: &PredRegistry,
+    names: &dyn Fn(PredId) -> String,
+    idb: &FxHashSet<PredId>,
+    policy: SetUniverse,
+) -> Result<CompiledRule, EngineError> {
+    let head_name = names(rule.head);
+    let mut uses_active_universe = false;
+
+    // Full variant.
+    let full = order_steps(rule, None, policy, &head_name, &mut uses_active_universe)?;
+
+    let mut variants = vec![full];
+    for (i, lit) in rule.outer.iter().enumerate() {
+        if let BodyLit::Pos(p, _) = lit {
+            if idb.contains(p) {
+                variants.push(order_steps(
+                    rule,
+                    Some(i),
+                    policy,
+                    &head_name,
+                    &mut uses_active_universe,
+                )?);
+            }
+        }
+    }
+
+    // Quantifier-group planning.
+    let bound_after_outer = vars_bound_after(&variants[0].steps, rule);
+    let (quant_plan, inner_preds) = match &rule.quant {
+        None => (None, Vec::new()),
+        Some(group) => {
+            let mut inner_preds: Vec<PredId> = group
+                .inner
+                .iter()
+                .filter_map(BodyLit::pos_pred)
+                .filter(|p| idb.contains(p))
+                .collect();
+            inner_preds.dedup();
+
+            let free = group.free_vars();
+            let unbound_free: Vec<VarId> = free
+                .iter()
+                .copied()
+                .filter(|v| !bound_after_outer.contains(v))
+                .collect();
+            // Which unbound free vars does the head actually consume?
+            let mut head_needs: FxHashSet<VarId> = FxHashSet::default();
+            for arg in &rule.head_args {
+                let mut vs = Vec::new();
+                arg.collect_vars(&mut vs);
+                head_needs.extend(vs);
+            }
+            if let Some(g) = &rule.group {
+                head_needs.insert(g.var);
+            }
+            let live_unbound: Vec<VarId> = unbound_free
+                .iter()
+                .copied()
+                .filter(|v| head_needs.contains(v))
+                .collect();
+
+            // Domain boundness: a domain is unbound if it has a
+            // variable neither bound by the outer steps nor introduced
+            // by an *earlier* binder (dependent domains like
+            // `(∀S∈F)(∀x∈S)` are bound by the walk, not enumeration).
+            let mut unbound_domain = false;
+            let mut earlier: Vec<VarId> = Vec::new();
+            for (qv, dom) in &group.binders {
+                let mut vs = Vec::new();
+                dom.collect_vars(&mut vs);
+                if vs
+                    .iter()
+                    .any(|v| !bound_after_outer.contains(v) && !earlier.contains(v))
+                {
+                    unbound_domain = true;
+                }
+                earlier.push(*qv);
+            }
+            if unbound_domain || !live_unbound.is_empty() {
+                uses_active_universe = true;
+            }
+            if unbound_domain && matches!(policy, SetUniverse::Reject) {
+                let offender = group
+                    .binders
+                    .iter()
+                    .flat_map(|(_, d)| {
+                        let mut vs = Vec::new();
+                        d.collect_vars(&mut vs);
+                        vs
+                    })
+                    .find(|v| !bound_after_outer.contains(v))
+                    .expect("unbound_domain implies an unbound domain var");
+                return Err(EngineError::Unsafe {
+                    rule_head: head_name,
+                    var: rule.var_name(offender).to_owned(),
+                    detail: "quantifier domain is not bound by the body; \
+                             enable SetUniverse::ActiveSets to enumerate the active universe"
+                        .to_owned(),
+                });
+            }
+
+            // Inner-join plan when coverage analysis is needed: the
+            // quantified vars and unbound free vars must be grounded by
+            // the inner literals alone (with outer vars and domains
+            // assumed bound).
+            let inner_steps = if unbound_free.is_empty() {
+                None
+            } else {
+                if !live_unbound.is_empty() && matches!(policy, SetUniverse::Reject) {
+                    return Err(EngineError::Unsafe {
+                        rule_head: head_name,
+                        var: rule.var_name(live_unbound[0]).to_owned(),
+                        detail: "reaches the head but occurs only under a restricted \
+                                 universal quantifier; enable SetUniverse::ActiveSets to \
+                                 enumerate the active universe in the vacuous case"
+                            .to_owned(),
+                    });
+                }
+                let mut initially_bound: FxHashSet<VarId> = bound_after_outer.clone();
+                for (_, dom) in &group.binders {
+                    let mut vs = Vec::new();
+                    dom.collect_vars(&mut vs);
+                    initially_bound.extend(vs);
+                }
+                let (steps, deferred) = order_lits(
+                    &group.inner,
+                    &initially_bound,
+                    policy,
+                    &head_name,
+                    rule,
+                    None,
+                    false,
+                    &mut uses_active_universe,
+                )?;
+                debug_assert!(deferred.is_empty(), "no deferral inside groups");
+                Some(steps)
+            };
+
+            (
+                Some(QuantPlan {
+                    live_sorts: live_unbound.iter().map(|&v| rule.var_sort(v)).collect(),
+                    unbound_free,
+                    live_unbound,
+                    inner_steps,
+                    unbound_domain,
+                }),
+                inner_preds,
+            )
+        }
+    };
+
+    // Head safety: every head variable must be bound after outer steps
+    // or by the quantifier group (its free vars all end up bound) or be
+    // the grouping variable.
+    let mut head_bindable = bound_after_outer.clone();
+    if let Some(group) = &rule.quant {
+        head_bindable.extend(group.free_vars());
+    }
+    if let Some(g) = &rule.group {
+        head_bindable.insert(g.var);
+    }
+    let mut enum_vars: Vec<VarId> = Vec::new();
+    for (pos, arg) in rule.head_args.iter().enumerate() {
+        if rule.group.as_ref().is_some_and(|g| g.arg_pos == pos) {
+            continue;
+        }
+        let mut vs = Vec::new();
+        arg.collect_vars(&mut vs);
+        for v in vs {
+            if !head_bindable.contains(&v) && !enum_vars.contains(&v) {
+                if matches!(policy, SetUniverse::Reject) {
+                    return Err(EngineError::Unsafe {
+                        rule_head: head_name,
+                        var: rule.var_name(v).to_owned(),
+                        detail: "appears in the head but in no body literal \
+                                 (enable SetUniverse::ActiveSets to range it over the \
+                                 active universe)"
+                            .to_owned(),
+                    });
+                }
+                enum_vars.push(v);
+            }
+        }
+    }
+    if !enum_vars.is_empty() {
+        uses_active_universe = true;
+        for variant in &mut variants {
+            for &v in &enum_vars {
+                variant.steps.push(Step::EnumUniverse {
+                    var: v,
+                    sort: rule.var_sort(v),
+                });
+            }
+        }
+    }
+
+    // Grouping var must be bound by the body.
+    if let Some(g) = &rule.group {
+        if !bound_after_outer.contains(&g.var)
+            && !rule
+                .quant
+                .as_ref()
+                .is_some_and(|q| q.free_vars().contains(&g.var))
+        {
+            return Err(EngineError::Unsafe {
+                rule_head: head_name,
+                var: rule.var_name(g.var).to_owned(),
+                detail: "grouping variable is not bound by the body".to_owned(),
+            });
+        }
+    }
+
+    // Collect index requests from every variant and the inner plan.
+    let mut index_requests = Vec::new();
+    let mut push_requests = |steps: &[Step], lits: &[BodyLit]| {
+        for step in steps {
+            if let Step::Pos { lit, mask, delta } = step {
+                if *mask != 0 {
+                    if let BodyLit::Pos(p, _) = &lits[*lit] {
+                        index_requests.push((*p, *mask, *delta));
+                    }
+                }
+            }
+        }
+    };
+    for v in &variants {
+        push_requests(&v.steps, &rule.outer);
+    }
+    if let Some(QuantPlan {
+        inner_steps: Some(steps),
+        ..
+    }) = &quant_plan
+    {
+        if let Some(group) = &rule.quant {
+            push_requests(steps, &group.inner);
+        }
+    }
+    index_requests.sort_unstable();
+    index_requests.dedup();
+
+    let _ = preds; // registry currently only needed by callers; kept for signature stability
+
+    Ok(CompiledRule {
+        rule: rule.clone(),
+        variants,
+        quant_plan,
+        inner_preds,
+        index_requests,
+        uses_active_universe,
+    })
+}
+
+/// Variables statically bound after running `steps`.
+fn vars_bound_after(steps: &[Step], rule: &Rule) -> FxHashSet<VarId> {
+    let mut bound = FxHashSet::default();
+    for step in steps {
+        match step {
+            Step::Pos { lit, .. } | Step::BuiltinStep { lit } => {
+                bound.extend(rule.outer[*lit].vars());
+            }
+            Step::NegStep { .. } => {}
+            Step::EnumUniverse { var, .. } => {
+                bound.insert(*var);
+            }
+        }
+    }
+    bound
+}
+
+fn order_steps(
+    rule: &Rule,
+    delta_lit: Option<usize>,
+    policy: SetUniverse,
+    head_name: &str,
+    uses_active: &mut bool,
+) -> Result<Variant, EngineError> {
+    let (steps, deferred) = order_lits(
+        &rule.outer,
+        &FxHashSet::default(),
+        policy,
+        head_name,
+        rule,
+        delta_lit,
+        rule.quant.is_some(),
+        uses_active,
+    )?;
+    // Deferred literals run after the quantifier group, by which time
+    // the group's free variables are bound. Validate that claim.
+    if !deferred.is_empty() {
+        let mut bindable = vars_bound_after(&steps, rule);
+        if let Some(group) = &rule.quant {
+            bindable.extend(group.free_vars());
+        }
+        for &d in &deferred {
+            if let Some(v) = rule.outer[d].vars().iter().find(|v| !bindable.contains(v)) {
+                return Err(EngineError::Unsafe {
+                    rule_head: head_name.to_owned(),
+                    var: rule.var_name(*v).to_owned(),
+                    detail: "no literal ordering can ground it (builtin modes unsatisfied)"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+    let post_steps = deferred
+        .into_iter()
+        .map(|d| match &rule.outer[d] {
+            BodyLit::Neg(..) => Step::NegStep { lit: d },
+            BodyLit::Builtin(..) => Step::BuiltinStep { lit: d },
+            BodyLit::Pos(..) => unreachable!("positive literals are never deferred"),
+        })
+        .collect();
+    Ok(Variant {
+        delta_lit,
+        steps,
+        post_steps,
+    })
+}
+
+/// Greedy literal ordering. Scores (descending):
+/// fully-bound builtin check > bound negation > positive atom with the
+/// most bound columns > generative builtin > unbound positive scan.
+#[allow(clippy::too_many_arguments)]
+fn order_lits(
+    lits: &[BodyLit],
+    initially_bound: &FxHashSet<VarId>,
+    policy: SetUniverse,
+    head_name: &str,
+    rule: &Rule,
+    delta_lit: Option<usize>,
+    defer_ok: bool,
+    uses_active: &mut bool,
+) -> Result<(Vec<Step>, Vec<usize>), EngineError> {
+    let mut bound = initially_bound.clone();
+    let mut remaining: Vec<usize> = (0..lits.len()).collect();
+    let mut steps = Vec::with_capacity(lits.len());
+
+    // The delta literal is forced first: semi-naive variants seed the
+    // join from newly derived tuples.
+    if let Some(d) = delta_lit {
+        let mask = bound_mask(&lits[d], &bound);
+        steps.push(Step::Pos {
+            lit: d,
+            mask,
+            delta: true,
+        });
+        bound.extend(lits[d].vars());
+        remaining.retain(|&i| i != d);
+    }
+
+    while !remaining.is_empty() {
+        let mut best: Option<(i64, usize)> = None;
+        for &i in &remaining {
+            let score = match &lits[i] {
+                BodyLit::Builtin(b, args) => {
+                    let flags: Vec<bool> = args.iter().map(|p| pattern_bound(p, &bound)).collect();
+                    if !mode_ok(*b, &flags, policy) {
+                        continue;
+                    }
+                    if flags.iter().all(|&f| f) {
+                        1000
+                    } else {
+                        40
+                    }
+                }
+                BodyLit::Neg(_, args) => {
+                    let all_bound = args.iter().all(|p| pattern_bound(p, &bound));
+                    if !all_bound {
+                        continue;
+                    }
+                    900
+                }
+                BodyLit::Pos(_, args) => {
+                    let bound_cols = args.iter().filter(|p| pattern_bound(p, &bound)).count();
+                    if bound_cols == args.len() && !args.is_empty() {
+                        800 // existence check
+                    } else {
+                        50 + bound_cols as i64 * 10
+                    }
+                }
+            };
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, i));
+            }
+        }
+        let Some((_, pick)) = best else {
+            // Nothing is evaluable. Positive atoms are always
+            // scannable, so the stuck remainder is negations/builtins.
+            if defer_ok
+                && remaining
+                    .iter()
+                    .all(|&i| !matches!(lits[i], BodyLit::Pos(..)))
+            {
+                // Defer them past the quantifier group.
+                let deferred = remaining.clone();
+                return Ok((steps, deferred));
+            }
+            // Active-universe fallback: bind one stuck variable by
+            // enumeration and keep ordering (the paper's constructions
+            // legitimately produce e.g. `aux(Q, S) :- Q = S` with both
+            // open — semantics restricted to the active universe,
+            // DESIGN.md §3).
+            if !matches!(policy, SetUniverse::Reject) {
+                let witness = remaining
+                    .iter()
+                    .flat_map(|&i| lits[i].vars())
+                    .find(|v| !bound.contains(v))
+                    .expect("stuck implies an unbound variable");
+                *uses_active = true;
+                steps.push(Step::EnumUniverse {
+                    var: witness,
+                    sort: rule.var_sort(witness),
+                });
+                bound.insert(witness);
+                continue;
+            }
+            let witness = remaining
+                .iter()
+                .flat_map(|&i| lits[i].vars())
+                .find(|v| !bound.contains(v));
+            let var = witness
+                .map(|v| rule.var_name(v).to_owned())
+                .unwrap_or_else(|| "?".to_owned());
+            return Err(EngineError::Unsafe {
+                rule_head: head_name.to_owned(),
+                var,
+                detail: "no literal ordering can ground it (builtin modes unsatisfied)"
+                    .to_owned(),
+            });
+        };
+        let step = match &lits[pick] {
+            BodyLit::Pos(_, _) => Step::Pos {
+                lit: pick,
+                mask: bound_mask(&lits[pick], &bound),
+                delta: false,
+            },
+            BodyLit::Neg(_, _) => Step::NegStep { lit: pick },
+            BodyLit::Builtin(b, args) => {
+                // Record active-universe dependence: an enumerable
+                // builtin running with a free set-sorted argument reads
+                // the set universe, which grows during evaluation.
+                let flags: Vec<bool> = args.iter().map(|p| pattern_bound(p, &bound)).collect();
+                let enumerates_sets = match b {
+                    crate::rule::Builtin::In => !flags[1],
+                    crate::rule::Builtin::SubsetEq => !flags[0] || !flags[1],
+                    crate::rule::Builtin::Union => !(flags[0] && flags[1]),
+                    crate::rule::Builtin::Card => !flags[0],
+                    _ => false,
+                };
+                if enumerates_sets {
+                    *uses_active = true;
+                }
+                Step::BuiltinStep { lit: pick }
+            }
+        };
+        if !matches!(step, Step::NegStep { .. }) {
+            bound.extend(lits[pick].vars());
+        }
+        steps.push(step);
+        remaining.retain(|&i| i != pick);
+    }
+    Ok((steps, Vec::new()))
+}
+
+fn pattern_bound(p: &Pattern, bound: &FxHashSet<VarId>) -> bool {
+    let mut vs = Vec::new();
+    p.collect_vars(&mut vs);
+    vs.iter().all(|v| bound.contains(v))
+}
+
+/// Column mask of the fully-bound argument positions of a positive (or
+/// negative) atom.
+fn bound_mask(lit: &BodyLit, bound: &FxHashSet<VarId>) -> ColMask {
+    let args = match lit {
+        BodyLit::Pos(_, args) | BodyLit::Neg(_, args) => args,
+        BodyLit::Builtin(..) => return 0,
+    };
+    let mut mask = 0;
+    for (i, p) in args.iter().enumerate() {
+        if pattern_bound(p, bound) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Builtin, QuantGroup};
+    use lps_term::SymbolTable;
+
+    fn setup() -> (PredRegistry, PredId, PredId, PredId) {
+        let mut syms = SymbolTable::new();
+        let (e, p, q) = (syms.intern("e"), syms.intern("p"), syms.intern("q"));
+        let mut reg = PredRegistry::new();
+        let pe = reg.register(e, 2);
+        let pp = reg.register(p, 2);
+        let pq = reg.register(q, 1);
+        (reg, pe, pp, pq)
+    }
+
+    fn v(i: u32) -> Pattern {
+        Pattern::Var(VarId(i))
+    }
+
+    fn names(_: PredId) -> String {
+        "head".to_owned()
+    }
+
+    #[test]
+    fn transitive_closure_rule_plans_with_join_index() {
+        // p(X, Z) :- e(X, Y), p(Y, Z).
+        let (reg, pe, pp, _) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(2)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(pe, vec![v(0), v(1)]),
+                BodyLit::Pos(pp, vec![v(1), v(2)]),
+            ],
+            quant: None,
+            num_vars: 3,
+            var_names: vec!["X".into(), "Y".into(), "Z".into()],
+            var_sorts: vec![],
+        };
+        let mut idb = FxHashSet::default();
+        idb.insert(pp);
+        let compiled =
+            compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
+        // Full variant + delta variant for the one IDB literal.
+        assert_eq!(compiled.variants.len(), 2);
+        // Full variant: scan first literal, indexed lookup on second.
+        let full = &compiled.variants[0];
+        assert_eq!(full.steps.len(), 2);
+        match &full.steps[1] {
+            Step::Pos { mask, .. } => assert_ne!(*mask, 0, "second literal must use an index"),
+            other => panic!("expected Pos, got {other:?}"),
+        }
+        // Index requests include the join column.
+        assert!(!compiled.index_requests.is_empty());
+    }
+
+    #[test]
+    fn builtin_check_is_scheduled_after_binding() {
+        // head(X, Y) :- e(X, Y), X != Y.   (Ne needs both bound)
+        let (reg, pe, pp, _) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![
+                BodyLit::Builtin(Builtin::Ne, vec![v(0), v(1)]),
+                BodyLit::Pos(pe, vec![v(0), v(1)]),
+            ],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let compiled = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .expect("plans");
+        let steps = &compiled.variants[0].steps;
+        assert!(matches!(steps[0], Step::Pos { .. }));
+        assert!(matches!(steps[1], Step::BuiltinStep { lit: 0 }));
+    }
+
+    #[test]
+    fn unbound_head_var_is_unsafe() {
+        // head(X, Y) :- q(X).   (Y never bound)
+        let (reg, _, pp, pq) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(pq, vec![v(0)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let err = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Unsafe { var, .. } => assert_eq!(var, "Y"),
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_ne_is_unsafe() {
+        // head(X) :- q(X), X != Y.   (Y never bound, Ne has no free mode)
+        let (reg, _, pp, pq) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(0)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(pq, vec![v(0)]),
+                BodyLit::Builtin(Builtin::Ne, vec![v(0), v(1)]),
+            ],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let err = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+    }
+
+    #[test]
+    fn quantified_rule_with_bound_domain_plans_without_inner_join() {
+        // head(X, Y) :- e(X, Y), (∀u ∈ X) u in Y.
+        let (reg, pe, pp, _) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(pe, vec![v(0), v(1)])],
+            quant: Some(QuantGroup {
+                binders: vec![(VarId(2), v(0))],
+                inner: vec![BodyLit::Builtin(Builtin::In, vec![v(2), v(1)])],
+            }),
+            num_vars: 3,
+            var_names: vec!["X".into(), "Y".into(), "U".into()],
+            var_sorts: vec![],
+        };
+        let compiled = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .expect("plans");
+        let qp = compiled.quant_plan.expect("has quant plan");
+        assert!(qp.unbound_free.is_empty());
+        assert!(qp.inner_steps.is_none());
+        assert!(!qp.unbound_domain);
+    }
+
+    #[test]
+    fn unbound_quantifier_domain_requires_policy() {
+        // head(X) :- (∀u ∈ X) q(u).   — Theorem 8's shape.
+        let (reg, _, pp, pq) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(0)],
+            group: None,
+            outer: vec![],
+            quant: Some(QuantGroup {
+                binders: vec![(VarId(1), v(0))],
+                inner: vec![BodyLit::Pos(pq, vec![v(1)])],
+            }),
+            num_vars: 2,
+            var_names: vec!["X".into(), "U".into()],
+            var_sorts: vec![],
+        };
+        // Rejected under the default policy…
+        let err = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+        // …planned under ActiveSets.
+        let compiled = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::ActiveSets,
+        )
+        .expect("plans under ActiveSets");
+        let qp = compiled.quant_plan.expect("has quant plan");
+        assert!(qp.unbound_domain);
+    }
+
+    #[test]
+    fn grouping_var_must_be_bound() {
+        let (reg, _, pp, pq) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: Some(crate::rule::GroupSpec {
+                arg_pos: 1,
+                var: VarId(1),
+            }),
+            outer: vec![BodyLit::Pos(pq, vec![v(0)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "G".into()],
+            var_sorts: vec![],
+        };
+        let err = compile_rule(
+            &rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+    }
+}

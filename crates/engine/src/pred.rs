@@ -1,0 +1,122 @@
+//! Predicate identifiers and the predicate registry.
+
+use lps_term::{FxHashMap, Symbol};
+
+/// Identifier of a registered predicate (name + arity pair).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId(u32);
+
+impl PredId {
+    /// Raw index into the registry.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a predicate id from a raw index previously obtained from
+    /// [`PredId::index`]. The caller must ensure it came from the same
+    /// registry.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        PredId(u32::try_from(index).expect("predicate registry overflow"))
+    }
+}
+
+/// Metadata for one predicate.
+#[derive(Clone, Debug)]
+pub struct PredInfo {
+    /// Interned name.
+    pub name: Symbol,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+/// Append-only registry mapping `(name, arity)` to [`PredId`].
+///
+/// Predicates are identified by name *and* arity, so `p/1` and `p/2`
+/// are distinct — matching standard logic-programming convention.
+#[derive(Default, Debug, Clone)]
+pub struct PredRegistry {
+    preds: Vec<PredInfo>,
+    by_key: FxHashMap<(Symbol, usize), PredId>,
+}
+
+impl PredRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a predicate.
+    pub fn register(&mut self, name: Symbol, arity: usize) -> PredId {
+        if let Some(&id) = self.by_key.get(&(name, arity)) {
+            return id;
+        }
+        let id = PredId::from_index(self.preds.len());
+        self.preds.push(PredInfo { name, arity });
+        self.by_key.insert((name, arity), id);
+        id
+    }
+
+    /// Look up a predicate without registering it.
+    pub fn get(&self, name: Symbol, arity: usize) -> Option<PredId> {
+        self.by_key.get(&(name, arity)).copied()
+    }
+
+    /// Metadata for `id`.
+    pub fn info(&self, id: PredId) -> &PredInfo {
+        &self.preds[id.index()]
+    }
+
+    /// Number of registered predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Iterate over all predicate ids.
+    pub fn ids(&self) -> impl Iterator<Item = PredId> {
+        (0..self.preds.len()).map(PredId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_term::SymbolTable;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let mut reg = PredRegistry::new();
+        let id1 = reg.register(p, 2);
+        let id2 = reg.register(p, 2);
+        assert_eq!(id1, id2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn arity_disambiguates() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let mut reg = PredRegistry::new();
+        let p1 = reg.register(p, 1);
+        let p2 = reg.register(p, 2);
+        assert_ne!(p1, p2);
+        assert_eq!(reg.info(p1).arity, 1);
+        assert_eq!(reg.info(p2).arity, 2);
+    }
+
+    #[test]
+    fn get_does_not_register() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let reg = PredRegistry::new();
+        assert_eq!(reg.get(p, 1), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Tuple storage with on-demand hash indexes.
+//!
+//! A [`Relation`] holds the extension of one predicate: a deduplicated,
+//! insertion-ordered list of tuples of interned terms. Secondary
+//! indexes are built per *column mask* (the set of columns bound at a
+//! join step) the first time a plan needs them, and maintained
+//! incrementally on insert thereafter.
+
+use lps_term::{FxHashMap, FxHashSet, TermId};
+
+/// Bitmask of bound columns (bit *i* set ⇔ column *i* bound).
+/// Relations are capped at 32 columns, far above any realistic arity.
+pub type ColMask = u32;
+
+/// Build the key for `mask` from a full tuple.
+fn key_for(tuple: &[TermId], mask: ColMask) -> Box<[TermId]> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    for (i, &t) in tuple.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            key.push(t);
+        }
+    }
+    key.into_boxed_slice()
+}
+
+/// The extension of one predicate.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[TermId]>>,
+    dedup: FxHashSet<Box<[TermId]>>,
+    indexes: FxHashMap<ColMask, FxHashMap<Box<[TermId]>, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity <= 32, "relation arity capped at 32");
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    /// Column count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: Box<[TermId]>) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if !self.dedup.insert(tuple.clone()) {
+            return false;
+        }
+        let row = u32::try_from(self.tuples.len()).expect("relation overflow");
+        for (&mask, index) in &mut self.indexes {
+            index.entry(key_for(&tuple, mask)).or_default().push(row);
+        }
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.dedup.contains(tuple)
+    }
+
+    /// All tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[TermId]> {
+        self.tuples.iter().map(AsRef::as_ref)
+    }
+
+    /// Tuple at a row index.
+    pub fn row(&self, row: u32) -> &[TermId] {
+        &self.tuples[row as usize]
+    }
+
+    /// Ensure an index exists for `mask` (no-op for the empty mask,
+    /// which would just be a scan).
+    pub fn ensure_index(&mut self, mask: ColMask) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: FxHashMap<Box<[TermId]>, Vec<u32>> = FxHashMap::default();
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            index
+                .entry(key_for(tuple, mask))
+                .or_default()
+                .push(row as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// Row indices matching `key` on the columns of `mask`. The index
+    /// must have been created with [`Relation::ensure_index`].
+    ///
+    /// # Panics
+    /// Panics if the index for `mask` does not exist.
+    pub fn lookup(&self, mask: ColMask, key: &[TermId]) -> &[u32] {
+        debug_assert_ne!(mask, 0, "use iter() for full scans");
+        self.indexes
+            .get(&mask)
+            .expect("index not built — plan must call ensure_index")
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether an index for `mask` exists.
+    pub fn has_index(&self, mask: ColMask) -> bool {
+        self.indexes.contains_key(&mask)
+    }
+
+    /// Remove all tuples (keeping index *definitions* but emptying
+    /// them). Used for delta relations between semi-naive iterations.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.dedup.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_term::TermStore;
+
+    fn tup(ids: &[TermId]) -> Box<[TermId]> {
+        ids.to_vec().into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let mut r = Relation::new(2);
+        assert!(r.insert(tup(&[a, b])));
+        assert!(!r.insert(tup(&[a, b])));
+        assert!(r.insert(tup(&[b, a])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[a, b]));
+        assert!(!r.contains(&[a, a]));
+    }
+
+    #[test]
+    fn index_built_before_inserts_stays_fresh() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let c = st.atom("c");
+        let mut r = Relation::new(2);
+        r.ensure_index(0b01);
+        r.insert(tup(&[a, b]));
+        r.insert(tup(&[a, c]));
+        r.insert(tup(&[b, c]));
+        let rows = r.lookup(0b01, &[a]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(r.row(rows[0]), &[a, b]);
+        assert_eq!(r.row(rows[1]), &[a, c]);
+        assert!(r.lookup(0b01, &[c]).is_empty());
+    }
+
+    #[test]
+    fn index_built_after_inserts_sees_existing_tuples() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let mut r = Relation::new(2);
+        r.insert(tup(&[a, b]));
+        r.insert(tup(&[b, b]));
+        r.ensure_index(0b10);
+        assert_eq!(r.lookup(0b10, &[b]).len(), 2);
+    }
+
+    #[test]
+    fn multi_column_mask() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let mut r = Relation::new(3);
+        r.insert(tup(&[a, b, a]));
+        r.insert(tup(&[a, a, b]));
+        r.ensure_index(0b101);
+        assert_eq!(r.lookup(0b101, &[a, a]).len(), 1);
+        assert_eq!(r.row(r.lookup(0b101, &[a, a])[0]), &[a, b, a]);
+    }
+
+    #[test]
+    fn clear_empties_but_preserves_index_definitions() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let mut r = Relation::new(1);
+        r.ensure_index(0b1);
+        r.insert(tup(&[a]));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.has_index(0b1));
+        assert!(r.lookup(0b1, &[a]).is_empty());
+        // Reinsert after clear works and is indexed.
+        r.insert(tup(&[a]));
+        assert_eq!(r.lookup(0b1, &[a]).len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(tup(&[])));
+        assert!(!r.insert(tup(&[])));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+    }
+}

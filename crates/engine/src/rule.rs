@@ -1,0 +1,337 @@
+//! Engine-level rule intermediate representation.
+//!
+//! A [`Rule`] is the compiled form of an LPS clause (Definition 5 of
+//! the paper, plus the stratified-negation and LDL-grouping
+//! extensions). `lps-core` lowers surface clauses to this IR; the
+//! engine plans and evaluates it.
+//!
+//! Shape:
+//!
+//! ```text
+//! head(args…) :- outer₁, …, outerₘ,
+//!                (∀q₁∈D₁)…(∀qₙ∈Dₙ)(inner₁, …, innerₖ).
+//! ```
+//!
+//! * `outer` literals are evaluated as a join.
+//! * The optional quantifier group is evaluated *as a unit* — the
+//!   paper's §4.1 warns that `(∀x∈X)(A ∧ B)` is **not** `A ∧ (∀x∈X)B`
+//!   when `X` may be empty, so inner literals are never hoisted.
+//! * A grouping head slot (`<X>`) makes the rule an LDL grouping rule
+//!   (Definition 14), evaluated at a stratum boundary.
+
+use lps_term::Sort;
+
+use crate::pattern::{Pattern, VarId};
+use crate::pred::PredId;
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BodyLit {
+    /// Positive occurrence of a user predicate.
+    Pos(PredId, Vec<Pattern>),
+    /// Negated occurrence (stratified; all variables must be bound
+    /// before evaluation).
+    Neg(PredId, Vec<Pattern>),
+    /// A builtin relation.
+    Builtin(Builtin, Vec<Pattern>),
+}
+
+impl BodyLit {
+    /// Variables appearing in the literal.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        match self {
+            BodyLit::Pos(_, args) | BodyLit::Neg(_, args) | BodyLit::Builtin(_, args) => {
+                for a in args {
+                    a.collect_vars(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// The predicate if this is a positive atom.
+    pub fn pos_pred(&self) -> Option<PredId> {
+        match self {
+            BodyLit::Pos(p, _) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// Builtin relations with their paper provenance.
+///
+/// Each builtin supports a set of *modes* (bound/free argument
+/// combinations); see `crate::builtin` for the mode tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Builtin {
+    /// `x = y` — `=ᵃ` / `=ˢ` of Definition 1 (sort-agnostic here;
+    /// sort checking happens in `lps-core`).
+    Eq,
+    /// `x != y` — used by Example 1's `disj`.
+    Ne,
+    /// `x in S` — membership `∈`.
+    In,
+    /// `x notin S` — negated membership (requires both bound).
+    NotIn,
+    /// `subseteq(X, Y)` — the ⊆ relation of Example 2, provided as a
+    /// builtin so translated programs need not redefine it.
+    SubsetEq,
+    /// `union(X, Y, Z)` — `Z = X ∪ Y` (Definition 15.1).
+    Union,
+    /// `disj_union(X, Y, Z)` — `Z = X ⊎ Y` (Example 5). The inverse
+    /// mode enumerates all `2^|Z|` ordered partitions — the paper's
+    /// recursive `sum` semantics.
+    DisjUnion,
+    /// `scons(x, Y, Z)` — `Z = {x} ∪ Y` (Definition 15.2).
+    Scons,
+    /// `scons_min(x, Y, Z)` — canonical decomposition: additionally
+    /// requires `x = min Z`, `x ∉ Y`. Engineering extension (E6).
+    SconsMin,
+    /// `card(S, n)` — cardinality.
+    Card,
+    /// `add(m, n, k)` — `m + n = k`.
+    Add,
+    /// `sub(m, n, k)` — `m - n = k`.
+    Sub,
+    /// `mul(m, n, k)` — `m * n = k`.
+    Mul,
+    /// `m < n` on integers.
+    Lt,
+    /// `m <= n` on integers.
+    Le,
+}
+
+impl Builtin {
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Eq
+            | Builtin::Ne
+            | Builtin::In
+            | Builtin::NotIn
+            | Builtin::SubsetEq
+            | Builtin::Card
+            | Builtin::Lt
+            | Builtin::Le => 2,
+            Builtin::Union
+            | Builtin::DisjUnion
+            | Builtin::Scons
+            | Builtin::SconsMin
+            | Builtin::Add
+            | Builtin::Sub
+            | Builtin::Mul => 3,
+        }
+    }
+
+    /// Surface name (for diagnostics and the builtin-name registry).
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Eq => "=",
+            Builtin::Ne => "!=",
+            Builtin::In => "in",
+            Builtin::NotIn => "notin",
+            Builtin::SubsetEq => "subseteq",
+            Builtin::Union => "union",
+            Builtin::DisjUnion => "disj_union",
+            Builtin::Scons => "scons",
+            Builtin::SconsMin => "scons_min",
+            Builtin::Card => "card",
+            Builtin::Add => "add",
+            Builtin::Sub => "sub",
+            Builtin::Mul => "mul",
+            Builtin::Lt => "<",
+            Builtin::Le => "<=",
+        }
+    }
+
+    /// Resolve a surface predicate name used in call position
+    /// (`union(X, Y, Z)` etc.) to a builtin.
+    pub fn from_pred_name(name: &str, arity: usize) -> Option<Builtin> {
+        let b = match (name, arity) {
+            ("subseteq", 2) => Builtin::SubsetEq,
+            ("union", 3) => Builtin::Union,
+            ("disj_union", 3) => Builtin::DisjUnion,
+            ("scons", 3) => Builtin::Scons,
+            ("scons_min", 3) => Builtin::SconsMin,
+            ("card", 2) => Builtin::Card,
+            ("add", 3) => Builtin::Add,
+            ("sub", 3) => Builtin::Sub,
+            ("mul", 3) => Builtin::Mul,
+            _ => return None,
+        };
+        Some(b)
+    }
+}
+
+/// The quantifier group of a rule: the prefix
+/// `(∀q₁∈D₁)…(∀qₙ∈Dₙ)` plus the literals in its scope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantGroup {
+    /// Binders in prefix order: `(element variable, domain pattern)`.
+    /// Domains are terms of sort *s* (usually variables).
+    pub binders: Vec<(VarId, Pattern)>,
+    /// Literals under the quantifiers.
+    pub inner: Vec<BodyLit>,
+}
+
+impl QuantGroup {
+    /// Variables free in the group: domain variables plus inner-literal
+    /// variables that are not bound by a binder.
+    pub fn free_vars(&self) -> Vec<VarId> {
+        let bound: Vec<VarId> = self.binders.iter().map(|(v, _)| *v).collect();
+        let mut out = Vec::new();
+        for (_, d) in &self.binders {
+            d.collect_vars(&mut out);
+        }
+        for lit in &self.inner {
+            for v in lit.vars() {
+                if !bound.contains(&v) && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.retain(|v| !bound.contains(v));
+        out
+    }
+}
+
+/// A compiled rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Head predicate.
+    pub head: PredId,
+    /// Head argument patterns. For a grouping rule the grouping slot
+    /// is the `group.arg_pos`-th entry and holds the group variable.
+    pub head_args: Vec<Pattern>,
+    /// LDL grouping spec, if the head had a `<X>` slot.
+    pub group: Option<GroupSpec>,
+    /// Literals outside any quantifier.
+    pub outer: Vec<BodyLit>,
+    /// The optional restricted-universal-quantifier prefix group.
+    pub quant: Option<QuantGroup>,
+    /// Total number of distinct variables in the rule.
+    pub num_vars: usize,
+    /// Variable names, indexed by [`VarId`] — for diagnostics.
+    pub var_names: Vec<String>,
+    /// Optional per-variable sort annotations (from `lps-core`'s
+    /// two-sorted inference, §2.1). `None`/missing = untyped (ELPS).
+    /// Universe-enumeration steps respect these, so an LPS-sorted
+    /// set variable never ranges over atoms.
+    pub var_sorts: Vec<Option<Sort>>,
+}
+
+/// Grouping head information (Definition 14).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupSpec {
+    /// Which head argument position is the grouping slot.
+    pub arg_pos: usize,
+    /// The variable whose values are collected into a set.
+    pub var: VarId,
+}
+
+impl Rule {
+    /// All body literals (outer then inner), for dependency analysis.
+    pub fn all_body_lits(&self) -> impl Iterator<Item = &BodyLit> {
+        self.outer
+            .iter()
+            .chain(self.quant.iter().flat_map(|q| q.inner.iter()))
+    }
+
+    /// Whether the rule is a plain fact (ground head, empty body).
+    pub fn is_fact(&self) -> bool {
+        self.outer.is_empty()
+            && self.quant.is_none()
+            && self.group.is_none()
+            && self
+                .head_args
+                .iter()
+                .all(|p| matches!(p, Pattern::Ground(_)))
+    }
+
+    /// The sort annotation of a variable, if any.
+    pub fn var_sort(&self, v: VarId) -> Option<Sort> {
+        self.var_sorts.get(v.index()).copied().flatten()
+    }
+
+    /// Human-readable name of a variable (for error messages).
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.var_names
+            .get(v.index())
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_arities_and_names_are_consistent() {
+        for b in [
+            Builtin::Eq,
+            Builtin::Ne,
+            Builtin::In,
+            Builtin::NotIn,
+            Builtin::SubsetEq,
+            Builtin::Union,
+            Builtin::DisjUnion,
+            Builtin::Scons,
+            Builtin::SconsMin,
+            Builtin::Card,
+            Builtin::Add,
+            Builtin::Sub,
+            Builtin::Mul,
+            Builtin::Lt,
+            Builtin::Le,
+        ] {
+            assert!(b.arity() == 2 || b.arity() == 3);
+            // Round-trip through the name registry for the callable ones.
+            if let Some(b2) = Builtin::from_pred_name(b.name(), b.arity()) {
+                assert_eq!(b, b2);
+            }
+        }
+    }
+
+    #[test]
+    fn from_pred_name_checks_arity() {
+        assert_eq!(Builtin::from_pred_name("union", 3), Some(Builtin::Union));
+        assert_eq!(Builtin::from_pred_name("union", 2), None);
+        assert_eq!(Builtin::from_pred_name("nonsense", 3), None);
+    }
+
+    #[test]
+    fn quant_group_free_vars_exclude_binders() {
+        use crate::pattern::Pattern as P;
+        let q = QuantGroup {
+            binders: vec![(VarId(0), P::Var(VarId(1)))],
+            inner: vec![BodyLit::Builtin(
+                Builtin::In,
+                vec![P::Var(VarId(0)), P::Var(VarId(2))],
+            )],
+        };
+        assert_eq!(q.free_vars(), vec![VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn fact_detection() {
+        let rule = Rule {
+            head: crate::pred::PredRegistry::new().ids().next().unwrap_or({
+                // Construct a PredId the honest way.
+                let mut syms = lps_term::SymbolTable::new();
+                let p = syms.intern("p");
+                let mut reg = crate::pred::PredRegistry::new();
+                reg.register(p, 0)
+            }),
+            head_args: vec![],
+            group: None,
+            outer: vec![],
+            quant: None,
+            num_vars: 0,
+            var_names: vec![],
+            var_sorts: vec![],
+        };
+        assert!(rule.is_fact());
+    }
+}

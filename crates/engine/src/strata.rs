@@ -1,0 +1,333 @@
+//! Stratification of programs with negation and grouping.
+//!
+//! Following §4.2 and §6.2 of the paper (and the stratified-program
+//! framework of [ABW86] it cites), a program is *stratified* when no
+//! recursive cycle passes through a negated literal or a grouping
+//! head. This module builds the predicate dependency graph, condenses
+//! it with Tarjan's SCC algorithm, and assigns stratum numbers such
+//! that:
+//!
+//! * positive dependencies satisfy `stratum(head) ≥ stratum(body)`,
+//! * negative/grouping dependencies satisfy `stratum(head) > stratum(body)`.
+
+use lps_term::FxHashMap;
+
+use crate::error::EngineError;
+use crate::pred::PredId;
+use crate::rule::{BodyLit, Rule};
+
+/// Dependency polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Polarity {
+    Positive,
+    /// Negated literal, or any body literal of a grouping rule
+    /// (grouping must see its body's *final* extension, exactly like
+    /// negation).
+    Negative,
+}
+
+/// Result of stratification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stratification {
+    /// Stratum index per predicate (`PredId::index()`-indexed);
+    /// predicates not mentioned by any rule get stratum 0.
+    pub stratum_of: Vec<usize>,
+    /// Total number of strata.
+    pub num_strata: usize,
+}
+
+impl Stratification {
+    /// Stratum of a predicate.
+    pub fn stratum(&self, p: PredId) -> usize {
+        self.stratum_of.get(p.index()).copied().unwrap_or(0)
+    }
+}
+
+/// Compute a stratification for `rules` over `num_preds` predicates,
+/// or report the offending cycle.
+pub fn stratify(
+    rules: &[Rule],
+    num_preds: usize,
+    pred_name: &dyn Fn(PredId) -> String,
+) -> Result<Stratification, EngineError> {
+    // Build the dependency edge list head → body-pred.
+    let mut edges: FxHashMap<usize, Vec<(usize, Polarity)>> = FxHashMap::default();
+    for rule in rules {
+        let head = rule.head.index();
+        let rule_negative = rule.group.is_some();
+        for lit in rule.all_body_lits() {
+            let (dep, pol) = match lit {
+                BodyLit::Pos(p, _) => (
+                    *p,
+                    if rule_negative {
+                        Polarity::Negative
+                    } else {
+                        Polarity::Positive
+                    },
+                ),
+                BodyLit::Neg(p, _) => (*p, Polarity::Negative),
+                BodyLit::Builtin(..) => continue,
+            };
+            edges.entry(head).or_default().push((dep.index(), pol));
+        }
+    }
+
+    // Tarjan SCC (iterative).
+    let sccs = tarjan(num_preds, &edges);
+    let mut scc_of = vec![0usize; num_preds];
+    for (i, scc) in sccs.iter().enumerate() {
+        for &n in scc {
+            scc_of[n] = i;
+        }
+    }
+
+    // Negative edges within one SCC ⇒ not stratifiable.
+    for (&head, deps) in &edges {
+        for &(dep, pol) in deps {
+            if pol == Polarity::Negative && scc_of[head] == scc_of[dep] {
+                return Err(EngineError::NotStratified {
+                    pred: pred_name(pred_from_index(head)),
+                    through: pred_name(pred_from_index(dep)),
+                });
+            }
+        }
+    }
+
+    // Tarjan emits SCCs in reverse topological order (dependencies
+    // before dependents), so a single pass assigns strata.
+    let mut scc_stratum = vec![0usize; sccs.len()];
+    for (i, scc) in sccs.iter().enumerate() {
+        let mut s = 0;
+        for &n in scc {
+            if let Some(deps) = edges.get(&n) {
+                for &(dep, pol) in deps {
+                    if scc_of[dep] == i {
+                        continue;
+                    }
+                    let d = scc_stratum[scc_of[dep]];
+                    s = s.max(match pol {
+                        Polarity::Positive => d,
+                        Polarity::Negative => d + 1,
+                    });
+                }
+            }
+        }
+        scc_stratum[i] = s;
+    }
+
+    let mut stratum_of = vec![0usize; num_preds];
+    for n in 0..num_preds {
+        stratum_of[n] = scc_stratum[scc_of[n]];
+    }
+    let num_strata = stratum_of.iter().max().map_or(1, |m| m + 1);
+    Ok(Stratification {
+        stratum_of,
+        num_strata,
+    })
+}
+
+fn pred_from_index(i: usize) -> PredId {
+    PredId::from_index(i)
+}
+
+/// Iterative Tarjan SCC. Returns SCCs in reverse topological order.
+fn tarjan(n: usize, edges: &FxHashMap<usize, Vec<(usize, Polarity)>>) -> Vec<Vec<usize>> {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS state: (node, child-iterator position).
+    let empty: Vec<(usize, Polarity)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call_stack.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let children = edges.get(&v).unwrap_or(&empty);
+            if *ci < children.len() {
+                let (w, _) = children[*ci];
+                *ci += 1;
+                if index[w] == UNSET {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // v is done.
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Pattern, VarId};
+    use crate::pred::PredRegistry;
+    use crate::rule::GroupSpec;
+    use lps_term::SymbolTable;
+
+    struct Fixture {
+        reg: PredRegistry,
+        names: Vec<String>,
+    }
+
+    impl Fixture {
+        fn new(names: &[&str]) -> (Self, Vec<PredId>) {
+            let mut syms = SymbolTable::new();
+            let mut reg = PredRegistry::new();
+            let ids: Vec<PredId> = names.iter().map(|n| reg.register(syms.intern(n), 1)).collect();
+            (
+                Fixture {
+                    reg,
+                    names: names.iter().map(|s| s.to_string()).collect(),
+                },
+                ids,
+            )
+        }
+
+        fn name_fn(&self) -> impl Fn(PredId) -> String + '_ {
+            |p| self.names[p.index()].clone()
+        }
+    }
+
+    fn rule(head: PredId, body: Vec<BodyLit>) -> Rule {
+        Rule {
+            head,
+            head_args: vec![Pattern::Var(VarId(0))],
+            group: None,
+            outer: body,
+            quant: None,
+            num_vars: 1,
+            var_names: vec!["X".into()],
+            var_sorts: vec![],
+        }
+    }
+
+    fn pos(p: PredId) -> BodyLit {
+        BodyLit::Pos(p, vec![Pattern::Var(VarId(0))])
+    }
+
+    fn neg(p: PredId) -> BodyLit {
+        BodyLit::Neg(p, vec![Pattern::Var(VarId(0))])
+    }
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let (fx, ids) = Fixture::new(&["p", "q"]);
+        // p :- q. q :- p.
+        let rules = vec![rule(ids[0], vec![pos(ids[1])]), rule(ids[1], vec![pos(ids[0])])];
+        let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.num_strata, 1);
+        assert_eq!(s.stratum(ids[0]), s.stratum(ids[1]));
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let (fx, ids) = Fixture::new(&["edb", "p", "q"]);
+        // p :- edb, not q. q :- edb.
+        let rules = vec![
+            rule(ids[1], vec![pos(ids[0]), neg(ids[2])]),
+            rule(ids[2], vec![pos(ids[0])]),
+        ];
+        let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.stratum(ids[0]), 0);
+        assert_eq!(s.stratum(ids[2]), 0);
+        assert_eq!(s.stratum(ids[1]), 1);
+        assert_eq!(s.num_strata, 2);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        let (fx, ids) = Fixture::new(&["p", "q"]);
+        // p :- not q. q :- not p.  (the classic even/odd paradox)
+        let rules = vec![rule(ids[0], vec![neg(ids[1])]), rule(ids[1], vec![neg(ids[0])])];
+        let err = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap_err();
+        assert!(matches!(err, EngineError::NotStratified { .. }));
+    }
+
+    #[test]
+    fn self_negation_is_rejected() {
+        let (fx, ids) = Fixture::new(&["p"]);
+        let rules = vec![rule(ids[0], vec![neg(ids[0])])];
+        assert!(stratify(&rules, fx.reg.len(), &fx.name_fn()).is_err());
+    }
+
+    #[test]
+    fn grouping_acts_like_negation() {
+        let (fx, ids) = Fixture::new(&["obs", "grp"]);
+        // grp(X, <Y>) :- obs(X, Y): grouping body must be lower.
+        let mut r = rule(ids[1], vec![pos(ids[0])]);
+        r.group = Some(GroupSpec {
+            arg_pos: 0,
+            var: VarId(0),
+        });
+        let s = stratify(&[r], fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.stratum(ids[0]), 0);
+        assert_eq!(s.stratum(ids[1]), 1);
+    }
+
+    #[test]
+    fn grouping_through_recursion_is_rejected() {
+        let (fx, ids) = Fixture::new(&["p", "grp"]);
+        // grp(X, <Y>) :- p(X); p(X) :- grp(X, S). Cycle through grouping.
+        let mut r1 = rule(ids[1], vec![pos(ids[0])]);
+        r1.group = Some(GroupSpec {
+            arg_pos: 0,
+            var: VarId(0),
+        });
+        let r2 = rule(ids[0], vec![pos(ids[1])]);
+        assert!(stratify(&[r1, r2], fx.reg.len(), &fx.name_fn()).is_err());
+    }
+
+    #[test]
+    fn chain_of_negations_builds_chain_of_strata() {
+        let (fx, ids) = Fixture::new(&["a", "b", "c", "d"]);
+        // b :- not a. c :- not b. d :- not c.
+        let rules = vec![
+            rule(ids[1], vec![neg(ids[0])]),
+            rule(ids[2], vec![neg(ids[1])]),
+            rule(ids[3], vec![neg(ids[2])]),
+        ];
+        let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.num_strata, 4);
+        assert_eq!(s.stratum(ids[3]), 3);
+    }
+
+    #[test]
+    fn disconnected_predicates_default_to_stratum_zero() {
+        let (fx, ids) = Fixture::new(&["p", "island"]);
+        let rules = vec![rule(ids[0], vec![pos(ids[0])])];
+        let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.stratum(ids[1]), 0);
+    }
+}

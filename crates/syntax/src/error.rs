@@ -1,0 +1,129 @@
+//! Source spans and syntax diagnostics.
+
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// A lexing or parsing error with location information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SyntaxError {
+    /// Construct an error.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        SyntaxError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render the error with a source excerpt and caret line.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let line_text = src.lines().nth(line - 1).unwrap_or("");
+        let caret_pad = " ".repeat(col.saturating_sub(1));
+        let width = (self.span.end - self.span.start).max(1);
+        let carets = "^".repeat(width.min(line_text.len().saturating_sub(col - 1)).max(1));
+        format!(
+            "syntax error at line {line}, column {col}: {}\n  |\n  | {line_text}\n  | {caret_pad}{carets}",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "syntax error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::point(0).line_col(src), (1, 1));
+        assert_eq!(Span::point(4).line_col(src), (2, 1));
+        assert_eq!(Span::point(6).line_col(src), (2, 3));
+        assert_eq!(Span::point(9).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "p(X :- q(X).";
+        let err = SyntaxError::new(Span::new(5, 7), "unexpected `:-`");
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 1, column 6"));
+        assert!(rendered.contains("^^"));
+        assert!(rendered.contains("p(X :- q(X)."));
+    }
+}

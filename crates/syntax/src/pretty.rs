@@ -1,0 +1,228 @@
+//! Pretty-printer: renders AST back to concrete syntax that reparses
+//! to the same AST (`parse ∘ pretty = id`, checked by property tests).
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    Clause, Formula, HeadArg, HeadAtom, Item, Literal, PredDecl, Program, SortAnn, Term,
+};
+
+/// Render a whole program, one item per line.
+pub fn pretty_program(program: &Program) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        match item {
+            Item::Decl(d) => writeln!(out, "{}", pretty_decl(d)).expect("write to string"),
+            Item::Clause(c) => writeln!(out, "{}", pretty_clause(c)).expect("write to string"),
+        }
+    }
+    out
+}
+
+/// Render a declaration.
+pub fn pretty_decl(d: &PredDecl) -> String {
+    if d.sorts.is_empty() {
+        format!("pred {}.", d.name)
+    } else {
+        let sorts: Vec<&str> = d
+            .sorts
+            .iter()
+            .map(|s| match s {
+                SortAnn::Atom => "atom",
+                SortAnn::Set => "set",
+                SortAnn::Any => "any",
+            })
+            .collect();
+        format!("pred {}({}).", d.name, sorts.join(", "))
+    }
+}
+
+/// Render a single clause.
+pub fn pretty_clause(c: &Clause) -> String {
+    let head = pretty_head(&c.head);
+    match &c.body {
+        None => format!("{head}."),
+        Some(body) => format!("{head} :- {}.", pretty_formula(body)),
+    }
+}
+
+/// Render a clause head.
+pub fn pretty_head(h: &HeadAtom) -> String {
+    if h.args.is_empty() {
+        return h.pred.clone();
+    }
+    let args: Vec<String> = h
+        .args
+        .iter()
+        .map(|a| match a {
+            HeadArg::Term(t) => pretty_term(t),
+            HeadArg::Group(v, _) => format!("<{v}>"),
+        })
+        .collect();
+    format!("{}({})", h.pred, args.join(", "))
+}
+
+/// Render a formula. Parenthesization is conservative: disjunctions and
+/// quantifier bodies are always parenthesized, so the output reparses
+/// with identical structure.
+pub fn pretty_formula(f: &Formula) -> String {
+    match f {
+        Formula::Lit(lit) => pretty_literal(lit),
+        Formula::Not(inner, _) => format!("not {}", pretty_prim(inner)),
+        Formula::And(fs) => fs
+            .iter()
+            .map(pretty_conjunct)
+            .collect::<Vec<_>>()
+            .join(", "),
+        Formula::Or(fs) => fs
+            .iter()
+            .map(pretty_formula)
+            .collect::<Vec<_>>()
+            .join(" ; "),
+        Formula::Forall {
+            var, set, body, ..
+        } => format!(
+            "forall {var} in {}: {}",
+            pretty_term(set),
+            pretty_prim(body)
+        ),
+        Formula::Exists {
+            var, set, body, ..
+        } => format!(
+            "exists {var} in {}: {}",
+            pretty_term(set),
+            pretty_prim(body)
+        ),
+    }
+}
+
+/// A conjunct inside an `And`: disjunctions need parens.
+fn pretty_conjunct(f: &Formula) -> String {
+    match f {
+        Formula::Or(_) => format!("({})", pretty_formula(f)),
+        _ => pretty_formula(f),
+    }
+}
+
+/// A formula in `prim` position (quantifier body, negation operand):
+/// conjunctions and disjunctions need parens.
+fn pretty_prim(f: &Formula) -> String {
+    match f {
+        Formula::And(_) | Formula::Or(_) => format!("({})", pretty_formula(f)),
+        _ => pretty_formula(f),
+    }
+}
+
+/// Render a literal.
+pub fn pretty_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Pred(name, args, _) => {
+            if args.is_empty() {
+                name.clone()
+            } else {
+                let rendered: Vec<String> = args.iter().map(pretty_term).collect();
+                format!("{name}({})", rendered.join(", "))
+            }
+        }
+        Literal::Cmp(op, lhs, rhs, _) => {
+            format!(
+                "{} {} {}",
+                pretty_term(lhs),
+                op.symbol(),
+                pretty_term(rhs)
+            )
+        }
+    }
+}
+
+/// Render a term. Arithmetic is parenthesized pessimistically except
+/// that `*` chains and `+`/`-` chains keep their natural
+/// left-associative shape.
+pub fn pretty_term(t: &Term) -> String {
+    match t {
+        Term::Var(v, _) => v.clone(),
+        Term::Const(c, _) => c.clone(),
+        Term::Int(i, _) => i.to_string(),
+        Term::App(f, args, _) => {
+            let rendered: Vec<String> = args.iter().map(pretty_term).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+        Term::SetLit(elems, _) => {
+            let rendered: Vec<String> = elems.iter().map(pretty_term).collect();
+            format!("{{{}}}", rendered.join(", "))
+        }
+        Term::BinOp(op, lhs, rhs, _) => {
+            // Without parentheses in the grammar, nested arithmetic
+            // must flatten to the same left-associative parse. Mul
+            // under Add/Sub is fine (binds tighter); anything else
+            // nested on the right would reassociate, but the parser
+            // can only produce left-nested chains, so rendering
+            // left-to-right is faithful.
+            format!(
+                "{} {} {}",
+                pretty_term(lhs),
+                op.symbol(),
+                pretty_term(rhs)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    /// Normalize an AST by stripping spans, via pretty-printing both
+    /// sides — structural comparison without span noise.
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let printed = pretty_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n---\n{printed}", e.render(&printed)));
+        let printed2 = pretty_program(&p2);
+        assert_eq!(printed, printed2, "pretty output must be a fixed point");
+    }
+
+    #[test]
+    fn roundtrips_paper_examples() {
+        roundtrip("disj(X, Y) :- forall U in X: forall V in Y: U != V.");
+        roundtrip("subset(X, Y) :- forall U in X: U in Y.");
+        roundtrip(
+            "union(X, Y, Z) :- sub(X, Z), sub(Y, Z), forall W in Z: (W in X ; W in Y).",
+        );
+        roundtrip("s(X, Y) :- r(X, Ys), Y in Ys.");
+        roundtrip("sum(X, N) :- X = {N}.");
+        roundtrip(
+            "sum(Z, K) :- du(X, Y, Z), sum(X, M), sum(Y, N), M + N = K.",
+        );
+    }
+
+    #[test]
+    fn roundtrips_declarations_and_groups() {
+        roundtrip("pred parts(atom, set).\nowns(P, <C>) :- car(P, C).");
+    }
+
+    #[test]
+    fn roundtrips_negation_and_nested_sets() {
+        roundtrip("lonely(X) :- item(X), not connected(X).");
+        roundtrip("p({{a}, {}}, -3).");
+    }
+
+    #[test]
+    fn roundtrips_disjunction_under_negation() {
+        roundtrip("p(X) :- not (q(X) ; r(X)).");
+    }
+
+    #[test]
+    fn roundtrips_arithmetic_chains() {
+        roundtrip("p(K) :- K = 1 + 2 * 3 - 4.");
+        roundtrip("p(K) :- K = 2 * 3 * 4.");
+    }
+
+    #[test]
+    fn fixed_point_on_quantified_conjunction() {
+        roundtrip("h(X) :- forall U in X: (p(U), q(U)).");
+        roundtrip("h(X) :- forall U in X: p(U), q(X).");
+    }
+}

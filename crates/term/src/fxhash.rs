@@ -1,0 +1,116 @@
+//! A small, fast, non-cryptographic hasher (the Fx algorithm used by
+//! rustc), implemented locally because the vendored-crate allowlist does
+//! not include `rustc-hash`.
+//!
+//! The algorithm multiplies by a large odd constant and rotates; it is
+//! excellent for the small integer keys (`TermId`, `Symbol`, predicate
+//! ids, tuple keys) that dominate this workspace, and is *not* HashDoS
+//! resistant — fine for an in-process engine that never hashes
+//! attacker-controlled data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process full 8-byte words, then the tail. Chunks keep the hot
+        // loop branch-free for the common small inputs.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (i * 8);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let h: Vec<u64> = (0u64..64).map(|i| hash_of(&i)).collect();
+        let mut sorted = h.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "nearby integers must not collide");
+    }
+
+    #[test]
+    fn distinguishes_byte_tails() {
+        // Tail handling (non-multiple-of-8 lengths) must feed every byte.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(&[0u8; 9]), hash_of(&[0u8; 10]));
+    }
+
+    #[test]
+    fn usable_in_hashmap() {
+        let mut m: crate::FxHashMap<u32, &str> = crate::FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,434 @@
+//! The hash-consing term store.
+//!
+//! A [`TermStore`] owns every ground term that exists in a program run:
+//! constants, integers, function applications, and finite sets. Each
+//! distinct term is stored once and identified by a [`TermId`]. Set
+//! payloads are canonicalized (sorted by `TermId`, deduplicated) before
+//! interning, so two sets are extensionally equal — the paper's `=ˢ` of
+//! Definition 3 — if and only if their `TermId`s are equal.
+//!
+//! This is the executable counterpart of the paper's Herbrand universe
+//! (Definition 7 for LPS, Definition 13 for ELPS): `Uᵃ` is the atoms the
+//! program can mention, and `Uˢ` is materialized lazily as evaluation
+//! constructs sets.
+
+use crate::symbol::{Symbol, SymbolTable};
+use crate::FxHashMap;
+
+/// Identifier of an interned ground term. Ordering is interning order,
+/// which is stable within a store and used as the canonical element
+/// order inside set payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Raw index into the store.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        TermId(u32::try_from(index).expect("term store overflow"))
+    }
+}
+
+/// The shape of an interned term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermData {
+    /// A named constant of sort *a* (`c_i` in Definition 1).
+    Atom(Symbol),
+    /// An integer constant of sort *a*. The paper treats arithmetic as
+    /// ambient (`m + n = k` in Example 5); integers are ordinary atoms
+    /// with builtin predicates defined on them.
+    Int(i64),
+    /// Application of an uninterpreted function symbol; sort *a*
+    /// (Definition 2 case 3; Example 8 explains why functions never
+    /// *return* sets).
+    App(Symbol, Box<[TermId]>),
+    /// A finite set `{t₁, …, tₙ}` — the `{ₙ` constructors of
+    /// Definition 1. Payload is sorted by `TermId` and deduplicated.
+    Set(Box<[TermId]>),
+}
+
+/// Counters describing store contents, used by benches and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total interned terms.
+    pub terms: usize,
+    /// Interned named constants.
+    pub atoms: usize,
+    /// Interned integers.
+    pub ints: usize,
+    /// Interned function applications.
+    pub apps: usize,
+    /// Interned sets.
+    pub sets: usize,
+    /// Total elements across all interned set payloads.
+    pub set_elements: usize,
+}
+
+/// Append-only hash-consing store for ground terms.
+#[derive(Default, Debug, Clone)]
+pub struct TermStore {
+    symbols: SymbolTable,
+    terms: Vec<TermData>,
+    dedup: FxHashMap<TermData, TermId>,
+    /// Inverted index: element id → ids of interned sets containing it.
+    /// Powers the semi-naive `(∀x ∈ X)` trigger (experiment E9).
+    containing_sets: FxHashMap<TermId, Vec<TermId>>,
+    /// All interned sets in interning order — the *active* sort-s
+    /// universe that bounded enumeration modes range over.
+    set_ids: Vec<TermId>,
+    empty_set: Option<TermId>,
+}
+
+impl TermStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the underlying symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table (for fresh-name generation).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    fn intern(&mut self, data: TermData) -> TermId {
+        if let Some(&id) = self.dedup.get(&data) {
+            return id;
+        }
+        let id = TermId::from_index(self.terms.len());
+        if let TermData::Set(elems) = &data {
+            debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "set not canonical");
+            for &e in elems.iter() {
+                self.containing_sets.entry(e).or_default().push(id);
+            }
+            self.set_ids.push(id);
+        }
+        self.terms.push(data.clone());
+        self.dedup.insert(data, id);
+        id
+    }
+
+    /// Intern a named constant.
+    pub fn atom(&mut self, name: &str) -> TermId {
+        let sym = self.symbols.intern(name);
+        self.intern(TermData::Atom(sym))
+    }
+
+    /// Intern a named constant from an already-interned symbol.
+    pub fn atom_sym(&mut self, sym: Symbol) -> TermId {
+        self.intern(TermData::Atom(sym))
+    }
+
+    /// Intern an integer constant.
+    pub fn int(&mut self, value: i64) -> TermId {
+        self.intern(TermData::Int(value))
+    }
+
+    /// Intern a function application `f(args…)`.
+    pub fn app(&mut self, f: &str, args: Vec<TermId>) -> TermId {
+        let sym = self.symbols.intern(f);
+        self.app_sym(sym, args)
+    }
+
+    /// Intern a function application from an interned function symbol.
+    pub fn app_sym(&mut self, f: Symbol, args: Vec<TermId>) -> TermId {
+        self.intern(TermData::App(f, args.into_boxed_slice()))
+    }
+
+    /// Intern a finite set, canonicalizing the element list (sort +
+    /// dedup). `{b, a, b}` and `{a, b}` produce the same id.
+    pub fn set(&mut self, mut elems: Vec<TermId>) -> TermId {
+        elems.sort_unstable();
+        elems.dedup();
+        self.intern(TermData::Set(elems.into_boxed_slice()))
+    }
+
+    /// Intern a set from an element list already known to be sorted and
+    /// deduplicated. Used by the set-algebra kernels in [`crate::setops`]
+    /// which produce canonical output directly; `debug_assert`s guard
+    /// the contract.
+    pub fn set_canonical(&mut self, elems: Vec<TermId>) -> TermId {
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        self.intern(TermData::Set(elems.into_boxed_slice()))
+    }
+
+    /// The empty set `∅` (the `{₀` constructor).
+    pub fn empty_set(&mut self) -> TermId {
+        if let Some(id) = self.empty_set {
+            return id;
+        }
+        let id = self.set(Vec::new());
+        self.empty_set = Some(id);
+        id
+    }
+
+    /// The data of an interned term.
+    ///
+    /// # Panics
+    /// Panics if `id` is from a different store.
+    #[inline]
+    pub fn data(&self, id: TermId) -> &TermData {
+        &self.terms[id.index()]
+    }
+
+    /// Whether `id` is of sort *s* (a set).
+    #[inline]
+    pub fn is_set(&self, id: TermId) -> bool {
+        matches!(self.data(id), TermData::Set(_))
+    }
+
+    /// Whether `id` is of sort *a* (an atom in the two-sorted logic:
+    /// named constant, integer, or function application).
+    #[inline]
+    pub fn is_atomic(&self, id: TermId) -> bool {
+        !self.is_set(id)
+    }
+
+    /// The canonical (sorted) element slice of a set, or `None` for
+    /// atoms.
+    #[inline]
+    pub fn set_elems(&self, id: TermId) -> Option<&[TermId]> {
+        match self.data(id) {
+            TermData::Set(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// Cardinality of a set term.
+    pub fn card(&self, id: TermId) -> Option<usize> {
+        self.set_elems(id).map(<[TermId]>::len)
+    }
+
+    /// All interned sets, in interning order — the *active* fragment of
+    /// the Herbrand sort-s universe. Bounded builtin enumeration modes
+    /// (`X in`-free positions, `subseteq` with a free side, Theorem-10
+    /// translated programs) range over this list.
+    pub fn set_ids(&self) -> &[TermId] {
+        &self.set_ids
+    }
+
+    /// All interned sets that contain `elem`, in interning order.
+    /// Returns an empty slice for terms not contained in any set.
+    pub fn sets_containing(&self, elem: TermId) -> &[TermId] {
+        self.containing_sets
+            .get(&elem)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The integer payload of `id` if it is an `Int` atom.
+    pub fn as_int(&self, id: TermId) -> Option<i64> {
+        match self.data(id) {
+            TermData::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Nesting depth of a term: atoms have depth 0, a set's depth is one
+    /// more than the maximum depth of its elements (`∅` has depth 1).
+    /// LPS proper admits only terms of depth ≤ 1 (§2.1); ELPS admits
+    /// any finite depth (§5).
+    pub fn depth(&self, id: TermId) -> usize {
+        match self.data(id) {
+            TermData::Set(elems) => {
+                1 + elems
+                    .iter()
+                    .map(|&e| self.depth(e))
+                    .max()
+                    .unwrap_or_default()
+            }
+            TermData::App(_, args) => args.iter().map(|&a| self.depth(a)).max().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the store holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over all interned term ids in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> {
+        (0..self.terms.len()).map(TermId::from_index)
+    }
+
+    /// Summary statistics, used by benches to report universe sizes.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats {
+            terms: self.terms.len(),
+            ..StoreStats::default()
+        };
+        for t in &self.terms {
+            match t {
+                TermData::Atom(_) => stats.atoms += 1,
+                TermData::Int(_) => stats.ints += 1,
+                TermData::App(..) => stats.apps += 1,
+                TermData::Set(elems) => {
+                    stats.sets += 1;
+                    stats.set_elements += elems.len();
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_are_hash_consed() {
+        let mut s = TermStore::new();
+        assert_eq!(s.atom("a"), s.atom("a"));
+        assert_ne!(s.atom("a"), s.atom("b"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn ints_are_hash_consed() {
+        let mut s = TermStore::new();
+        assert_eq!(s.int(7), s.int(7));
+        assert_ne!(s.int(7), s.int(-7));
+    }
+
+    #[test]
+    fn apps_compare_structurally() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let b = s.atom("b");
+        let f_ab1 = s.app("f", vec![a, b]);
+        let f_ab2 = s.app("f", vec![a, b]);
+        let f_ba = s.app("f", vec![b, a]);
+        let g_ab = s.app("g", vec![a, b]);
+        assert_eq!(f_ab1, f_ab2);
+        assert_ne!(f_ab1, f_ba, "argument order matters for functions");
+        assert_ne!(f_ab1, g_ab);
+    }
+
+    #[test]
+    fn sets_canonicalize_order_and_duplicates() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let b = s.atom("b");
+        let c = s.atom("c");
+        let s1 = s.set(vec![c, a, b]);
+        let s2 = s.set(vec![a, b, c, b, a]);
+        assert_eq!(s1, s2);
+        assert_eq!(s.card(s1), Some(3));
+    }
+
+    #[test]
+    fn empty_set_is_unique_and_cached() {
+        let mut s = TermStore::new();
+        let e1 = s.empty_set();
+        let e2 = s.set(vec![]);
+        assert_eq!(e1, e2);
+        assert_eq!(s.card(e1), Some(0));
+    }
+
+    #[test]
+    fn singleton_set_differs_from_element() {
+        // {a} ≠ a: sort s vs sort a (the paper's two-sorted logic).
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let sa = s.set(vec![a]);
+        assert_ne!(a, sa);
+        assert!(s.is_atomic(a));
+        assert!(s.is_set(sa));
+    }
+
+    #[test]
+    fn nested_sets_intern_extensionally() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let b = s.atom("b");
+        let inner1 = s.set(vec![a, b]);
+        let inner2 = s.set(vec![b, a]);
+        let outer1 = s.set(vec![inner1]);
+        let outer2 = s.set(vec![inner2]);
+        assert_eq!(outer1, outer2, "{{a,b}} == {{b,a}} extensionally");
+        assert_eq!(s.depth(outer1), 2);
+    }
+
+    #[test]
+    fn depth_reflects_nesting() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        assert_eq!(s.depth(a), 0);
+        let s1 = s.set(vec![a]);
+        assert_eq!(s.depth(s1), 1);
+        let s2 = s.set(vec![s1, a]);
+        assert_eq!(s.depth(s2), 2);
+        let e = s.empty_set();
+        assert_eq!(s.depth(e), 1);
+    }
+
+    #[test]
+    fn inverted_index_tracks_membership() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let b = s.atom("b");
+        let s1 = s.set(vec![a]);
+        let s2 = s.set(vec![a, b]);
+        assert_eq!(s.sets_containing(a), &[s1, s2]);
+        assert_eq!(s.sets_containing(b), &[s2]);
+        // Re-interning an existing set must not duplicate index entries.
+        let s1_again = s.set(vec![a]);
+        assert_eq!(s1_again, s1);
+        assert_eq!(s.sets_containing(a), &[s1, s2]);
+    }
+
+    #[test]
+    fn set_ids_track_interned_sets_without_duplicates() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        assert!(s.set_ids().is_empty());
+        let s1 = s.set(vec![a]);
+        let e = s.empty_set();
+        let s1_again = s.set(vec![a]);
+        assert_eq!(s1_again, s1);
+        assert_eq!(s.set_ids(), &[s1, e]);
+    }
+
+    #[test]
+    fn stats_count_shapes() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let i = s.int(3);
+        s.app("f", vec![a, i]);
+        s.set(vec![a, i]);
+        let st = s.stats();
+        assert_eq!(st.terms, 4);
+        assert_eq!(st.atoms, 1);
+        assert_eq!(st.ints, 1);
+        assert_eq!(st.apps, 1);
+        assert_eq!(st.sets, 1);
+        assert_eq!(st.set_elements, 2);
+    }
+
+    #[test]
+    fn functions_may_take_set_arguments_in_elps() {
+        // ELPS (§5) is untyped; only the *range* of function symbols is
+        // restricted to atoms. f({a}) is a legal atom-sorted term.
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let sa = s.set(vec![a]);
+        let fa = s.app("f", vec![sa]);
+        assert!(s.is_atomic(fa));
+        assert_eq!(s.depth(fa), 1);
+    }
+}

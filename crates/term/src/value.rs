@@ -1,0 +1,245 @@
+//! Owned ground-term trees.
+//!
+//! [`Value`] is the store-independent representation of a ground term:
+//! an ordinary Rust tree with a `BTreeSet` for set nodes. It exists for
+//! the API boundary — building expected results in tests, extracting
+//! query answers, serializing — while all *evaluation* happens on
+//! interned [`TermId`]s. Conversions in both directions are provided.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::store::{TermData, TermId, TermStore};
+
+/// The two sorts of the LPS logic (§2.1): `a` for individual objects
+/// and `s` for sets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sort {
+    /// Individual objects: constants, integers, function applications.
+    Atom,
+    /// Finite sets.
+    Set,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Atom => f.write_str("a"),
+            Sort::Set => f.write_str("s"),
+        }
+    }
+}
+
+/// An owned ground term (atom, integer, application, or finite set).
+///
+/// `Ord` is derived structurally, which makes `BTreeSet<Value>` a
+/// canonical set representation: equality of `Value::Set`s is exactly
+/// the extensional equality `=ˢ` of the paper.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// Named constant.
+    Atom(String),
+    /// Integer constant.
+    Int(i64),
+    /// Function application.
+    App(String, Vec<Value>),
+    /// Finite set (canonical by construction).
+    Set(BTreeSet<Value>),
+}
+
+impl Value {
+    /// Build a named constant.
+    pub fn atom(name: impl Into<String>) -> Self {
+        Value::Atom(name.into())
+    }
+
+    /// Build an integer constant.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Build a function application.
+    pub fn app(f: impl Into<String>, args: impl IntoIterator<Item = Value>) -> Self {
+        Value::App(f.into(), args.into_iter().collect())
+    }
+
+    /// Build a set from any iterator of values (duplicates collapse).
+    pub fn set(elems: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(elems.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Self {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// The sort of this term.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Set(_) => Sort::Set,
+            _ => Sort::Atom,
+        }
+    }
+
+    /// Nesting depth: atoms 0, sets 1 + max element depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Set(elems) => 1 + elems.iter().map(Value::depth).max().unwrap_or_default(),
+            Value::App(_, args) => args.iter().map(Value::depth).max().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Whether this term is legal in *LPS proper* (§2): sets contain
+    /// only atoms (depth ≤ 1) and function arguments are atoms.
+    pub fn is_lps(&self) -> bool {
+        match self {
+            Value::Atom(_) | Value::Int(_) => true,
+            Value::App(_, args) => args.iter().all(|a| a.sort() == Sort::Atom && a.is_lps()),
+            Value::Set(elems) => elems.iter().all(|e| e.sort() == Sort::Atom && e.is_lps()),
+        }
+    }
+
+    /// Intern this value into `store`, returning its id.
+    pub fn intern(&self, store: &mut TermStore) -> TermId {
+        match self {
+            Value::Atom(name) => store.atom(name),
+            Value::Int(v) => store.int(*v),
+            Value::App(f, args) => {
+                let ids: Vec<TermId> = args.iter().map(|a| a.intern(store)).collect();
+                store.app(f, ids)
+            }
+            Value::Set(elems) => {
+                let ids: Vec<TermId> = elems.iter().map(|e| e.intern(store)).collect();
+                store.set(ids)
+            }
+        }
+    }
+
+    /// Reconstruct the owned tree for an interned term.
+    pub fn from_store(store: &TermStore, id: TermId) -> Self {
+        match store.data(id) {
+            TermData::Atom(sym) => Value::Atom(store.symbols().name(*sym).to_owned()),
+            TermData::Int(v) => Value::Int(*v),
+            TermData::App(f, args) => Value::App(
+                store.symbols().name(*f).to_owned(),
+                args.iter().map(|&a| Value::from_store(store, a)).collect(),
+            ),
+            TermData::Set(elems) => Value::Set(
+                elems
+                    .iter()
+                    .map(|&e| Value::from_store(store, e))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(name) => f.write_str(name),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::App(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Set(elems) => {
+                f.write_str("{")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Atom(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_equality_is_extensional() {
+        let s1 = Value::set([Value::atom("a"), Value::atom("b")]);
+        let s2 = Value::set([Value::atom("b"), Value::atom("a"), Value::atom("b")]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn sorts() {
+        assert_eq!(Value::atom("x").sort(), Sort::Atom);
+        assert_eq!(Value::int(1).sort(), Sort::Atom);
+        assert_eq!(Value::app("f", [Value::int(1)]).sort(), Sort::Atom);
+        assert_eq!(Value::empty_set().sort(), Sort::Set);
+    }
+
+    #[test]
+    fn lps_legality() {
+        let flat = Value::set([Value::atom("a")]);
+        assert!(flat.is_lps());
+        let nested = Value::set([flat.clone()]);
+        assert!(!nested.is_lps(), "depth-2 sets are ELPS-only");
+        let f_of_set = Value::app("f", [flat]);
+        assert!(!f_of_set.is_lps(), "set-sorted function args are ELPS-only");
+    }
+
+    #[test]
+    fn roundtrip_through_store() {
+        let mut store = TermStore::new();
+        let v = Value::set([
+            Value::atom("a"),
+            Value::int(-3),
+            Value::app("f", [Value::atom("b")]),
+            Value::set([Value::atom("c")]),
+        ]);
+        let id = v.intern(&mut store);
+        assert_eq!(Value::from_store(&store, id), v);
+        // Interning twice yields the same id (hash-consing through the
+        // owned-tree path too).
+        assert_eq!(v.intern(&mut store), id);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::atom("a").to_string(), "a");
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(
+            Value::app("f", [Value::atom("a"), Value::int(2)]).to_string(),
+            "f(a, 2)"
+        );
+        assert_eq!(Value::empty_set().to_string(), "{}");
+        let s = Value::set([Value::atom("b"), Value::atom("a")]);
+        assert_eq!(s.to_string(), "{a, b}", "display uses canonical order");
+    }
+
+    #[test]
+    fn depth_matches_store_depth() {
+        let mut store = TermStore::new();
+        let v = Value::set([Value::set([Value::atom("a")]), Value::atom("b")]);
+        let id = v.intern(&mut store);
+        assert_eq!(v.depth(), store.depth(id));
+        assert_eq!(v.depth(), 2);
+    }
+}

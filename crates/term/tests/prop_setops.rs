@@ -1,0 +1,199 @@
+//! Property-based tests for the canonical set representation and the
+//! set-algebra kernels: the algebraic laws that make the hash-consed
+//! representation a model of the paper's `=ˢ` / `∈` semantics.
+
+use proptest::prelude::*;
+
+use lps_term::setops::{
+    difference, disjoint, disjoint_union_decompositions, intersect, member, scons,
+    scons_decompositions, scons_min_decomposition, subset, subsets_up_to, union,
+};
+use lps_term::{TermId, TermStore, Value};
+
+/// Strategy: a small universe of atoms identified by index 0..8.
+fn atom_indices() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 0..10)
+}
+
+/// Intern a set of indexed atoms.
+fn set_of(store: &mut TermStore, idxs: &[u8]) -> TermId {
+    let elems: Vec<TermId> = idxs.iter().map(|i| store.atom(&format!("a{i}"))).collect();
+    store.set(elems)
+}
+
+proptest! {
+    /// Interning is order- and duplicate-insensitive: any two
+    /// permutations-with-repeats of the same element multiset intern to
+    /// the same id (extensional equality `=ˢ`).
+    #[test]
+    fn interning_is_extensional(mut idxs in atom_indices(), seed in any::<u64>()) {
+        let mut store = TermStore::new();
+        let s1 = set_of(&mut store, &idxs);
+        // Pseudo-shuffle deterministically from the seed.
+        let n = idxs.len();
+        if n > 1 {
+            let mut s = seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                idxs.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+        }
+        // Also duplicate a prefix.
+        let dup: Vec<u8> = idxs.iter().chain(idxs.iter().take(n / 2)).copied().collect();
+        let s2 = set_of(&mut store, &dup);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Union laws: commutative, associative, idempotent, identity ∅.
+    #[test]
+    fn union_laws(a in atom_indices(), b in atom_indices(), c in atom_indices()) {
+        let mut st = TermStore::new();
+        let x = set_of(&mut st, &a);
+        let y = set_of(&mut st, &b);
+        let z = set_of(&mut st, &c);
+        let e = st.empty_set();
+        prop_assert_eq!(union(&mut st, x, y), union(&mut st, y, x));
+        let xy = union(&mut st, x, y);
+        let yz = union(&mut st, y, z);
+        prop_assert_eq!(union(&mut st, xy, z), union(&mut st, x, yz));
+        prop_assert_eq!(union(&mut st, x, x), x);
+        prop_assert_eq!(union(&mut st, x, e), x);
+    }
+
+    /// Absorption and distributivity connecting ∪ and ∩.
+    #[test]
+    fn lattice_laws(a in atom_indices(), b in atom_indices(), c in atom_indices()) {
+        let mut st = TermStore::new();
+        let x = set_of(&mut st, &a);
+        let y = set_of(&mut st, &b);
+        let z = set_of(&mut st, &c);
+        // x ∪ (x ∩ y) = x
+        let xy = intersect(&mut st, x, y);
+        prop_assert_eq!(union(&mut st, x, xy), x);
+        // x ∩ (y ∪ z) = (x ∩ y) ∪ (x ∩ z)
+        let yz = union(&mut st, y, z);
+        let lhs = intersect(&mut st, x, yz);
+        let xy2 = intersect(&mut st, x, y);
+        let xz = intersect(&mut st, x, z);
+        let rhs = union(&mut st, xy2, xz);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Difference: (x ∖ y) ∩ y = ∅ and (x ∖ y) ∪ (x ∩ y) = x.
+    #[test]
+    fn difference_partitions(a in atom_indices(), b in atom_indices()) {
+        let mut st = TermStore::new();
+        let x = set_of(&mut st, &a);
+        let y = set_of(&mut st, &b);
+        let e = st.empty_set();
+        let d = difference(&mut st, x, y);
+        prop_assert_eq!(intersect(&mut st, d, y), e);
+        let i = intersect(&mut st, x, y);
+        prop_assert_eq!(union(&mut st, d, i), x);
+        prop_assert!(disjoint(&st, d, y));
+    }
+
+    /// subset(x, y) ⇔ x ∪ y = y ⇔ every member of x is a member of y.
+    #[test]
+    fn subset_characterizations(a in atom_indices(), b in atom_indices()) {
+        let mut st = TermStore::new();
+        let x = set_of(&mut st, &a);
+        let y = set_of(&mut st, &b);
+        let via_union = union(&mut st, x, y) == y;
+        let via_member = st.set_elems(x).unwrap().to_vec().iter()
+            .all(|&e| member(&st, e, y));
+        prop_assert_eq!(subset(&st, x, y), via_union);
+        prop_assert_eq!(subset(&st, x, y), via_member);
+    }
+
+    /// scons(x, y) adds exactly x, and decompositions invert it.
+    #[test]
+    fn scons_roundtrip(a in atom_indices(), pick in 0u8..8) {
+        let mut st = TermStore::new();
+        let y = set_of(&mut st, &a);
+        let x = st.atom(&format!("a{pick}"));
+        let z = scons(&mut st, x, y);
+        prop_assert!(member(&st, x, z));
+        prop_assert!(subset(&st, y, z));
+        let decs = scons_decompositions(&mut st, z);
+        prop_assert_eq!(decs.len(), st.card(z).unwrap());
+        for (e, rest) in decs {
+            prop_assert!(!member(&st, e, rest));
+            prop_assert_eq!(scons(&mut st, e, rest), z);
+        }
+    }
+
+    /// scons_min is one of the scons decompositions and is canonical
+    /// (the same set always decomposes the same way).
+    #[test]
+    fn scons_min_is_deterministic(a in atom_indices()) {
+        let mut st = TermStore::new();
+        let z = set_of(&mut st, &a);
+        match scons_min_decomposition(&mut st, z) {
+            None => prop_assert_eq!(st.card(z), Some(0)),
+            Some((x, rest)) => {
+                prop_assert!(member(&st, x, z));
+                prop_assert_eq!(scons(&mut st, x, rest), z);
+                let again = scons_min_decomposition(&mut st, z).unwrap();
+                prop_assert_eq!(again, (x, rest));
+            }
+        }
+    }
+
+    /// disjoint-union decompositions are exactly the 2^|z| ordered
+    /// partitions, each disjoint and recomposing to z (Example 5's
+    /// `disj-union` inverse mode).
+    #[test]
+    fn disjoint_union_partitions(a in proptest::collection::vec(0u8..6, 0..6)) {
+        let mut st = TermStore::new();
+        let z = set_of(&mut st, &a);
+        let n = st.card(z).unwrap();
+        let decs = disjoint_union_decompositions(&mut st, z);
+        prop_assert_eq!(decs.len(), 1usize << n);
+        let mut seen = std::collections::HashSet::new();
+        for (l, r) in decs {
+            prop_assert!(disjoint(&st, l, r));
+            prop_assert_eq!(union(&mut st, l, r), z);
+            prop_assert!(seen.insert((l, r)), "partitions must be distinct");
+        }
+    }
+
+    /// subsets_up_to(base, n) with n = |base| enumerates the full
+    /// powerset; every returned set is a subset of base.
+    #[test]
+    fn powerset_enumeration(a in proptest::collection::vec(0u8..6, 0..6)) {
+        let mut st = TermStore::new();
+        let base_set = set_of(&mut st, &a);
+        let elems = st.set_elems(base_set).unwrap().to_vec();
+        let n = elems.len();
+        let subs = subsets_up_to(&mut st, &elems, n);
+        prop_assert_eq!(subs.len(), 1usize << n);
+        for &sub in &subs {
+            prop_assert!(subset(&st, sub, base_set));
+        }
+    }
+
+    /// Value ⇄ store roundtrips preserve structure for arbitrary nested
+    /// values (ELPS terms).
+    #[test]
+    fn value_roundtrip(v in value_strategy(3)) {
+        let mut st = TermStore::new();
+        let id = v.intern(&mut st);
+        prop_assert_eq!(Value::from_store(&st, id), v);
+    }
+}
+
+/// Strategy for arbitrary ELPS values with bounded depth.
+fn value_strategy(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        "[a-d]{1,3}".prop_map(Value::atom),
+        (-100i64..100).prop_map(Value::int),
+    ];
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            ("[f-h]", proptest::collection::vec(inner, 1..3))
+                .prop_map(|(f, args)| Value::app(f, args)),
+        ]
+    })
+}

@@ -1,0 +1,298 @@
+//! `lpsi` — an interactive LPS/ELPS session.
+//!
+//! ```text
+//! cargo run --bin lpsi [program.lps ...]
+//! ```
+//!
+//! Program files (and stdin lines ending in `.`) accumulate facts and
+//! rules; `?- literal.` queries evaluate the accumulated program and
+//! print the matching tuples. Commands:
+//!
+//! ```text
+//! :help                  this text
+//! :dialect NAME          purelps | lps | elps | stratified
+//! :universe POLICY       reject | active | subsets N
+//! :model PRED            print a predicate's extension
+//! :program               print the accumulated program
+//! :normalized            print the Theorem-6-compiled program
+//! :sorts                 print inferred predicate signatures
+//! :stats                 evaluation statistics of the last run
+//! :clear                 drop the accumulated program
+//! :quit                  exit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use lps::{Database, Dialect, EvalConfig, EvalStats, SetUniverse};
+use lps_syntax::{parse_program, pretty_program, Formula, Literal};
+
+struct Session {
+    dialect: Dialect,
+    config: EvalConfig,
+    source: String,
+    last_stats: Option<EvalStats>,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            dialect: Dialect::StratifiedElps,
+            config: EvalConfig::default(),
+            source: String::new(),
+            last_stats: None,
+        }
+    }
+
+    fn database(&self) -> Result<Database, lps::CoreError> {
+        let mut db = Database::with_config(self.dialect, self.config);
+        db.load_str(&self.source)?;
+        Ok(db)
+    }
+
+    /// Add program text (facts/rules), validating eagerly so errors
+    /// point at the offending line.
+    fn add(&mut self, text: &str) -> Result<(), String> {
+        // Parse standalone first for a precise message.
+        parse_program(text).map_err(|e| e.render(text))?;
+        let mut candidate = self.source.clone();
+        candidate.push_str(text);
+        candidate.push('\n');
+        let mut db = Database::with_config(self.dialect, self.config);
+        db.load_str(&candidate).map_err(|e| e.to_string())?;
+        db.check().map_err(|e| e.to_string())?;
+        self.source = candidate;
+        Ok(())
+    }
+
+    /// Run a query: a single literal with variables; prints matching
+    /// rows.
+    fn query(&mut self, text: &str) -> Result<(), String> {
+        // Parse `?- body.` as a rule body by wrapping it.
+        let wrapped = format!("query_result :- {text}");
+        let parsed = parse_program(&wrapped).map_err(|e| e.render(&wrapped))?;
+        let clause = parsed.clauses().next().ok_or("empty query")?;
+        let body = clause.body.as_ref().ok_or("empty query")?;
+        // Only simple positive literals are supported as queries.
+        let Formula::Lit(Literal::Pred(name, args, _)) = body else {
+            return Err(
+                "queries must be a single predicate literal, e.g. ?- disj(X, {a}).".to_owned(),
+            );
+        };
+
+        let db = self.database().map_err(|e| e.to_string())?;
+        let model = db.evaluate().map_err(|e| e.to_string())?;
+        self.last_stats = Some(model.stats());
+
+        let rows = model.extension_n(name, args.len());
+        // Filter rows against any ground arguments in the query.
+        let ground: Vec<Option<lps::Value>> = args
+            .iter()
+            .map(term_to_value)
+            .collect();
+        let mut hits = 0usize;
+        for row in &rows {
+            let matches = row
+                .iter()
+                .zip(&ground)
+                .all(|(v, g)| g.as_ref().is_none_or(|g| g == v));
+            if matches {
+                hits += 1;
+                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {name}({})", rendered.join(", "));
+            }
+        }
+        if hits == 0 {
+            println!("  no.");
+        } else {
+            println!("  {hits} answer(s).");
+        }
+        Ok(())
+    }
+}
+
+/// Convert a ground query term to a value (None for variables —
+/// wildcard positions).
+fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
+    use lps_syntax::Term;
+    match t {
+        Term::Var(..) => None,
+        Term::Const(c, _) => Some(lps::Value::atom(c.clone())),
+        Term::Int(i, _) => Some(lps::Value::int(*i)),
+        Term::App(f, args, _) => {
+            let vals: Option<Vec<_>> = args.iter().map(term_to_value).collect();
+            Some(lps::Value::app(f.clone(), vals?))
+        }
+        Term::SetLit(elems, _) => {
+            let vals: Option<Vec<_>> = elems.iter().map(term_to_value).collect();
+            Some(lps::Value::set(vals?))
+        }
+        Term::BinOp(..) => None,
+    }
+}
+
+fn print_help() {
+    println!(
+        "Enter facts/rules ending in `.`; `?- literal.` to query.\n\
+         :help :dialect :universe :model :program :normalized :sorts :stats :clear :quit"
+    );
+}
+
+fn main() -> io::Result<()> {
+    let mut session = Session::new();
+
+    // Load program files given on the command line.
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match session.add(&text) {
+                Ok(()) => eprintln!("loaded {path}"),
+                Err(e) => {
+                    eprintln!("error loading {path}:\n{e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("lpsi — logic programming with sets (Kuper, PODS 1987). :help for help.");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("lps> ");
+        } else {
+            print!("...> ");
+        }
+        io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+
+        // Commands only at the start of an input.
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            let mut parts = trimmed.splitn(2, ' ');
+            let cmd = parts.next().unwrap_or("");
+            let arg = parts.next().unwrap_or("").trim();
+            match cmd {
+                ":quit" | ":q" => break,
+                ":help" | ":h" => print_help(),
+                ":clear" => {
+                    session.source.clear();
+                    println!("cleared.");
+                }
+                ":program" => print!("{}", session.source),
+                ":stats" => match &session.last_stats {
+                    Some(s) => println!(
+                        "facts={} rounds={} strata={} rule_evals={}",
+                        s.facts_derived, s.iterations, s.strata, s.rule_evaluations
+                    ),
+                    None => println!("no evaluation yet."),
+                },
+                ":dialect" => {
+                    session.dialect = match arg {
+                        "purelps" => Dialect::PureLps,
+                        "lps" => Dialect::Lps,
+                        "elps" => Dialect::Elps,
+                        "stratified" => Dialect::StratifiedElps,
+                        other => {
+                            println!("unknown dialect `{other}` (purelps|lps|elps|stratified)");
+                            continue;
+                        }
+                    };
+                    println!("dialect = {:?}", session.dialect);
+                }
+                ":universe" => {
+                    let mut words = arg.split_whitespace();
+                    session.config.set_universe = match words.next() {
+                        Some("reject") => SetUniverse::Reject,
+                        Some("active") => SetUniverse::ActiveSets,
+                        Some("subsets") => {
+                            let n: usize = words
+                                .next()
+                                .and_then(|w| w.parse().ok())
+                                .unwrap_or(4);
+                            SetUniverse::ActiveSubsets { max_card: n }
+                        }
+                        _ => {
+                            println!("usage: :universe reject | active | subsets N");
+                            continue;
+                        }
+                    };
+                    println!("universe = {:?}", session.config.set_universe);
+                }
+                ":model" => {
+                    if arg.is_empty() {
+                        println!("usage: :model PRED");
+                        continue;
+                    }
+                    match session.database().and_then(|db| db.evaluate()) {
+                        Ok(model) => {
+                            let rows = model.extension(arg);
+                            for row in &rows {
+                                let rendered: Vec<String> =
+                                    row.iter().map(|v| v.to_string()).collect();
+                                println!("  {arg}({})", rendered.join(", "));
+                            }
+                            println!("  {} fact(s).", rows.len());
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                ":normalized" => match session.database().and_then(|db| db.normalized()) {
+                    Ok(p) => print!("{}", pretty_program(&p)),
+                    Err(e) => println!("error: {e}"),
+                },
+                ":sorts" => match session.database().and_then(|db| db.check()) {
+                    Ok(table) => {
+                        let mut sigs: Vec<String> = table
+                            .iter()
+                            .map(|(name, sorts)| {
+                                let rendered: Vec<&str> = sorts
+                                    .iter()
+                                    .map(|s| match s {
+                                        lps_syntax::SortAnn::Atom => "atom",
+                                        lps_syntax::SortAnn::Set => "set",
+                                        lps_syntax::SortAnn::Any => "any",
+                                    })
+                                    .collect();
+                                format!("  pred {name}({}).", rendered.join(", "))
+                            })
+                            .collect();
+                        sigs.sort();
+                        for s in sigs {
+                            println!("{s}");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                other => println!("unknown command `{other}` — :help"),
+            }
+            continue;
+        }
+
+        // Accumulate multi-line input until a final `.`.
+        buffer.push_str(&line);
+        if !trimmed.ends_with('.') {
+            continue;
+        }
+        let input = std::mem::take(&mut buffer);
+        let input = input.trim();
+
+        if let Some(query) = input.strip_prefix("?-") {
+            if let Err(e) = session.query(query.trim()) {
+                println!("error: {e}");
+            }
+        } else if !input.is_empty() {
+            match session.add(input) {
+                Ok(()) => println!("ok."),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+    Ok(())
+}
