@@ -9,7 +9,7 @@ fn configured() -> Criterion {
 }
 
 use lps_bench::{db, workloads};
-use lps_core::transform::positive::{compile_positive_paper, compilation_size, normalize_program};
+use lps_core::transform::positive::{compilation_size, compile_positive_paper, normalize_program};
 use lps_core::Dialect;
 use lps_engine::SetUniverse;
 use lps_syntax::{parse_program, pretty_program};

@@ -8,8 +8,8 @@ fn configured() -> Criterion {
         .warm_up_time(Duration::from_millis(100))
 }
 
-use lps_bench::{db, workloads};
 use lps_bench::workloads::SumStyle;
+use lps_bench::{db, workloads};
 use lps_core::Dialect;
 use lps_engine::SetUniverse;
 

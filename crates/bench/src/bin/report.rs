@@ -156,7 +156,13 @@ fn e2() {
         "{}",
         table(
             "E2: naive vs semi-naive (transitive closure), Theorem 5",
-            &["nodes", "naive_us", "naive_rounds", "semi_us", "semi_rounds"],
+            &[
+                "nodes",
+                "naive_us",
+                "naive_rounds",
+                "semi_us",
+                "semi_rounds"
+            ],
             &rows
         )
     );
@@ -178,16 +184,14 @@ fn e3() {
             let parsed = parse_program(&src).unwrap();
             let horn_union = pretty_program(&elps_to_horn_union(&parsed).unwrap());
             let horn_scons = pretty_program(&elps_to_horn_scons(&parsed).unwrap());
-            let direct_count =
-                eval(&db(&src, Dialect::Elps, SetUniverse::Reject)).count("disj", 2);
+            let direct_count = eval(&db(&src, Dialect::Elps, SetUniverse::Reject)).count("disj", 2);
             for program in [&horn_union, &horn_scons] {
                 let t = median_time(3, || {
                     let d = db(program, Dialect::Elps, SetUniverse::Reject);
                     std::hint::black_box(eval(&d).count("disj", 2));
                 });
                 cells.push(us(t));
-                let count =
-                    eval(&db(program, Dialect::Elps, SetUniverse::Reject)).count("disj", 2);
+                let count = eval(&db(program, Dialect::Elps, SetUniverse::Reject)).count("disj", 2);
                 assert_eq!(count, direct_count, "translations agree");
             }
             cells.push(direct_count.to_string());
@@ -206,7 +210,13 @@ fn e3() {
         "{}",
         table(
             "E3: Theorem 10 — direct ELPS vs Horn+union vs Horn+scons (disj workload)",
-            &["universe", "direct_us", "horn_union_us", "horn_scons_us", "answers"],
+            &[
+                "universe",
+                "direct_us",
+                "horn_union_us",
+                "horn_scons_us",
+                "answers"
+            ],
             &rows
         )
     );
@@ -242,7 +252,13 @@ fn e4() {
         "{}",
         table(
             "E4: Theorem 6 compilation — paper construction vs normalizer (clauses/aux preds)",
-            &["depth", "paper_cl/aux", "opt_cl/aux", "paper_eval_us", "opt_eval_us"],
+            &[
+                "depth",
+                "paper_cl/aux",
+                "opt_cl/aux",
+                "paper_eval_us",
+                "opt_eval_us"
+            ],
             &rows
         )
     );
@@ -291,7 +307,8 @@ fn e6() {
                 std::hint::black_box(eval(&d).count("obj_cost", 2));
             });
             cells.push(us(t));
-            let got = eval(&db(&src, Dialect::Elps, SetUniverse::Reject)).extension_n("obj_cost", 2);
+            let got =
+                eval(&db(&src, Dialect::Elps, SetUniverse::Reject)).extension_n("obj_cost", 2);
             match &answer {
                 None => answer = Some(got),
                 Some(a) => assert_eq!(a, &got, "formulations agree"),
@@ -359,7 +376,13 @@ fn e7() {
         "{}",
         table(
             "E7: set-op microbenches (ns/op) — hash-consing ablation in the last two columns",
-            &["card", "member_ns", "subset_ns", "eq_interned_ns", "eq_structural_ns"],
+            &[
+                "card",
+                "member_ns",
+                "subset_ns",
+                "eq_interned_ns",
+                "eq_structural_ns"
+            ],
             &rows
         )
     );

@@ -109,7 +109,10 @@ mod tests {
         let t = table(
             "demo",
             &["n", "time"],
-            &[vec!["1".into(), "2.0".into()], vec!["10".into(), "3.5".into()]],
+            &[
+                vec!["1".into(), "2.0".into()],
+                vec!["10".into(), "3.5".into()],
+            ],
         );
         assert!(t.contains("demo"));
         assert!(t.contains("time"));

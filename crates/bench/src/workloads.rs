@@ -65,7 +65,11 @@ pub fn positive_depth(d: usize) -> String {
     let sets: Vec<&str> = vec!["{a, b}", "{b, c}", "{a, c}", "{a, b, c}", "{c, d}", "{d}"];
     let args: Vec<&str> = sets.iter().take(d).copied().collect();
     let _ = writeln!(src, "cand({}).", args.join(", "));
-    let _ = writeln!(src, "query({vars}) :- cand({vars}), {full}.", vars = vars.join(", "));
+    let _ = writeln!(
+        src,
+        "query({vars}) :- cand({vars}), {full}.",
+        vars = vars.join(", ")
+    );
     src
 }
 
@@ -239,7 +243,11 @@ mod tests {
         // Each stratum drops one distinct value: k=5 strata over 10
         // facts leaves 5 survivors at the top level.
         let src = strata_chain(5, 10);
-        let d = crate::db(&src, Dialect::StratifiedElps, lps_engine::SetUniverse::Reject);
+        let d = crate::db(
+            &src,
+            Dialect::StratifiedElps,
+            lps_engine::SetUniverse::Reject,
+        );
         let m = crate::eval(&d);
         assert!(m.stats().strata >= 5);
         assert_eq!(m.count("p5", 1), 5);

@@ -138,10 +138,9 @@ fn value_to_term(v: &Value) -> Term {
             args.iter().map(value_to_term).collect(),
             Span::default(),
         ),
-        Value::Set(elems) => Term::SetLit(
-            elems.iter().map(value_to_term).collect(),
-            Span::default(),
-        ),
+        Value::Set(elems) => {
+            Term::SetLit(elems.iter().map(value_to_term).collect(), Span::default())
+        }
     }
 }
 

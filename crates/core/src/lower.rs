@@ -257,9 +257,7 @@ fn span_of(f: &Formula) -> lps_syntax::Span {
         Formula::Lit(l) => l.span(),
         Formula::Not(_, s) => *s,
         Formula::Forall { span, .. } | Formula::Exists { span, .. } => *span,
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.first().map(span_of).unwrap_or_default()
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.first().map(span_of).unwrap_or_default(),
     }
 }
 

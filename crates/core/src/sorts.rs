@@ -135,9 +135,7 @@ impl Unifier {
                     }
                 }
             }
-            (S::Var(x), S::Atom) | (S::Atom, S::Var(x)) => {
-                self.assign(x, SConst::Atom, span, what)
-            }
+            (S::Var(x), S::Atom) | (S::Atom, S::Var(x)) => self.assign(x, SConst::Atom, span, what),
             (S::Var(x), S::Set) | (S::Set, S::Var(x)) => self.assign(x, SConst::Set, span, what),
             (S::Atom, S::Atom) | (S::Set, S::Set) => {}
             (S::Atom, S::Set) | (S::Set, S::Atom) => {
@@ -233,9 +231,10 @@ pub fn infer_sorts(program: &Program, dialect: Dialect) -> Result<SortTable, Cor
 
     let mut table = SortTable::default();
     for (name, vars) in &inf.preds {
-        table
-            .sigs
-            .insert(name.clone(), vars.iter().map(|&v| inf.u.resolve(v)).collect());
+        table.sigs.insert(
+            name.clone(),
+            vars.iter().map(|&v| inf.u.resolve(v)).collect(),
+        );
     }
     Ok(table)
 }
@@ -267,7 +266,8 @@ impl Inference {
                     let s = self.term_sort(a, env)?;
                     if !self.dialect.allows_nesting() {
                         // Definition 1: function symbols take sort a.
-                        self.u.unify(s, S::Atom, a.span(), &format!("argument of `{f}`"));
+                        self.u
+                            .unify(s, S::Atom, a.span(), &format!("argument of `{f}`"));
                     }
                 }
                 let _ = span;
@@ -306,10 +306,16 @@ impl Inference {
                 Ok(())
             }
             Formula::Forall {
-                var, set, body, span,
+                var,
+                set,
+                body,
+                span,
             }
             | Formula::Exists {
-                var, set, body, span,
+                var,
+                set,
+                body,
+                span,
             } => {
                 let ds = self.term_sort(set, env)?;
                 self.u.unify(ds, S::Set, set.span(), "quantifier domain");
@@ -358,7 +364,8 @@ impl Inference {
                         self.u.unify(ls, rs, *span, "equality operands");
                     }
                     CmpOp::In | CmpOp::NotIn => {
-                        self.u.unify(rs, S::Set, rhs.span(), "membership right-hand side");
+                        self.u
+                            .unify(rs, S::Set, rhs.span(), "membership right-hand side");
                         if !self.dialect.allows_nesting() {
                             self.u
                                 .unify(ls, S::Atom, lhs.span(), "membership left-hand side");
@@ -447,12 +454,11 @@ mod tests {
 
     #[test]
     fn infers_example_2_subset() {
-        let t = infer(
-            "subset(X, Y) :- forall U in X: U in Y.",
-            Dialect::Lps,
-        )
-        .unwrap();
-        assert_eq!(t.signature("subset"), Some(&[SortAnn::Set, SortAnn::Set][..]));
+        let t = infer("subset(X, Y) :- forall U in X: U in Y.", Dialect::Lps).unwrap();
+        assert_eq!(
+            t.signature("subset"),
+            Some(&[SortAnn::Set, SortAnn::Set][..])
+        );
     }
 
     #[test]
@@ -507,19 +513,14 @@ mod tests {
     #[test]
     fn function_args_must_be_atoms_in_lps() {
         // f(X) with X a set (from the quantifier domain) — Example 8.
-        let err = infer("p(Y) :- q(X), Y = f(X), forall U in X: r(U).", Dialect::Lps)
-            .unwrap_err();
+        let err = infer("p(Y) :- q(X), Y = f(X), forall U in X: r(U).", Dialect::Lps).unwrap_err();
         assert!(matches!(err, CoreError::Sort { .. }));
     }
 
     #[test]
     fn quantifier_binder_shadows_outer_variable() {
         // Outer U is an atom via cost; inner U ranges over X's elements.
-        let t = infer(
-            "p(U, X) :- cost(U), forall U in X: q(U).",
-            Dialect::Lps,
-        )
-        .unwrap();
+        let t = infer("p(U, X) :- cost(U), forall U in X: q(U).", Dialect::Lps).unwrap();
         assert_eq!(t.signature("p").unwrap()[1], SortAnn::Set);
     }
 

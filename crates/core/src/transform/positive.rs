@@ -24,7 +24,7 @@
 //! level of a clause body, where the clause closure makes it an
 //! outer existential).
 
-use lps_syntax::{Clause, CmpOp, Formula, HeadAtom, HeadArg, Item, Literal, Program, Span, Term};
+use lps_syntax::{Clause, CmpOp, Formula, HeadArg, HeadAtom, Item, Literal, Program, Span, Term};
 
 use crate::error::CoreError;
 use crate::fresh::FreshNames;
@@ -157,12 +157,7 @@ fn f_construct(head: HeadAtom, body: Formula, fresh: &mut FreshNames, out: &mut 
                 head,
                 Some(Formula::and(vec![
                     pred_lit(&n, &vars),
-                    Formula::Lit(Literal::Cmp(
-                        CmpOp::In,
-                        var(&x),
-                        set,
-                        Span::default(),
-                    )),
+                    Formula::Lit(Literal::Cmp(CmpOp::In, var(&x), set, Span::default())),
                 ])),
             ));
         }
@@ -349,7 +344,10 @@ fn emit_aux_with_ctx(
     let vars = formula.free_vars();
     let mut guarded = ctx.to_vec();
     guarded.push(formula.clone());
-    for c in normalize_clause(&clause(head_of(&n, &vars), Some(Formula::and(guarded))), fresh)? {
+    for c in normalize_clause(
+        &clause(head_of(&n, &vars), Some(Formula::and(guarded))),
+        fresh,
+    )? {
         aux.push(c);
     }
     lits.push(pred_lit(&n, &vars));
@@ -421,7 +419,9 @@ fn flatten(
             let whole = Formula::Or(fs);
             let n = fresh.pred("aux");
             let vars = whole.free_vars();
-            let Formula::Or(fs) = whole else { unreachable!() };
+            let Formula::Or(fs) = whole else {
+                unreachable!()
+            };
             for disjunct in fs {
                 let mut guarded = ctx.to_vec();
                 guarded.push(disjunct);
@@ -464,12 +464,7 @@ fn flatten(
                 // binder to avoid clashes.
                 let x2 = fresh.var("Ex");
                 let renamed = rename_var(*body, &x, &x2);
-                let mut out = vec![Flat::Lit(Literal::Cmp(
-                    CmpOp::In,
-                    var(&x2),
-                    set,
-                    span,
-                ))];
+                let mut out = vec![Flat::Lit(Literal::Cmp(CmpOp::In, var(&x2), set, span))];
                 out.extend(flatten(renamed, false, ctx, fresh, aux)?);
                 Ok(out)
             }
@@ -539,12 +534,8 @@ fn rename_var(f: Formula, from: &str, to: &str) -> Formula {
     match f {
         Formula::Lit(l) => Formula::Lit(rename_lit(l, from, to)),
         Formula::Not(inner, span) => Formula::Not(Box::new(rename_var(*inner, from, to)), span),
-        Formula::And(fs) => Formula::And(
-            fs.into_iter().map(|f| rename_var(f, from, to)).collect(),
-        ),
-        Formula::Or(fs) => Formula::Or(
-            fs.into_iter().map(|f| rename_var(f, from, to)).collect(),
-        ),
+        Formula::And(fs) => Formula::And(fs.into_iter().map(|f| rename_var(f, from, to)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.into_iter().map(|f| rename_var(f, from, to)).collect()),
         Formula::Forall {
             var,
             set,
@@ -647,10 +638,7 @@ fn rename_term(t: Term, from: &str, to: &str) -> Term {
 /// `union`). Used by experiment E4.
 pub fn compilation_size(original: &Program, compiled: &Program) -> (usize, usize) {
     use std::collections::HashSet;
-    let orig_preds: HashSet<&str> = original
-        .clauses()
-        .map(|c| c.head.pred.as_str())
-        .collect();
+    let orig_preds: HashSet<&str> = original.clauses().map(|c| c.head.pred.as_str()).collect();
     let clauses = compiled.clauses().count();
     let aux_preds: HashSet<&str> = compiled
         .clauses()
@@ -682,7 +670,11 @@ mod tests {
         // Every output clause is pure LPS.
         for c in compiled.clauses() {
             if let Some(b) = &c.body {
-                assert!(is_pure_lps_body(b), "not pure: {}", lps_syntax::pretty::pretty_clause(c));
+                assert!(
+                    is_pure_lps_body(b),
+                    "not pure: {}",
+                    lps_syntax::pretty::pretty_clause(c)
+                );
             }
         }
     }
@@ -716,7 +708,10 @@ mod tests {
         let opt = normalize_program(&p).unwrap();
         let (paper_clauses, _) = compilation_size(&p, &paper);
         let (opt_clauses, opt_aux) = compilation_size(&p, &opt);
-        assert!(opt_clauses < paper_clauses, "{opt_clauses} < {paper_clauses}");
+        assert!(
+            opt_clauses < paper_clauses,
+            "{opt_clauses} < {paper_clauses}"
+        );
         // Only the disjunction under the third quantifier and the
         // extra groups need auxiliaries.
         assert!(opt_aux <= 3, "got {opt_aux} auxiliaries");
@@ -735,8 +730,7 @@ mod tests {
     #[test]
     fn normalizer_auxiliarizes_exists_under_forall() {
         // ∀U∈X ∃V∈Y q(U,V): the ∃ must be per-U.
-        let p =
-            parse_program("p(X, Y) :- forall U in X: exists V in Y: q(U, V).").unwrap();
+        let p = parse_program("p(X, Y) :- forall U in X: exists V in Y: q(U, V).").unwrap();
         let n = normalize_program(&p).unwrap();
         assert!(
             n.clauses().count() >= 2,
@@ -784,10 +778,8 @@ mod tests {
     fn aux_clauses_are_context_guarded() {
         // Disjunction under a quantifier: the aux clauses must carry
         // the outer positive literal so they stay range-restricted.
-        let p = parse_program(
-            "u(X, Y, Z) :- cand(X, Y, Z), forall W in Z: (W in X ; W in Y).",
-        )
-        .unwrap();
+        let p = parse_program("u(X, Y, Z) :- cand(X, Y, Z), forall W in Z: (W in X ; W in Y).")
+            .unwrap();
         let n = normalize_program(&p).unwrap();
         let aux_clauses: Vec<String> = n
             .clauses()
@@ -809,25 +801,22 @@ mod tests {
         let printed = lps_syntax::pretty::pretty_clause(main);
         // The binder must have been renamed away from U.
         assert!(printed.contains("forall Q"), "renamed binder: {printed}");
-        assert!(printed.contains("q(U)"), "outer occurrence intact: {printed}");
+        assert!(
+            printed.contains("q(U)"),
+            "outer occurrence intact: {printed}"
+        );
     }
 
     #[test]
     fn forall_chain_merges_into_one_group() {
-        let p = parse_program(
-            "disj(X, Y) :- forall U in X: forall V in Y: U != V.",
-        )
-        .unwrap();
+        let p = parse_program("disj(X, Y) :- forall U in X: forall V in Y: U != V.").unwrap();
         let n = normalize_program(&p).unwrap();
         assert_eq!(n.clauses().count(), 1, "chains need no auxiliaries");
     }
 
     #[test]
     fn two_sibling_groups_wrap_the_second() {
-        let p = parse_program(
-            "p(X, Y) :- (forall U in X: q(U)), (forall V in Y: r(V)).",
-        )
-        .unwrap();
+        let p = parse_program("p(X, Y) :- (forall U in X: q(U)), (forall V in Y: r(V)).").unwrap();
         let n = normalize_program(&p).unwrap();
         assert_eq!(n.clauses().count(), 2, "second group becomes an auxiliary");
     }
@@ -835,7 +824,10 @@ mod tests {
     #[test]
     fn compiled_output_reparses() {
         let p = parse_program(UNION_SRC).unwrap();
-        for program in [compile_positive_paper(&p).unwrap(), normalize_program(&p).unwrap()] {
+        for program in [
+            compile_positive_paper(&p).unwrap(),
+            normalize_program(&p).unwrap(),
+        ] {
             let printed = lps_syntax::pretty_program(&program);
             let reparsed = parse_program(&printed)
                 .unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));

@@ -25,11 +25,7 @@ use crate::fresh::FreshNames;
 /// Generate the §4.2 clauses defining `target(X)` ⇔ `X = {x │
 /// source(x)}` for a unary predicate `source`. Returns the clause
 /// block to append to a program.
-pub fn setof_clauses(
-    program: &Program,
-    source: &str,
-    target: &str,
-) -> Result<Program, CoreError> {
+pub fn setof_clauses(program: &Program, source: &str, target: &str) -> Result<Program, CoreError> {
     let mut fresh = FreshNames::for_program(program);
     let psub = fresh.pred("proper_subset");
     let covered = fresh.pred("covered");
@@ -74,8 +70,7 @@ mod tests {
     #[test]
     fn constructs_exactly_the_full_set() {
         // {x | a(x)} = {c1, c2}.
-        let db =
-            setof_database("a(c1). a(c2). other(c3).", "a", "the_set", 3).unwrap();
+        let db = setof_database("a(c1). a(c2). other(c3).", "a", "the_set", 3).unwrap();
         let mut m = db.evaluate().unwrap();
         let rows = m.extension("the_set");
         assert_eq!(
@@ -112,10 +107,7 @@ mod tests {
         let db2 = setof_database("a(c1). a(c2).", "a", "b", 2).unwrap();
         let mut m2 = db2.evaluate().unwrap();
         assert!(!m2.holds("b", &[c1set]), "P2 must NOT keep B({{c1}})");
-        assert!(m2.holds(
-            "b",
-            &[Value::set([Value::atom("c1"), Value::atom("c2")])]
-        ));
+        assert!(m2.holds("b", &[Value::set([Value::atom("c1"), Value::atom("c2")])]));
         assert_eq!(m2.count("b", 1), 1);
     }
 }

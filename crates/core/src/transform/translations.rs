@@ -28,9 +28,7 @@
 //!   clauses become ELPS clauses with stratified negation, via the
 //!   proper-subset construction of §4.2.
 
-use lps_syntax::{
-    parse_program, pretty, Clause, Formula, HeadArg, Item, Literal, Program, Term,
-};
+use lps_syntax::{parse_program, pretty, Clause, Formula, HeadArg, Item, Literal, Program, Term};
 
 use crate::error::CoreError;
 use crate::fresh::FreshNames;
@@ -177,10 +175,8 @@ fn peel_clause(
     // Guard every variable not bound by a positive (non-builtin)
     // literal of the inner conjunction — the paper leaves these open;
     // the active domain closes them.
-    let inner_free: Vec<String> = Formula::and(
-        inner.iter().map(|f| (*f).clone()).collect::<Vec<_>>(),
-    )
-    .free_vars();
+    let inner_free: Vec<String> =
+        Formula::and(inner.iter().map(|f| (*f).clone()).collect::<Vec<_>>()).free_vars();
     let mut bound_by_pos: Vec<String> = Vec::new();
     for f in &inner {
         if let Formula::Lit(Literal::Pred(name, args, _)) = f {
@@ -219,8 +215,7 @@ fn peel_clause(
         let acc_set = fresh.var("S");
         let acc_set2 = fresh.var("S");
         // Base: acc(ū, ∅) with adom guards on ū.
-        let mut base_parts: Vec<String> =
-            u.iter().map(|v| format!("{adom}({v})")).collect();
+        let mut base_parts: Vec<String> = u.iter().map(|v| format!("{adom}({v})")).collect();
         base_parts.push(format!("{acc_set} = {{}}"));
         out.push_str(&format!(
             "{}({}) :- {}.\n",
@@ -282,34 +277,24 @@ fn args_with(vars: &[String], last: &str) -> String {
 /// Theorem 10 step 1: replace `union/3` calls with a defined ELPS
 /// predicate (quantifiers + disjunction; Theorem 6 compiles it later).
 pub fn horn_union_to_elps(program: &Program) -> Result<Program, CoreError> {
-    replace_builtin_calls(
-        program,
-        "union",
-        3,
-        |p| {
-            format!(
-                "{p}(Ux, Uy, Uz) :- (forall Uw in Ux: Uw in Uz), \
+    replace_builtin_calls(program, "union", 3, |p| {
+        format!(
+            "{p}(Ux, Uy, Uz) :- (forall Uw in Ux: Uw in Uz), \
                  (forall Uw2 in Uy: Uw2 in Uz), \
                  (forall Uw3 in Uz: (Uw3 in Ux ; Uw3 in Uy)).\n"
-            )
-        },
-    )
+        )
+    })
 }
 
 /// Theorem 10 step 2: replace `scons/3` calls with a defined ELPS
 /// predicate.
 pub fn horn_scons_to_elps(program: &Program) -> Result<Program, CoreError> {
-    replace_builtin_calls(
-        program,
-        "scons",
-        3,
-        |p| {
-            format!(
-                "{p}(Sx, Sy, Sz) :- Sx in Sz, (forall Sw in Sy: Sw in Sz), \
+    replace_builtin_calls(program, "scons", 3, |p| {
+        format!(
+            "{p}(Sx, Sy, Sz) :- Sx in Sz, (forall Sw in Sy: Sw in Sz), \
                  (forall Sw2 in Sz: (Sw2 in Sy ; Sw2 = Sx)).\n"
-            )
-        },
-    )
+        )
+    })
 }
 
 fn replace_builtin_calls(
@@ -329,10 +314,9 @@ fn replace_builtin_calls(
                 Formula::Lit(Literal::Pred(new_pred.to_owned(), args.clone(), *span))
             }
             Formula::Lit(_) => f.clone(),
-            Formula::Not(inner, span) => Formula::Not(
-                Box::new(rewrite(inner, name, arity, new_pred, used)),
-                *span,
-            ),
+            Formula::Not(inner, span) => {
+                Formula::Not(Box::new(rewrite(inner, name, arity, new_pred, used)), *span)
+            }
             Formula::And(fs) => Formula::And(
                 fs.iter()
                     .map(|f| rewrite(f, name, arity, new_pred, used))
@@ -441,9 +425,10 @@ pub fn grouping_to_elps(program: &Program) -> Result<Program, CoreError> {
             out_items.push(item.clone());
             continue;
         }
-        let body = c.body.as_ref().ok_or_else(|| {
-            CoreError::invalid(c.head.span, "grouping clause without body")
-        })?;
+        let body = c
+            .body
+            .as_ref()
+            .ok_or_else(|| CoreError::invalid(c.head.span, "grouping clause without body"))?;
 
         // Split head args: x̄ (plain) and the grouping variable.
         let mut plain_vars: Vec<String> = Vec::new();
@@ -563,7 +548,10 @@ mod tests {
         let p = parse_program("r({a}, {b}). big(Z) :- r(X, Y), union(X, Y, Z).").unwrap();
         let elps = horn_union_to_elps(&p).unwrap();
         let printed = lps_syntax::pretty_program(&elps);
-        assert!(!printed.contains("union("), "builtin call replaced: {printed}");
+        assert!(
+            !printed.contains("union("),
+            "builtin call replaced: {printed}"
+        );
         assert!(printed.contains("def_union"), "{printed}");
         assert!(has_forall(&elps), "definition uses quantifiers");
     }
@@ -589,8 +577,14 @@ mod tests {
         let p = parse_program("car(alice, c1). owns(P, <C>) :- car(P, C).").unwrap();
         let elps = grouping_to_elps(&p).unwrap();
         let printed = lps_syntax::pretty_program(&elps);
-        assert!(!printed.contains('<'), "no grouping heads remain: {printed}");
-        assert!(printed.contains("not "), "uses stratified negation: {printed}");
+        assert!(
+            !printed.contains('<'),
+            "no grouping heads remain: {printed}"
+        );
+        assert!(
+            printed.contains("not "),
+            "uses stratified negation: {printed}"
+        );
         assert!(printed.contains("groupbody"), "{printed}");
     }
 

@@ -107,9 +107,7 @@ fn check_formula(f: &Formula, dialect: Dialect) -> Result<(), CoreError> {
             }
             check_formula(inner, dialect)
         }
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().try_for_each(|f| check_formula(f, dialect))
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|f| check_formula(f, dialect)),
         Formula::Forall { set, body, .. } | Formula::Exists { set, body, .. } => {
             if set.has_arith() {
                 return Err(CoreError::invalid(

@@ -63,7 +63,10 @@ fn theorem_10_subset_all_three_languages() {
         let mut tdb = Database::new(Dialect::Elps);
         tdb.load_program(translated);
         let reports = assert_equivalent(&direct, &tdb, &[("sub", 2)]).unwrap();
-        assert_eq!(reports[0].common, 3, "{{a}}⊆{{a,b}}, ∅⊆{{b}}, {{a,b}}⊆{{a,b}}");
+        assert_eq!(
+            reports[0].common, 3,
+            "{{a}}⊆{{a,b}}, ∅⊆{{b}}, {{a,b}}⊆{{a,b}}"
+        );
     }
 }
 
@@ -140,10 +143,8 @@ fn theorem_11_union_via_grouping_matches_builtin() {
     // And it covers all pairs of the active sets from the facts
     // (3 seeds + ∅ interned by adom; unions of the seeds with each
     // other and themselves — every pair with nonempty union).
-    let gm_pairs: std::collections::BTreeSet<(Value, Value)> = rows
-        .iter()
-        .map(|r| (r[0].clone(), r[1].clone()))
-        .collect();
+    let gm_pairs: std::collections::BTreeSet<(Value, Value)> =
+        rows.iter().map(|r| (r[0].clone(), r[1].clone())).collect();
     assert!(gm_pairs.len() >= 15, "got {}", gm_pairs.len());
 }
 
@@ -171,7 +172,11 @@ fn theorem_11_grouping_to_negation() {
     // semantics prescribes.
     let reports = compare_on(&direct, &tdb, &[("owns", 2)]).unwrap();
     let r = &reports[0];
-    assert!(r.left_only.is_empty(), "direct ⊆ translated: {:?}", r.left_only);
+    assert!(
+        r.left_only.is_empty(),
+        "direct ⊆ translated: {:?}",
+        r.left_only
+    );
     // Translated side may have extra empty-set rows for non-owners;
     // none here since every person owns something.
     assert!(

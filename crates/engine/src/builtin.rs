@@ -148,7 +148,8 @@ fn member(
     match (known[0], known[1]) {
         (Some(x), Some(s)) => {
             // ELPS (§5): membership in an atom is false, not an error.
-            let holds = matches!(store.set_elems(s), Some(elems) if elems.binary_search(&x).is_ok());
+            let holds =
+                matches!(store.set_elems(s), Some(elems) if elems.binary_search(&x).is_ok());
             Ok(if holds { vec![vec![x, s]] } else { vec![] })
         }
         (None, Some(s)) => {
@@ -451,7 +452,10 @@ fn scons_min(
                 return Ok(vec![]);
             }
             let s = setops::scons(store, x, y);
-            let min = *store.set_elems(s).expect("scons returns a set").first()
+            let min = *store
+                .set_elems(s)
+                .expect("scons returns a set")
+                .first()
                 .expect("nonempty by construction");
             if min != x {
                 return Ok(vec![]);
@@ -608,14 +612,18 @@ mod tests {
     fn member_enumerates_elements() {
         let (mut st, a, b, c) = store_abc();
         let s = st.set(vec![a, c]);
-        let sols =
-            enumerate(Builtin::In, &[None, Some(s)], &mut st, SetUniverse::Reject).unwrap();
+        let sols = enumerate(Builtin::In, &[None, Some(s)], &mut st, SetUniverse::Reject).unwrap();
         assert_eq!(sols, vec![vec![a, s], vec![c, s]]);
         // Bound membership test.
         assert_eq!(
-            enumerate(Builtin::In, &[Some(b), Some(s)], &mut st, SetUniverse::Reject)
-                .unwrap()
-                .len(),
+            enumerate(
+                Builtin::In,
+                &[Some(b), Some(s)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap()
+            .len(),
             0
         );
     }
@@ -626,8 +634,13 @@ mod tests {
         let s1 = st.set(vec![a]);
         let s2 = st.set(vec![a, b]);
         let _s3 = st.set(vec![b]);
-        let sols =
-            enumerate(Builtin::In, &[Some(a), None], &mut st, SetUniverse::ActiveSets).unwrap();
+        let sols = enumerate(
+            Builtin::In,
+            &[Some(a), None],
+            &mut st,
+            SetUniverse::ActiveSets,
+        )
+        .unwrap();
         assert_eq!(sols, vec![vec![a, s1], vec![a, s2]]);
         // Policy Reject refuses.
         assert!(enumerate(Builtin::In, &[Some(a), None], &mut st, SetUniverse::Reject).is_err());
@@ -637,14 +650,23 @@ mod tests {
     fn member_of_atom_is_false_not_error() {
         // ELPS (§5): atoms have no elements.
         let (mut st, a, b, _) = store_abc();
-        let sols =
-            enumerate(Builtin::In, &[Some(a), Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        let sols = enumerate(
+            Builtin::In,
+            &[Some(a), Some(b)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
         assert!(sols.is_empty());
-        let sols =
-            enumerate(Builtin::NotIn, &[Some(a), Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        let sols = enumerate(
+            Builtin::NotIn,
+            &[Some(a), Some(b)],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
         assert_eq!(sols.len(), 1);
-        let sols =
-            enumerate(Builtin::In, &[None, Some(b)], &mut st, SetUniverse::Reject).unwrap();
+        let sols = enumerate(Builtin::In, &[None, Some(b)], &mut st, SetUniverse::Reject).unwrap();
         assert!(sols.is_empty());
     }
 
@@ -785,8 +807,13 @@ mod tests {
     fn card_computes_and_filters() {
         let (mut st, a, b, _) = store_abc();
         let sab = st.set(vec![a, b]);
-        let sols =
-            enumerate(Builtin::Card, &[Some(sab), None], &mut st, SetUniverse::Reject).unwrap();
+        let sols = enumerate(
+            Builtin::Card,
+            &[Some(sab), None],
+            &mut st,
+            SetUniverse::Reject,
+        )
+        .unwrap();
         let two = st.int(2);
         assert_eq!(sols, vec![vec![sab, two]]);
         // Reverse: active sets of card 1.
@@ -811,35 +838,65 @@ mod tests {
         let i6 = st.int(6);
         // add
         assert_eq!(
-            enumerate(Builtin::Add, &[Some(i2), Some(i3), None], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Add,
+                &[Some(i2), Some(i3), None],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i2, i3, i5]]
         );
         assert_eq!(
-            enumerate(Builtin::Add, &[Some(i2), None, Some(i5)], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Add,
+                &[Some(i2), None, Some(i5)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i2, i3, i5]]
         );
         assert_eq!(
-            enumerate(Builtin::Add, &[None, Some(i3), Some(i5)], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Add,
+                &[None, Some(i3), Some(i5)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i2, i3, i5]]
         );
         // sub: 5 - 3 = 2
         assert_eq!(
-            enumerate(Builtin::Sub, &[Some(i5), Some(i3), None], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Sub,
+                &[Some(i5), Some(i3), None],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i5, i3, i2]]
         );
         // mul: 2 * 3 = 6; inverse 6 / 2 = 3
         assert_eq!(
-            enumerate(Builtin::Mul, &[Some(i2), Some(i3), None], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Mul,
+                &[Some(i2), Some(i3), None],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i2, i3, i6]]
         );
         assert_eq!(
-            enumerate(Builtin::Mul, &[Some(i2), None, Some(i6)], &mut st, SetUniverse::Reject)
-                .unwrap(),
+            enumerate(
+                Builtin::Mul,
+                &[Some(i2), None, Some(i6)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap(),
             vec![vec![i2, i3, i6]]
         );
         // non-divisible product: no solutions.
@@ -868,25 +925,44 @@ mod tests {
         let i2 = st.int(2);
         let i3 = st.int(3);
         assert_eq!(
-            enumerate(Builtin::Lt, &[Some(i2), Some(i3)], &mut st, SetUniverse::Reject)
-                .unwrap()
-                .len(),
+            enumerate(
+                Builtin::Lt,
+                &[Some(i2), Some(i3)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap()
+            .len(),
             1
         );
-        assert!(enumerate(Builtin::Lt, &[Some(i3), Some(i2)], &mut st, SetUniverse::Reject)
-            .unwrap()
-            .is_empty());
+        assert!(enumerate(
+            Builtin::Lt,
+            &[Some(i3), Some(i2)],
+            &mut st,
+            SetUniverse::Reject
+        )
+        .unwrap()
+        .is_empty());
         assert_eq!(
-            enumerate(Builtin::Le, &[Some(i2), Some(i2)], &mut st, SetUniverse::Reject)
-                .unwrap()
-                .len(),
+            enumerate(
+                Builtin::Le,
+                &[Some(i2), Some(i2)],
+                &mut st,
+                SetUniverse::Reject
+            )
+            .unwrap()
+            .len(),
             1
         );
         // Comparing a non-integer is a type error.
         let a = st.atom("a");
-        assert!(
-            enumerate(Builtin::Lt, &[Some(a), Some(i2)], &mut st, SetUniverse::Reject).is_err()
-        );
+        assert!(enumerate(
+            Builtin::Lt,
+            &[Some(a), Some(i2)],
+            &mut st,
+            SetUniverse::Reject
+        )
+        .is_err());
     }
 
     #[test]
@@ -933,11 +1009,35 @@ mod tests {
         assert!(!mode_ok(Builtin::Eq, &[false, false], SetUniverse::Reject));
         assert!(mode_ok(Builtin::In, &[false, true], SetUniverse::Reject));
         assert!(!mode_ok(Builtin::In, &[true, false], SetUniverse::Reject));
-        assert!(mode_ok(Builtin::In, &[true, false], SetUniverse::ActiveSets));
-        assert!(mode_ok(Builtin::DisjUnion, &[false, false, true], SetUniverse::Reject));
-        assert!(!mode_ok(Builtin::Union, &[false, false, true], SetUniverse::Reject));
-        assert!(mode_ok(Builtin::Union, &[false, false, true], SetUniverse::ActiveSets));
-        assert!(mode_ok(Builtin::Add, &[true, false, true], SetUniverse::Reject));
-        assert!(!mode_ok(Builtin::Add, &[true, false, false], SetUniverse::Reject));
+        assert!(mode_ok(
+            Builtin::In,
+            &[true, false],
+            SetUniverse::ActiveSets
+        ));
+        assert!(mode_ok(
+            Builtin::DisjUnion,
+            &[false, false, true],
+            SetUniverse::Reject
+        ));
+        assert!(!mode_ok(
+            Builtin::Union,
+            &[false, false, true],
+            SetUniverse::Reject
+        ));
+        assert!(mode_ok(
+            Builtin::Union,
+            &[false, false, true],
+            SetUniverse::ActiveSets
+        ));
+        assert!(mode_ok(
+            Builtin::Add,
+            &[true, false, true],
+            SetUniverse::Reject
+        ));
+        assert!(!mode_ok(
+            Builtin::Add,
+            &[true, false, false],
+            SetUniverse::Reject
+        ));
     }
 }

@@ -325,7 +325,11 @@ impl Engine {
     pub fn extension(&self, pred: PredId) -> Vec<Vec<Value>> {
         let mut rows: Vec<Vec<Value>> = self
             .tuples(pred)
-            .map(|t| t.iter().map(|&id| Value::from_store(&self.store, id)).collect())
+            .map(|t| {
+                t.iter()
+                    .map(|&id| Value::from_store(&self.store, id))
+                    .collect()
+            })
             .collect();
         rows.sort();
         rows
@@ -635,10 +639,7 @@ mod tests {
             group: None,
             outer: vec![
                 BodyLit::Pos(num_set, vec![v(0)]),
-                BodyLit::Builtin(
-                    Builtin::Eq,
-                    vec![v(0), Pattern::Set(Box::new([v(1)]))],
-                ),
+                BodyLit::Builtin(Builtin::Eq, vec![v(0), Pattern::Set(Box::new([v(1)]))]),
             ],
             quant: None,
             num_vars: 2,

@@ -16,7 +16,7 @@ pub enum EngineError {
         detail: String,
     },
     /// Negation (or grouping) occurs inside a recursive cycle, so the
-    /// program has no stratification (§4.2 / [ABW86]).
+    /// program has no stratification (§4.2 / \[ABW86\]).
     NotStratified {
         /// Predicate on the offending cycle.
         pred: String,

@@ -413,12 +413,7 @@ fn eval_quant(
 
 /// Elements of the `level`-th domain under the current bindings. An
 /// atomic value has no elements (ELPS §5) — vacuous subtree.
-fn domain_elems(
-    group: &QuantGroup,
-    level: usize,
-    store: &mut TermStore,
-    env: &Env,
-) -> Vec<TermId> {
+fn domain_elems(group: &QuantGroup, level: usize, store: &mut TermStore, env: &Env) -> Vec<TermId> {
     let id = group.binders[level]
         .1
         .build(store, env)
@@ -559,10 +554,7 @@ fn check_lits(
                 !views.full[pred.index()].contains(&tuple)
             }
             BodyLit::Builtin(b, args) => {
-                let known: Vec<Option<TermId>> = args
-                    .iter()
-                    .map(|p| p.build(store, env))
-                    .collect();
+                let known: Vec<Option<TermId>> = args.iter().map(|p| p.build(store, env)).collect();
                 if known.iter().any(Option::is_none) {
                     return Err(EngineError::UnsupportedMode {
                         builtin: b.name(),

@@ -53,9 +53,7 @@ pub fn run_stratum(
 
     match config.strategy {
         FixpointStrategy::Naive => naive(store, full, delta, regular, config, &mut stats)?,
-        FixpointStrategy::SemiNaive => {
-            seminaive(store, full, delta, regular, config, &mut stats)?
-        }
+        FixpointStrategy::SemiNaive => seminaive(store, full, delta, regular, config, &mut stats)?,
     }
     Ok(stats)
 }
@@ -109,8 +107,7 @@ fn eval_grouping(
     let group = rule.group.as_ref().expect("grouping rule");
     let views = RelViews { full, delta };
     // key (non-group head args) → collected group values.
-    let mut groups: lps_term::FxHashMap<Vec<TermId>, Vec<TermId>> =
-        lps_term::FxHashMap::default();
+    let mut groups: lps_term::FxHashMap<Vec<TermId>, Vec<TermId>> = lps_term::FxHashMap::default();
     eval_rule_variant(
         rule,
         &cr.variants[0],
@@ -201,7 +198,9 @@ fn quant_trigger_safe(cr: &CompiledRule) -> bool {
     };
     group.binders.iter().all(|(qvar, _)| {
         group.inner.iter().any(|lit| match lit {
-            BodyLit::Pos(_, args) => args.iter().any(|a| matches!(a, Pattern::Var(v) if v == qvar)),
+            BodyLit::Pos(_, args) => args
+                .iter()
+                .any(|a| matches!(a, Pattern::Var(v) if v == qvar)),
             _ => false,
         })
     })
@@ -287,10 +286,7 @@ fn seminaive(
             }
             // Quantifier trigger: inner predicates grew.
             if !cr.inner_preds.is_empty()
-                && cr
-                    .inner_preds
-                    .iter()
-                    .any(|p| !delta[p.index()].is_empty())
+                && cr.inner_preds.iter().any(|p| !delta[p.index()].is_empty())
             {
                 let trig = QuantTrigger {
                     candidate_sets: &candidate_sets,

@@ -66,9 +66,7 @@ impl Step {
     /// universe enumeration).
     pub fn lit(&self) -> Option<usize> {
         match self {
-            Step::Pos { lit, .. } | Step::BuiltinStep { lit } | Step::NegStep { lit } => {
-                Some(*lit)
-            }
+            Step::Pos { lit, .. } | Step::BuiltinStep { lit } | Step::NegStep { lit } => Some(*lit),
             Step::EnumUniverse { .. } => None,
         }
     }
@@ -564,8 +562,7 @@ fn order_lits(
             return Err(EngineError::Unsafe {
                 rule_head: head_name.to_owned(),
                 var,
-                detail: "no literal ordering can ground it (builtin modes unsatisfied)"
-                    .to_owned(),
+                detail: "no literal ordering can ground it (builtin modes unsatisfied)".to_owned(),
             });
         };
         let step = match &lits[pick] {
@@ -667,8 +664,7 @@ mod tests {
         };
         let mut idb = FxHashSet::default();
         idb.insert(pp);
-        let compiled =
-            compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
+        let compiled = compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
         // Full variant + delta variant for the one IDB literal.
         assert_eq!(compiled.variants.len(), 2);
         // Full variant: scan first literal, indexed lookup on second.

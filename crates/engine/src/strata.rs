@@ -1,7 +1,7 @@
 //! Stratification of programs with negation and grouping.
 //!
 //! Following §4.2 and §6.2 of the paper (and the stratified-program
-//! framework of [ABW86] it cites), a program is *stratified* when no
+//! framework of \[ABW86\] it cites), a program is *stratified* when no
 //! recursive cycle passes through a negated literal or a grouping
 //! head. This module builds the predicate dependency graph, condenses
 //! it with Tarjan's SCC algorithm, and assigns stratum numbers such
@@ -205,7 +205,10 @@ mod tests {
         fn new(names: &[&str]) -> (Self, Vec<PredId>) {
             let mut syms = SymbolTable::new();
             let mut reg = PredRegistry::new();
-            let ids: Vec<PredId> = names.iter().map(|n| reg.register(syms.intern(n), 1)).collect();
+            let ids: Vec<PredId> = names
+                .iter()
+                .map(|n| reg.register(syms.intern(n), 1))
+                .collect();
             (
                 Fixture {
                     reg,
@@ -245,7 +248,10 @@ mod tests {
     fn positive_recursion_is_one_stratum() {
         let (fx, ids) = Fixture::new(&["p", "q"]);
         // p :- q. q :- p.
-        let rules = vec![rule(ids[0], vec![pos(ids[1])]), rule(ids[1], vec![pos(ids[0])])];
+        let rules = vec![
+            rule(ids[0], vec![pos(ids[1])]),
+            rule(ids[1], vec![pos(ids[0])]),
+        ];
         let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
         assert_eq!(s.num_strata, 1);
         assert_eq!(s.stratum(ids[0]), s.stratum(ids[1]));
@@ -270,7 +276,10 @@ mod tests {
     fn negative_cycle_is_rejected() {
         let (fx, ids) = Fixture::new(&["p", "q"]);
         // p :- not q. q :- not p.  (the classic even/odd paradox)
-        let rules = vec![rule(ids[0], vec![neg(ids[1])]), rule(ids[1], vec![neg(ids[0])])];
+        let rules = vec![
+            rule(ids[0], vec![neg(ids[1])]),
+            rule(ids[1], vec![neg(ids[0])]),
+        ];
         let err = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap_err();
         assert!(matches!(err, EngineError::NotStratified { .. }));
     }

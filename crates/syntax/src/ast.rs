@@ -211,12 +211,7 @@ impl Formula {
                     f.collect_free(bound, out);
                 }
             }
-            Formula::Forall {
-                var, set, body, ..
-            }
-            | Formula::Exists {
-                var, set, body, ..
-            } => {
+            Formula::Forall { var, set, body, .. } | Formula::Exists { var, set, body, .. } => {
                 set.collect_vars_excluding(bound, out);
                 bound.push(var.clone());
                 body.collect_free(bound, out);

@@ -79,16 +79,12 @@ pub fn pretty_formula(f: &Formula) -> String {
             .map(pretty_formula)
             .collect::<Vec<_>>()
             .join(" ; "),
-        Formula::Forall {
-            var, set, body, ..
-        } => format!(
+        Formula::Forall { var, set, body, .. } => format!(
             "forall {var} in {}: {}",
             pretty_term(set),
             pretty_prim(body)
         ),
-        Formula::Exists {
-            var, set, body, ..
-        } => format!(
+        Formula::Exists { var, set, body, .. } => format!(
             "exists {var} in {}: {}",
             pretty_term(set),
             pretty_prim(body)
@@ -125,12 +121,7 @@ pub fn pretty_literal(lit: &Literal) -> String {
             }
         }
         Literal::Cmp(op, lhs, rhs, _) => {
-            format!(
-                "{} {} {}",
-                pretty_term(lhs),
-                op.symbol(),
-                pretty_term(rhs)
-            )
+            format!("{} {} {}", pretty_term(lhs), op.symbol(), pretty_term(rhs))
         }
     }
 }
@@ -158,12 +149,7 @@ pub fn pretty_term(t: &Term) -> String {
             // nested on the right would reassociate, but the parser
             // can only produce left-nested chains, so rendering
             // left-to-right is faithful.
-            format!(
-                "{} {} {}",
-                pretty_term(lhs),
-                op.symbol(),
-                pretty_term(rhs)
-            )
+            format!("{} {} {}", pretty_term(lhs), op.symbol(), pretty_term(rhs))
         }
     }
 }
@@ -188,14 +174,10 @@ mod tests {
     fn roundtrips_paper_examples() {
         roundtrip("disj(X, Y) :- forall U in X: forall V in Y: U != V.");
         roundtrip("subset(X, Y) :- forall U in X: U in Y.");
-        roundtrip(
-            "union(X, Y, Z) :- sub(X, Z), sub(Y, Z), forall W in Z: (W in X ; W in Y).",
-        );
+        roundtrip("union(X, Y, Z) :- sub(X, Z), sub(Y, Z), forall W in Z: (W in X ; W in Y).");
         roundtrip("s(X, Y) :- r(X, Ys), Y in Ys.");
         roundtrip("sum(X, N) :- X = {N}.");
-        roundtrip(
-            "sum(Z, K) :- du(X, Y, Z), sum(X, M), sum(Y, N), M + N = K.",
-        );
+        roundtrip("sum(Z, K) :- du(X, Y, Z), sum(X, M), sum(Y, N), M + N = K.");
     }
 
     #[test]

@@ -48,7 +48,10 @@ fn arith_strategy() -> impl Strategy<Value = Term> {
     ];
     (
         atom.clone(),
-        proptest::collection::vec((prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub)], atom), 0..3),
+        proptest::collection::vec(
+            (prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub)], atom),
+            0..3,
+        ),
     )
         .prop_map(|(first, rest)| {
             rest.into_iter().fold(first, |acc, (op, t)| {
@@ -72,10 +75,17 @@ fn cmp_op() -> impl Strategy<Value = CmpOp> {
 
 fn literal_strategy() -> impl Strategy<Value = Literal> {
     prop_oneof![
-        (pred_name(), proptest::collection::vec(term_strategy(2), 0..3))
+        (
+            pred_name(),
+            proptest::collection::vec(term_strategy(2), 0..3)
+        )
             .prop_map(|(p, args)| Literal::Pred(p, args, Span::default())),
-        (cmp_op(), arith_strategy(), arith_strategy())
-            .prop_map(|(op, l, r)| Literal::Cmp(op, l, r, Span::default())),
+        (cmp_op(), arith_strategy(), arith_strategy()).prop_map(|(op, l, r)| Literal::Cmp(
+            op,
+            l,
+            r,
+            Span::default()
+        )),
     ]
 }
 

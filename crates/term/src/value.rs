@@ -125,12 +125,9 @@ impl Value {
                 store.symbols().name(*f).to_owned(),
                 args.iter().map(|&a| Value::from_store(store, a)).collect(),
             ),
-            TermData::Set(elems) => Value::Set(
-                elems
-                    .iter()
-                    .map(|&e| Value::from_store(store, e))
-                    .collect(),
-            ),
+            TermData::Set(elems) => {
+                Value::Set(elems.iter().map(|&e| Value::from_store(store, e)).collect())
+            }
         }
     }
 }

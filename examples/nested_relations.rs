@@ -70,14 +70,8 @@ fn main() {
     }
 
     // Spot checks.
-    assert!(model.holds(
-        "classmates",
-        &[Value::atom("ada"), Value::atom("boole")]
-    ));
-    assert!(!model.holds(
-        "classmates",
-        &[Value::atom("boole"), Value::atom("codd")]
-    ));
+    assert!(model.holds("classmates", &[Value::atom("ada"), Value::atom("boole")]));
+    assert!(!model.holds("classmates", &[Value::atom("boole"), Value::atom("codd")]));
     let mondays = Value::set([Value::atom("monday"), Value::atom("tuesday")]);
     assert!(model.holds("schedule", &[Value::atom("ada"), mondays]));
     assert!(model.holds("light_load", &[Value::atom("dana")]));

@@ -80,11 +80,7 @@ fn main() {
     run(FAST_RULES, "scons_min chain (linear extension)");
 
     // Both formulations agree.
-    let expected = [
-        ("bike", 240i64),
-        ("cart", 210),
-        ("sled", 120),
-    ];
+    let expected = [("bike", 240i64), ("cart", 210), ("sled", 120)];
     for rules in [PAPER_RULES, FAST_RULES] {
         let mut db = Database::new(Dialect::Elps);
         db.load_str(&edb()).unwrap();

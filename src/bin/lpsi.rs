@@ -85,10 +85,7 @@ impl Session {
 
         let rows = model.extension_n(name, args.len());
         // Filter rows against any ground arguments in the query.
-        let ground: Vec<Option<lps::Value>> = args
-            .iter()
-            .map(term_to_value)
-            .collect();
+        let ground: Vec<Option<lps::Value>> = args.iter().map(term_to_value).collect();
         let mut hits = 0usize;
         for row in &rows {
             let matches = row
@@ -212,10 +209,7 @@ fn main() -> io::Result<()> {
                         Some("reject") => SetUniverse::Reject,
                         Some("active") => SetUniverse::ActiveSets,
                         Some("subsets") => {
-                            let n: usize = words
-                                .next()
-                                .and_then(|w| w.parse().ok())
-                                .unwrap_or(4);
+                            let n: usize = words.next().and_then(|w| w.parse().ok()).unwrap_or(4);
                             SetUniverse::ActiveSubsets { max_card: n }
                         }
                         _ => {

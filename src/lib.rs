@@ -66,7 +66,7 @@ pub mod prelude {
         horn_union_to_elps, union_via_grouping,
     };
     pub use crate::{
-        CoreError, Database, Dialect, EvalConfig, EvalStats, FixpointStrategy, Model,
-        SetUniverse, Value,
+        CoreError, Database, Dialect, EvalConfig, EvalStats, FixpointStrategy, Model, SetUniverse,
+        Value,
     };
 }

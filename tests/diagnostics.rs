@@ -44,7 +44,10 @@ fn sort_conflict_in_lps_mode() {
 #[test]
 fn nested_sets_rejected_in_lps_mode() {
     let err = err_of("p({{a}}).", Dialect::Lps);
-    assert!(err.to_string().contains("nest") || err.to_string().contains("sort"), "{err}");
+    assert!(
+        err.to_string().contains("nest") || err.to_string().contains("sort"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn builtin_head_redefinition_cites_definition_5() {
 fn unsafe_rule_names_the_variable() {
     let err = err_of("p(X, Y) :- q(X).", Dialect::Elps);
     assert!(err.to_string().contains("`Y`"), "{err}");
-    assert!(err.to_string().contains("unsafe") || err.to_string().contains("bound"), "{err}");
+    assert!(
+        err.to_string().contains("unsafe") || err.to_string().contains("bound"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -180,7 +186,10 @@ fn errors_are_values_not_panics() {
     ];
     for src in cases {
         let mut db = Database::new(Dialect::StratifiedElps);
-        let result = db.load_str(src).map(|_| ()).and_then(|()| db.evaluate().map(|_| ()));
+        let result = db
+            .load_str(src)
+            .map(|_| ())
+            .and_then(|()| db.evaluate().map(|_| ()));
         assert!(result.is_err(), "should fail: {src}");
     }
 }

@@ -64,7 +64,8 @@ fn theorem_8_proof_counterexample() {
             ..EvalConfig::default()
         },
     );
-    db1.load_str(&format!("a(c1). seen(c2). {candidate}")).unwrap();
+    db1.load_str(&format!("a(c1). seen(c2). {candidate}"))
+        .unwrap();
     let mut m1 = db1.evaluate().unwrap();
     assert!(m1.holds("b", &[set(&["c1"])]));
 
@@ -193,10 +194,7 @@ fn theorem_7_quantifier_free_rules_cannot_reach_large_sets() {
     let mut m2 = db2.evaluate().unwrap();
     assert!(m2.holds("p", &[set(&["a"]), set(&["b"]), set(&["a", "b"])]));
     // …but can never cover 2-element operands, which union requires.
-    assert!(!m2.holds(
-        "p",
-        &[set(&["a", "b"]), set(&["c"]), set(&["a", "b", "c"])]
-    ));
+    assert!(!m2.holds("p", &[set(&["a", "b"]), set(&["c"]), set(&["a", "b", "c"])]));
 }
 
 #[test]

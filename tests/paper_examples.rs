@@ -87,7 +87,11 @@ fn example_4_unnest() {
         vec![atom("x1"), atom("q")],
         vec![atom("x2"), atom("q")],
     ];
-    assert_eq!(m.extension("s"), expected, "x3's empty set contributes nothing");
+    assert_eq!(
+        m.extension("s"),
+        expected,
+        "x3's empty set contributes nothing"
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn formula(depth: u32) -> BoxedStrategy<String> {
 /// Random EDB: pairs of subsets of a 4-atom universe.
 fn edb() -> impl Strategy<Value = String> {
     proptest::collection::vec(
-        (proptest::bits::u8::between(0, 4), proptest::bits::u8::between(0, 4)),
+        (
+            proptest::bits::u8::between(0, 4),
+            proptest::bits::u8::between(0, 4),
+        ),
         1..5,
     )
     .prop_map(|pairs| {

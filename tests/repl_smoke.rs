@@ -1,0 +1,193 @@
+//! End-to-end smoke tests for the `lpsi` REPL command surface: drive
+//! the real binary with scripted stdin and assert on its stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Run `lpsi` with `input` on stdin (plus any extra CLI `args`) and
+/// return (stdout, stderr).
+fn run_lpsi(args: &[&str], input: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lpsi"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lpsi");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait lpsi");
+    assert!(out.status.success(), "lpsi exited nonzero: {out:?}");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn loads_facts_and_answers_queries() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "pair({a, b}, {c}). pair({a, b}, {b, c}).\n\
+         disj(X, Y) :- pair(X, Y), forall U in X, forall V in Y: U != V.\n\
+         ?- disj(X, Y).\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("ok."), "facts accepted:\n{stdout}");
+    assert!(stdout.contains("disj("), "query rows printed:\n{stdout}");
+    assert!(
+        stdout.contains("1 answer(s)."),
+        "one disjoint pair:\n{stdout}"
+    );
+}
+
+#[test]
+fn dialect_command_switches_and_rejects_unknown() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        ":dialect purelps\n:dialect lps\n:dialect elps\n:dialect stratified\n:dialect nope\n:quit\n",
+    );
+    for expected in [
+        "dialect = PureLps",
+        "dialect = Lps",
+        "dialect = Elps",
+        "dialect = StratifiedElps",
+        "unknown dialect `nope`",
+    ] {
+        assert!(stdout.contains(expected), "missing {expected:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn dialect_gates_what_programs_are_accepted() {
+    // Stratified negation parses everywhere but only the stratified
+    // dialect accepts it.
+    let program = "p(a). q(X) :- p(X), not r(X).\n";
+    let (stdout, _) = run_lpsi(&[], &format!(":dialect elps\n{program}:quit\n"));
+    assert!(stdout.contains("error"), "elps rejects negation:\n{stdout}");
+    let (stdout, _) = run_lpsi(
+        &[],
+        &format!(":dialect stratified\n{program}?- q(X).\n:quit\n"),
+    );
+    assert!(
+        stdout.contains("q(a)"),
+        "stratified accepts negation:\n{stdout}"
+    );
+}
+
+#[test]
+fn universe_command_switches_policy() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        ":universe active\n:universe subsets 3\n:universe reject\n:universe bogus\n:quit\n",
+    );
+    for expected in [
+        "universe = ActiveSets",
+        "universe = ActiveSubsets { max_card: 3 }",
+        "universe = Reject",
+        "usage: :universe",
+    ] {
+        assert!(stdout.contains(expected), "missing {expected:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn model_prints_a_predicate_extension() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "edge(a, b). edge(b, c).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+         :model path\n:model\n:quit\n",
+    );
+    for expected in [
+        "path(a, b)",
+        "path(b, c)",
+        "path(a, c)",
+        "3 fact(s).",
+        "usage: :model PRED",
+    ] {
+        assert!(stdout.contains(expected), "missing {expected:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn normalized_prints_compiled_program() {
+    // A forall body compiles into auxiliary predicates; the normalized
+    // listing must still define the source predicate.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "pair({a}, {b}).\n\
+         disj(X, Y) :- pair(X, Y), forall U in X, forall V in Y: U != V.\n\
+         :normalized\n:quit\n",
+    );
+    assert!(stdout.contains("disj("), "normalized keeps disj:\n{stdout}");
+    assert!(stdout.contains(":-"), "normalized prints rules:\n{stdout}");
+}
+
+#[test]
+fn stats_reports_after_evaluation_only() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        ":stats\np(a). q(X) :- p(X).\n?- q(X).\n:stats\n:quit\n",
+    );
+    assert!(stdout.contains("no evaluation yet."), "before:\n{stdout}");
+    assert!(stdout.contains("facts="), "after:\n{stdout}");
+    assert!(stdout.contains("rounds="), "after:\n{stdout}");
+}
+
+#[test]
+fn sorts_program_clear_and_help_round_out_the_surface() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "r(x1, {p, q}).\ns(X, Y) :- r(X, Ys), Y in Ys.\n\
+         :sorts\n:program\n:clear\n:program\n:help\n:bogus\n:quit\n",
+    );
+    assert!(stdout.contains("pred r(atom, set)."), "sorts:\n{stdout}");
+    assert!(stdout.contains("cleared."), "clear:\n{stdout}");
+    assert!(
+        stdout.contains(":help :dialect :universe"),
+        "help:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("unknown command `:bogus`"),
+        "bogus:\n{stdout}"
+    );
+    // After :clear the accumulated program is gone.
+    let after_clear = stdout.split("cleared.").nth(1).expect("output after clear");
+    assert!(
+        !after_clear.contains("r(x1"),
+        "program gone after clear:\n{stdout}"
+    );
+}
+
+#[test]
+fn loads_program_files_from_argv() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lpsi_smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("facts.lps");
+    std::fs::write(&path, "p(a). p(b).\n").expect("write program");
+    let (stdout, stderr) = run_lpsi(&[path.to_str().expect("utf8 path")], "?- p(X).\n:quit\n");
+    assert!(
+        stderr.contains("loaded"),
+        "load notice on stderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("2 answer(s)."),
+        "facts from file:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_input_reports_error_and_keeps_session_alive() {
+    let (stdout, _) = run_lpsi(&[], "this is not lps(\n.\np(a).\n?- p(X).\n:quit\n");
+    assert!(stdout.contains("error"), "parse error reported:\n{stdout}");
+    assert!(
+        stdout.contains("1 answer(s)."),
+        "session continues:\n{stdout}"
+    );
+}

@@ -11,7 +11,11 @@ use proptest::prelude::*;
 
 use lps::{Database, Dialect, EvalConfig, FixpointStrategy, SetUniverse, Value};
 
-fn eval_with(src: &str, strategy: FixpointStrategy, dialect: Dialect) -> Vec<(String, Vec<Vec<Value>>)> {
+fn eval_with(
+    src: &str,
+    strategy: FixpointStrategy,
+    dialect: Dialect,
+) -> Vec<(String, Vec<Vec<Value>>)> {
     let mut db = Database::with_config(
         dialect,
         EvalConfig {
@@ -138,7 +142,10 @@ fn monotonicity_on_fact_addition() {
         let small = m1.extension_n(pred, 1);
         let big = m2.extension_n(pred, 1);
         for row in &small {
-            assert!(big.contains(row), "monotonicity violated on {pred}: {row:?}");
+            assert!(
+                big.contains(row),
+                "monotonicity violated on {pred}: {row:?}"
+            );
         }
     }
     // And strictly more is derivable.
@@ -154,11 +161,10 @@ fn monotonicity_on_fact_addition() {
 fn edb_strategy() -> impl Strategy<Value = String> {
     let edge = (0u8..5, 0u8..5).prop_map(|(a, b)| format!("e(n{a}, n{b})."));
     let tag = (0u8..5).prop_map(|a| format!("tagged(n{a})."));
-    let grp = proptest::collection::vec(0u8..5, 0..4)
-        .prop_map(|v| {
-            let elems: Vec<String> = v.iter().map(|i| format!("n{i}")).collect();
-            format!("g({{{}}}).", elems.join(", "))
-        });
+    let grp = proptest::collection::vec(0u8..5, 0..4).prop_map(|v| {
+        let elems: Vec<String> = v.iter().map(|i| format!("n{i}")).collect();
+        format!("g({{{}}}).", elems.join(", "))
+    });
     (
         proptest::collection::vec(edge, 1..8),
         proptest::collection::vec(tag, 0..4),

@@ -22,10 +22,7 @@ fn multi_strata_pipeline() {
     .unwrap();
     let mut m = db.evaluate().unwrap();
     assert!(m.stats().strata >= 3);
-    assert!(m.holds(
-        "report",
-        &[atom("summary"), Value::set([atom("d")])]
-    ));
+    assert!(m.holds("report", &[atom("summary"), Value::set([atom("d")])]));
     assert_eq!(m.count("report", 2), 1);
 }
 
@@ -87,7 +84,10 @@ fn negation_over_quantified_predicates() {
     let mut m = db.evaluate().unwrap();
     assert!(m.holds("uncovered", &[Value::set([atom("a"), atom("b")])]));
     assert!(!m.holds("uncovered", &[Value::set([atom("a")])]));
-    assert!(!m.holds("uncovered", &[Value::empty_set()]), "∅ is covered vacuously");
+    assert!(
+        !m.holds("uncovered", &[Value::empty_set()]),
+        "∅ is covered vacuously"
+    );
 }
 
 #[test]
@@ -138,10 +138,7 @@ fn nested_quantifier_over_nested_sets() {
     )
     .unwrap();
     let mut m = db.evaluate().unwrap();
-    let f1 = Value::set([
-        Value::set([atom("a"), atom("b")]),
-        Value::set([atom("c")]),
-    ]);
+    let f1 = Value::set([Value::set([atom("a"), atom("b")]), Value::set([atom("c")])]);
     let f2 = Value::set([Value::set([atom("d")])]);
     assert!(m.holds("all_good", &[f1]));
     assert!(!m.holds("all_good", &[f2]));

@@ -1,0 +1,583 @@
+//! Minimal, deterministic stand-in for the subset of `proptest` used
+//! by this workspace (see `vendor/README.md`).
+//!
+//! Cases are generated pseudo-randomly from a fixed seed, so runs are
+//! reproducible. There is no shrinking: a failing case panics with the
+//! generated inputs left to the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The test driver: config and RNG.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to drive generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed RNG used by `proptest!` expansions.
+        pub fn deterministic() -> Self {
+            TestRng { state: 0x5DEECE66D }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into one more level.
+        /// `depth` bounds nesting; the size hints are accepted for API
+        /// compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                level = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            level
+        }
+
+        /// Type-erase into a clonable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let width = (hi - lo) as u128;
+                    (lo + (rng.next_u64() as u128 % width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    // A `&str` is a strategy for `String` via a small subset of regex
+    // syntax: concatenations of literal characters and character
+    // classes `[a-z0-9]`, each optionally repeated `{m}` or `{m,n}`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One unit: a class or a literal char.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional {m} / {m,n} repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let m: usize = body.parse().unwrap();
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                out.push(alphabet[rng.below(alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                out.extend((lo..=hi).filter(|c| c.is_ascii()));
+                i += 3;
+            } else {
+                out.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for the full value range of a primitive type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// Primitive types with a full-range strategy.
+    pub trait ArbitraryPrim: Sized {
+        /// Produce a value from raw bits.
+        fn from_bits(bits: u64) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl ArbitraryPrim for $t {
+                fn from_bits(bits: u64) -> Self {
+                    bits as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryPrim for bool {
+        fn from_bits(bits: u64) -> bool {
+            bits & 1 == 1
+        }
+    }
+
+    impl<T: ArbitraryPrim> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: ArbitraryPrim>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1);
+            let n = self.len.start + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option`s: `None` half the time.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Some(inner)` or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod bits {
+    //! Bit-masked integer strategies.
+
+    /// `u8` values restricted to a bit window.
+    pub mod u8 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `u8`s whose set bits lie within `[lo, hi)`.
+        #[derive(Debug, Clone)]
+        pub struct Masked {
+            mask: u8,
+        }
+
+        impl Strategy for Masked {
+            type Value = u8;
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                rng.next_u64() as u8 & self.mask
+            }
+        }
+
+        /// Generate `u8`s that only use bits `lo..hi`.
+        pub fn between(lo: u8, hi: u8) -> Masked {
+            assert!(lo < hi && hi <= 8, "invalid bit window");
+            let mask = (((1u16 << hi) - 1) as u8) & !((1u8 << lo) - 1);
+            Masked { mask }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            // Build the strategies once (as one tuple strategy), then
+            // draw from them per case.
+            let strategy = ($(($strategy),)+);
+            for _case in 0..config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z][a-z0-9]{0,3}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase());
+            assert!(s.len() <= 4);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0u8..8, 0..10), &mut rng);
+            assert!(v.len() < 10);
+            assert!(v.iter().all(|&x| x < 8));
+            let x = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&x));
+            let m = Strategy::generate(&crate::bits::u8::between(0, 4), &mut rng);
+            assert!(m < 16);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns bind, bodies run.
+        #[test]
+        fn macro_binds_patterns(mut xs in crate::collection::vec(0u8..4, 0..4), flag in any::<bool>()) {
+            xs.push(0);
+            prop_assert!(!xs.is_empty());
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_recursive(v in depth_strategy()) {
+            prop_assert!(v <= 3);
+        }
+    }
+
+    fn depth_strategy() -> BoxedStrategy<u32> {
+        let leaf = Just(0u32);
+        leaf.prop_recursive(3, 8, 2, |inner| inner.prop_map(|d| (d + 1).min(3)))
+    }
+}
