@@ -4,12 +4,20 @@
 //!
 //! Run with `cargo run --release -p lps-bench --bin report` (release
 //! strongly recommended). Pass experiment ids (e.g. `e3 e5`) to run a
-//! subset.
+//! subset. Flags:
+//!
+//! * `--json` — additionally write the tables to `BENCH_report.json`
+//!   in the current directory, so perf baselines can be committed and
+//!   compared across commits;
+//! * `--smoke` — reduced parameter sweeps (seconds, not minutes; the
+//!   CI bench smoke runs `--json --smoke`). Smoke JSON goes to
+//!   `BENCH_report.smoke.json` so it can never clobber the committed
+//!   full-parameter baseline.
 
 use std::time::Duration;
 
 use lps_bench::workloads::{self, SumStyle};
-use lps_bench::{db, db_cfg, eval, median_time, table, time_eval, us};
+use lps_bench::{db, db_cfg, eval, median_time, time_eval, us, Report};
 use lps_core::transform::positive::{compilation_size, compile_positive_paper, normalize_program};
 use lps_core::transform::setof::setof_database;
 use lps_core::transform::translations::{elps_to_horn_scons, elps_to_horn_union};
@@ -18,43 +26,68 @@ use lps_engine::{EvalConfig, FixpointStrategy, SetUniverse};
 use lps_syntax::{parse_program, pretty_program};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    let mut json = false;
+    let mut smoke = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => ids.push(other.to_owned()),
+        }
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a.eq_ignore_ascii_case(id));
+    let mut rep = Report::new(json, smoke);
+    rep.set_experiments(&ids);
 
     println!("LPS experiment report — see EXPERIMENTS.md for the paper mapping.");
     if want("e1") {
-        e1();
+        e1(&mut rep);
     }
     if want("e2") {
-        e2();
+        e2(&mut rep);
     }
     if want("e3") {
-        e3();
+        e3(&mut rep);
     }
     if want("e4") {
-        e4();
+        e4(&mut rep);
     }
     if want("e5") {
-        e5();
+        e5(&mut rep);
     }
     if want("e6") {
-        e6();
+        e6(&mut rep);
     }
     if want("e7") {
-        e7();
+        e7(&mut rep);
     }
     if want("e8") {
-        e8();
+        e8(&mut rep);
     }
     if want("e9") {
-        e9();
+        e9(&mut rep);
     }
     if want("e10") {
-        e10();
+        e10(&mut rep);
+    }
+    if want("e11") {
+        e11(&mut rep);
+    }
+    if json {
+        // Smoke numbers come from reduced sweeps — keep them out of
+        // the committed full-parameter baseline file.
+        let path = std::path::Path::new(if smoke {
+            "BENCH_report.smoke.json"
+        } else {
+            "BENCH_report.json"
+        });
+        rep.write_json(path).expect("write JSON bench report");
+        println!("\nwrote {}", path.display());
     }
 }
 
-fn e1() {
+fn e1(rep: &mut Report) {
     let examples: &[(&str, &str, &str, usize)] = &[
         (
             "Ex.1 disj",
@@ -122,19 +155,22 @@ fn e1() {
             us(t),
         ]);
     }
-    print!(
-        "{}",
-        table(
-            "E1: paper examples (Examples 1-6)",
-            &["example", "answers", "facts", "rounds", "time_us"],
-            &rows
-        )
+    rep.section(
+        "e1",
+        "E1: paper examples (Examples 1-6)",
+        &["example", "answers", "facts", "rounds", "time_us"],
+        &rows,
     );
 }
 
-fn e2() {
+fn e2(rep: &mut Report) {
+    let sizes: &[usize] = if rep.smoke {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
     let mut rows = Vec::new();
-    for &n in &[16usize, 64, 256, 1024] {
+    for &n in sizes {
         let src = workloads::transitive_closure(n, 7);
         let mut cells = vec![n.to_string()];
         for strategy in [FixpointStrategy::Naive, FixpointStrategy::SemiNaive] {
@@ -152,25 +188,28 @@ fn e2() {
         }
         rows.push(cells);
     }
-    print!(
-        "{}",
-        table(
-            "E2: naive vs semi-naive (transitive closure), Theorem 5",
-            &[
-                "nodes",
-                "naive_us",
-                "naive_rounds",
-                "semi_us",
-                "semi_rounds"
-            ],
-            &rows
-        )
+    rep.section(
+        "e2",
+        "E2: naive vs semi-naive (transitive closure), Theorem 5",
+        &[
+            "nodes",
+            "naive_us",
+            "naive_rounds",
+            "semi_us",
+            "semi_rounds",
+        ],
+        &rows,
     );
 }
 
-fn e3() {
+fn e3(rep: &mut Report) {
+    let universes: &[usize] = if rep.smoke {
+        &[2, 3]
+    } else {
+        &[2, 3, 4, 5, 8, 12]
+    };
     let mut rows = Vec::new();
-    for &m in &[2usize, 3, 4, 5, 8, 12] {
+    for &m in universes {
         let src = workloads::disj_pairs(m, 4, 11);
         let mut cells = vec![m.to_string()];
         let t_direct = median_time(3, || {
@@ -206,25 +245,24 @@ fn e3() {
         }
         rows.push(cells);
     }
-    print!(
-        "{}",
-        table(
-            "E3: Theorem 10 — direct ELPS vs Horn+union vs Horn+scons (disj workload)",
-            &[
-                "universe",
-                "direct_us",
-                "horn_union_us",
-                "horn_scons_us",
-                "answers"
-            ],
-            &rows
-        )
+    rep.section(
+        "e3",
+        "E3: Theorem 10 — direct ELPS vs Horn+union vs Horn+scons (disj workload)",
+        &[
+            "universe",
+            "direct_us",
+            "horn_union_us",
+            "horn_scons_us",
+            "answers",
+        ],
+        &rows,
     );
 }
 
-fn e4() {
+fn e4(rep: &mut Report) {
+    let depths: &[usize] = if rep.smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let mut rows = Vec::new();
-    for &d in &[1usize, 2, 3, 4, 5] {
+    for &d in depths {
         let src = workloads::positive_depth(d);
         let parsed = parse_program(&src).unwrap();
         let paper = compile_positive_paper(&parsed).unwrap();
@@ -248,25 +286,28 @@ fn e4() {
             us(t_opt),
         ]);
     }
-    print!(
-        "{}",
-        table(
-            "E4: Theorem 6 compilation — paper construction vs normalizer (clauses/aux preds)",
-            &[
-                "depth",
-                "paper_cl/aux",
-                "opt_cl/aux",
-                "paper_eval_us",
-                "opt_eval_us"
-            ],
-            &rows
-        )
+    rep.section(
+        "e4",
+        "E4: Theorem 6 compilation — paper construction vs normalizer (clauses/aux preds)",
+        &[
+            "depth",
+            "paper_cl/aux",
+            "opt_cl/aux",
+            "paper_eval_us",
+            "opt_eval_us",
+        ],
+        &rows,
     );
 }
 
-fn e5() {
+fn e5(rep: &mut Report) {
+    let sizes: &[usize] = if rep.smoke {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10]
+    };
     let mut rows = Vec::new();
-    for &n in &[2usize, 4, 6, 8, 10] {
+    for &n in sizes {
         let grouping_src = workloads::setof_grouping(n);
         let t_group = median_time(3, || {
             let d = db(&grouping_src, Dialect::StratifiedElps, SetUniverse::Reject);
@@ -279,19 +320,18 @@ fn e5() {
         });
         rows.push(vec![n.to_string(), us(t_group), us(t_neg)]);
     }
-    print!(
-        "{}",
-        table(
-            "E5: set construction — LDL grouping vs §4.2 negation-over-powerset",
-            &["n", "grouping_us", "negation_us"],
-            &rows
-        )
+    rep.section(
+        "e5",
+        "E5: set construction — LDL grouping vs §4.2 negation-over-powerset",
+        &["n", "grouping_us", "negation_us"],
+        &rows,
     );
 }
 
-fn e6() {
+fn e6(rep: &mut Report) {
+    let parts: &[usize] = if rep.smoke { &[3] } else { &[3, 5, 7, 9, 11] };
     let mut rows = Vec::new();
-    for &k in &[3usize, 5, 7, 9, 11] {
+    for &k in parts {
         let mut cells = vec![k.to_string()];
         let mut answer: Option<Vec<Vec<Value>>> = None;
         for style in [SumStyle::DisjUnion, SumStyle::Scons, SumStyle::SconsMin] {
@@ -316,27 +356,30 @@ fn e6() {
         }
         rows.push(cells);
     }
-    print!(
-        "{}",
-        table(
-            "E6: Example 5/6 aggregation — disj_union vs scons vs scons_min",
-            &["parts", "disj_union_us", "scons_us", "scons_min_us"],
-            &rows
-        )
+    rep.section(
+        "e6",
+        "E6: Example 5/6 aggregation — disj_union vs scons vs scons_min",
+        &["parts", "disj_union_us", "scons_us", "scons_min_us"],
+        &rows,
     );
 }
 
-fn e7() {
+fn e7(rep: &mut Report) {
     use lps_term::{setops, TermStore};
+    let cards: &[usize] = if rep.smoke {
+        &[8, 64]
+    } else {
+        &[8, 64, 512, 4096]
+    };
+    let reps = if rep.smoke { 1_000 } else { 10_000 };
     let mut rows = Vec::new();
-    for &n in &[8usize, 64, 512, 4096] {
+    for &n in cards {
         let mut store = TermStore::new();
         let elems: Vec<_> = (0..n as i64).map(|i| store.int(i)).collect();
         let evens: Vec<_> = elems.iter().copied().step_by(2).collect();
         let set_all = store.set(elems);
         let set_even = store.set(evens);
         let needle = store.int(n as i64 / 2);
-        let reps = 10_000;
         let t_member = median_time(3, || {
             for _ in 0..reps {
                 std::hint::black_box(setops::member(&store, needle, set_all));
@@ -372,25 +415,24 @@ fn e7() {
             format!("{:.1}", t_eq_struct.as_secs_f64() * 1e9 / reps as f64),
         ]);
     }
-    print!(
-        "{}",
-        table(
-            "E7: set-op microbenches (ns/op) — hash-consing ablation in the last two columns",
-            &[
-                "card",
-                "member_ns",
-                "subset_ns",
-                "eq_interned_ns",
-                "eq_structural_ns"
-            ],
-            &rows
-        )
+    rep.section(
+        "e7",
+        "E7: set-op microbenches (ns/op) — hash-consing ablation in the last two columns",
+        &[
+            "card",
+            "member_ns",
+            "subset_ns",
+            "eq_interned_ns",
+            "eq_structural_ns",
+        ],
+        &rows,
     );
 }
 
-fn e8() {
+fn e8(rep: &mut Report) {
+    let chain: &[usize] = if rep.smoke { &[2, 8] } else { &[2, 8, 16, 32] };
     let mut rows = Vec::new();
-    for &k in &[2usize, 8, 16, 32] {
+    for &k in chain {
         let src = workloads::strata_chain(k, 64);
         let d = db(&src, Dialect::StratifiedElps, SetUniverse::Reject);
         let (t, m) = time_eval(&d);
@@ -401,19 +443,22 @@ fn e8() {
             us(t),
         ]);
     }
-    print!(
-        "{}",
-        table(
-            "E8: stratified chains — k negation strata over 64 facts",
-            &["k", "strata", "facts", "time_us"],
-            &rows
-        )
+    rep.section(
+        "e8",
+        "E8: stratified chains — k negation strata over 64 facts",
+        &["k", "strata", "facts", "time_us"],
+        &rows,
     );
 }
 
-fn e9() {
+fn e9(rep: &mut Report) {
+    let set_counts: &[usize] = if rep.smoke {
+        &[200]
+    } else {
+        &[200, 800, 2000, 5000]
+    };
     let mut rows = Vec::new();
-    for &sets in &[200usize, 800, 2000, 5000] {
+    for &sets in set_counts {
         let src = workloads::forall_trigger(sets, 64, 3, 5);
         let mut cells = vec![sets.to_string()];
         for trigger in [true, false] {
@@ -432,19 +477,22 @@ fn e9() {
         }
         rows.push(cells);
     }
-    print!(
-        "{}",
-        table(
-            "E9: (∀x∈X) semi-naive trigger — inverted index vs full recompute",
-            &["sets", "indexed_us", "recompute_us"],
-            &rows
-        )
+    rep.section(
+        "e9",
+        "E9: (∀x∈X) semi-naive trigger — inverted index vs full recompute",
+        &["sets", "indexed_us", "recompute_us"],
+        &rows,
     );
 }
 
-fn e10() {
+fn e10(rep: &mut Report) {
+    let shapes: &[(usize, usize)] = if rep.smoke {
+        &[(1000, 4)]
+    } else {
+        &[(1000, 4), (1000, 64), (10_000, 4), (10_000, 64)]
+    };
     let mut rows = Vec::new();
-    for &(r, a) in &[(1000usize, 4usize), (1000, 64), (10_000, 4), (10_000, 64)] {
+    for &(r, a) in shapes {
         let src = workloads::unnest(r, a);
         let d = db(&src, Dialect::Elps, SetUniverse::Reject);
         let (t, m) = time_eval(&d);
@@ -458,12 +506,94 @@ fn e10() {
             format!("{:.0}", per_row.as_secs_f64() * 1e9),
         ]);
     }
-    print!(
-        "{}",
-        table(
-            "E10: unnest throughput (Example 4)",
-            &["rows", "set_arity", "out_rows", "time_us", "ns_per_out_row"],
-            &rows
-        )
+    rep.section(
+        "e10",
+        "E10: unnest throughput (Example 4)",
+        &["rows", "set_arity", "out_rows", "time_us", "ns_per_out_row"],
+        &rows,
+    );
+}
+
+fn e11(rep: &mut Report) {
+    // Storage-layer ablation (EXPERIMENTS.md E11): microbenches of the
+    // arena-backed `Relation` — bulk insert, indexed probe, membership
+    // — plus the executor's probe counters on the E2 workload, which
+    // prove the indexed-join path performs zero heap allocations.
+    use lps_engine::relation::Relation;
+    use lps_term::{TermId, TermStore};
+
+    let cards: &[usize] = if rep.smoke {
+        &[1 << 10]
+    } else {
+        &[1 << 10, 1 << 14, 1 << 17]
+    };
+    let mut rows = Vec::new();
+    for &n in cards {
+        let mut store = TermStore::new();
+        let ids: Vec<TermId> = (0..n as i64).map(|i| store.int(i)).collect();
+        let keys = (n / 16).max(1);
+        let t_insert = median_time(3, || {
+            let mut r = Relation::new(2);
+            r.ensure_index(0b01);
+            for (i, &x) in ids.iter().enumerate() {
+                r.insert(&[ids[i % keys], x]);
+            }
+            std::hint::black_box(r.len());
+        });
+        let mut r = Relation::new(2);
+        r.ensure_index(0b01);
+        for (i, &x) in ids.iter().enumerate() {
+            r.insert(&[ids[i % keys], x]);
+        }
+        let reps = if rep.smoke { 2_000 } else { 20_000 };
+        let t_probe = median_time(3, || {
+            let mut hits = 0usize;
+            for i in 0..reps {
+                hits += r.lookup(0b01, &[ids[i % keys]]).len();
+            }
+            std::hint::black_box(hits);
+        });
+        let t_contains = median_time(3, || {
+            let mut hits = 0usize;
+            for i in 0..reps {
+                hits += usize::from(r.contains(&[ids[i % keys], ids[i % n]]));
+            }
+            std::hint::black_box(hits);
+        });
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", t_insert.as_secs_f64() * 1e9 / n as f64),
+            format!("{:.1}", t_probe.as_secs_f64() * 1e9 / reps as f64),
+            format!("{:.1}", t_contains.as_secs_f64() * 1e9 / reps as f64),
+        ]);
+    }
+    rep.section(
+        "e11",
+        "E11: relation storage ablation — arena + in-place hashing (ns/op)",
+        &["tuples", "insert_ns", "probe_ns", "contains_ns"],
+        &rows,
+    );
+
+    // Join-path counters: transitive closure drives one indexed probe
+    // per (edge, path-prefix) pair; probe_allocs must stay 0.
+    let nodes = if rep.smoke { 64 } else { 256 };
+    let src = workloads::transitive_closure(nodes, 7);
+    let d = db(&src, Dialect::Elps, SetUniverse::Reject);
+    let m = eval(&d);
+    let s = m.stats();
+    assert_eq!(
+        s.probe_allocs, 0,
+        "the indexed-join path must not heap-allocate"
+    );
+    rep.section(
+        "e11_counters",
+        "E11: indexed-join probe counters (transitive closure)",
+        &["nodes", "probes", "probe_rows", "probe_allocs"],
+        &[vec![
+            nodes.to_string(),
+            s.index_probes.to_string(),
+            s.probe_rows.to_string(),
+            s.probe_allocs.to_string(),
+        ]],
     );
 }

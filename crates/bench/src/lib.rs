@@ -58,6 +58,127 @@ pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// One rendered experiment section, retained for the JSON report.
+struct Section {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Collects experiment output for the `report` binary: prints each
+/// section as a plain-text table and optionally accumulates a JSON
+/// document (`BENCH_report.json`), so the perf trajectory can be
+/// compared across commits instead of eyeballing console tables.
+pub struct Report {
+    /// Smoke mode: experiments pick reduced parameter sweeps so the
+    /// whole suite finishes in seconds (used by the CI bench smoke).
+    pub smoke: bool,
+    collect_json: bool,
+    /// The experiment ids requested on the command line (empty = the
+    /// full suite) — recorded in the JSON so a partial run is never
+    /// mistaken for a complete baseline.
+    experiments: Vec<String>,
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// New collector. `collect_json` retains sections for
+    /// [`Report::to_json`]; `smoke` requests reduced parameters.
+    pub fn new(collect_json: bool, smoke: bool) -> Self {
+        Report {
+            smoke,
+            collect_json,
+            experiments: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Record which experiment ids this run was restricted to (empty =
+    /// all). Emitted as the JSON `experiments` field.
+    pub fn set_experiments(&mut self, ids: &[String]) {
+        self.experiments = ids.to_vec();
+    }
+
+    /// Print one experiment table and (in JSON mode) retain it.
+    pub fn section(&mut self, id: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+        print!("{}", table(title, header, rows));
+        if self.collect_json {
+            self.sections.push(Section {
+                id: id.to_owned(),
+                title: title.to_owned(),
+                columns: header.iter().map(|s| (*s).to_owned()).collect(),
+                rows: rows.to_vec(),
+            });
+        }
+    }
+
+    /// The collected sections as a JSON document. Cells stay strings —
+    /// consumers parse the `*_us` / `*_ns` columns they care about.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"smoke\": ");
+        out.push_str(if self.smoke { "true" } else { "false" });
+        out.push_str(",\n  \"experiments\": ");
+        if self.experiments.is_empty() {
+            out.push_str("\"all\"");
+        } else {
+            push_json_str_array(&mut out, &self.experiments);
+        }
+        out.push_str(",\n  \"sections\": [");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"id\": ");
+            push_json_str(&mut out, &s.id);
+            out.push_str(", \"title\": ");
+            push_json_str(&mut out, &s.title);
+            out.push_str(", \"columns\": ");
+            push_json_str_array(&mut out, &s.columns);
+            out.push_str(", \"rows\": [");
+            for (j, row) in s.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_json_str_array(&mut out, row);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write [`Report::to_json`] to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_str(out, item);
+    }
+    out.push(']');
+}
+
 /// Render a plain-text table: header plus rows.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -102,6 +223,26 @@ mod tests {
         let d = db(&src, Dialect::Elps, SetUniverse::Reject);
         let m = eval(&d);
         assert!(m.count("t", 2) > 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut rep = Report::new(true, true);
+        rep.section(
+            "e0",
+            "demo \"quoted\" — title",
+            &["n", "time_us"],
+            &[vec!["1".into(), "2.0".into()]],
+        );
+        let json = rep.to_json();
+        assert!(json.contains("\"id\": \"e0\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"experiments\": \"all\""));
+        assert!(json.contains("[\"1\", \"2.0\"]"));
+        // A restricted run records its scope.
+        rep.set_experiments(&["e2".into(), "e7".into()]);
+        assert!(rep.to_json().contains("\"experiments\": [\"e2\", \"e7\"]"));
     }
 
     #[test]

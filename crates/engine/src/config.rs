@@ -81,6 +81,15 @@ pub struct EvalStats {
     pub tuples_considered: usize,
     /// Number of strata.
     pub strata: usize,
+    /// Indexed join probes (`Relation::lookup` calls).
+    pub index_probes: usize,
+    /// Row ids yielded by those probes (join fan-out).
+    pub probe_rows: usize,
+    /// Heap allocations on the probe path. Only compound key patterns
+    /// (set/function literals interned per probe) allocate; ordinary
+    /// joins build keys into a stack buffer, so this is 0 for them —
+    /// the observable guarantee of the arena storage layer (E11).
+    pub probe_allocs: usize,
 }
 
 impl EvalStats {
@@ -91,6 +100,9 @@ impl EvalStats {
         self.rule_evaluations += other.rule_evaluations;
         self.tuples_considered += other.tuples_considered;
         self.strata += other.strata;
+        self.index_probes += other.index_probes;
+        self.probe_rows += other.probe_rows;
+        self.probe_allocs += other.probe_allocs;
     }
 }
 
@@ -115,6 +127,9 @@ mod tests {
             rule_evaluations: 5,
             tuples_considered: 20,
             strata: 1,
+            index_probes: 7,
+            probe_rows: 30,
+            probe_allocs: 0,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -122,9 +137,15 @@ mod tests {
             rule_evaluations: 2,
             tuples_considered: 4,
             strata: 1,
+            index_probes: 5,
+            probe_rows: 6,
+            probe_allocs: 1,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
         assert_eq!(a.strata, 2);
+        assert_eq!(a.index_probes, 12);
+        assert_eq!(a.probe_rows, 36);
+        assert_eq!(a.probe_allocs, 1);
     }
 }

@@ -158,7 +158,7 @@ impl Engine {
                 got: tuple.len(),
             });
         }
-        self.full[pred.index()].insert(tuple.into_boxed_slice());
+        self.full[pred.index()].insert(&tuple);
         Ok(())
     }
 
@@ -282,7 +282,7 @@ impl Engine {
                         _ => unreachable!("is_fact guarantees ground head"),
                     })
                     .collect();
-                if self.full[cr.rule.head.index()].insert(tuple.into_boxed_slice()) {
+                if self.full[cr.rule.head.index()].insert(&tuple) {
                     stats.facts_derived += 1;
                 }
             }

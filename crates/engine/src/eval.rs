@@ -23,6 +23,8 @@
 //!    as a join and grouped into a **coverage map**; a free-variable
 //!    binding qualifies iff the whole product is covered.
 
+use std::cell::Cell;
+
 use lps_term::{FxHashMap, FxHashSet, Sort, TermId, TermStore};
 
 use crate::builtin;
@@ -33,6 +35,30 @@ use crate::plan::{QuantPlan, Step, Variant};
 use crate::relation::Relation;
 use crate::rule::{BodyLit, QuantGroup, Rule};
 
+/// Interior-mutable counters for the indexed-join probe path, threaded
+/// through [`RelViews`] so the recursive executor can count without
+/// extra parameters. The fixpoint drivers fold them into
+/// [`crate::config::EvalStats`] after each stratum.
+#[derive(Debug, Default)]
+pub struct ProbeCounters {
+    /// Indexed lookups performed ([`Relation::lookup`] calls).
+    pub probes: Cell<u64>,
+    /// Row ids yielded by those lookups.
+    pub rows: Cell<u64>,
+    /// Heap allocations on the probe path. Only compound key patterns
+    /// (set/function literals that must intern a term per probe)
+    /// allocate; flat `Var`/`Ground` keys are built into a stack
+    /// buffer, so this stays 0 on ordinary joins.
+    pub allocs: Cell<u64>,
+}
+
+impl ProbeCounters {
+    #[inline]
+    fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+}
+
 /// Read-only view of the relation state during one rule evaluation.
 pub struct RelViews<'a> {
     /// Full relations, indexed by `PredId::index()`.
@@ -40,6 +66,8 @@ pub struct RelViews<'a> {
     /// Delta relations (last iteration's new tuples), same indexing.
     /// Empty relations when running naive.
     pub delta: &'a [Relation],
+    /// Probe counters for this evaluation pass.
+    pub counters: &'a ProbeCounters,
 }
 
 /// Optional restriction used by the semi-naive ∀-trigger (experiment
@@ -131,7 +159,12 @@ fn run_steps(
         return sink(store, env);
     }
     match &steps[k] {
-        Step::Pos { lit, mask, delta } => {
+        Step::Pos {
+            lit,
+            mask,
+            delta,
+            flat,
+        } => {
             let (pred, args) = match &lits[*lit] {
                 BodyLit::Pos(p, a) => (*p, a),
                 other => unreachable!("Pos step on {other:?}"),
@@ -143,41 +176,57 @@ fn run_steps(
             };
             if *mask == 0 {
                 for row in 0..rel.len() as u32 {
-                    let sols = match_solutions(store, args, rel.row(row), env);
-                    for bindings in sols {
-                        let mark = env.mark();
-                        env.apply(&bindings);
-                        run_steps(lits, steps, k + 1, store, views, policy, env, sink)?;
-                        env.undo_to(mark);
-                    }
+                    match_row_then_continue(
+                        lits,
+                        steps,
+                        k,
+                        store,
+                        views,
+                        policy,
+                        env,
+                        sink,
+                        args,
+                        rel.row(row),
+                        *flat,
+                    )?;
                 }
             } else {
-                // Build the lookup key from the bound columns.
-                let mut key = Vec::with_capacity(mask.count_ones() as usize);
-                for (i, arg) in args.iter().enumerate() {
-                    if mask & (1 << i) != 0 {
-                        let id = arg
-                            .build(store, env)
-                            .expect("planner guarantees bound columns");
-                        key.push(id);
-                    }
+                // Build the probe key into a stack buffer, in ascending
+                // column order (arity ≤ 32) — the indexed-join path
+                // performs no heap allocation.
+                let mut m = *mask;
+                let first_col = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let mut key = [build_key_col(&args[first_col], store, env, views.counters); 32];
+                let mut klen = 1;
+                while m != 0 {
+                    let col = m.trailing_zeros() as usize;
+                    key[klen] = build_key_col(&args[col], store, env, views.counters);
+                    klen += 1;
+                    m &= m - 1;
                 }
-                // Copy row ids out so the relation borrow ends before
-                // recursion (which needs &mut store).
-                let rows: Vec<u32> = rel.lookup(*mask, &key).to_vec();
-                for row in rows {
-                    let sols = match_solutions(store, args, rel.row(row), env);
-                    for bindings in sols {
-                        let mark = env.mark();
-                        env.apply(&bindings);
-                        run_steps(lits, steps, k + 1, store, views, policy, env, sink)?;
-                        env.undo_to(mark);
-                    }
+                ProbeCounters::bump(&views.counters.probes, 1);
+                let rows = rel.lookup(*mask, &key[..klen]);
+                ProbeCounters::bump(&views.counters.rows, rows.len() as u64);
+                for &row in rows {
+                    match_row_then_continue(
+                        lits,
+                        steps,
+                        k,
+                        store,
+                        views,
+                        policy,
+                        env,
+                        sink,
+                        args,
+                        rel.row(row),
+                        *flat,
+                    )?;
                 }
             }
             Ok(())
         }
-        Step::BuiltinStep { lit } => {
+        Step::BuiltinStep { lit, flat } => {
             let (b, args) = match &lits[*lit] {
                 BodyLit::Builtin(b, a) => (*b, a),
                 other => unreachable!("Builtin step on {other:?}"),
@@ -194,13 +243,9 @@ fn run_steps(
                 .collect();
             let candidates = builtin::enumerate(b, &known, store, policy)?;
             for cand in candidates {
-                let sols = match_solutions(store, args, &cand, env);
-                for bindings in sols {
-                    let mark = env.mark();
-                    env.apply(&bindings);
-                    run_steps(lits, steps, k + 1, store, views, policy, env, sink)?;
-                    env.undo_to(mark);
-                }
+                match_row_then_continue(
+                    lits, steps, k, store, views, policy, env, sink, args, &cand, *flat,
+                )?;
             }
             Ok(())
         }
@@ -232,6 +277,87 @@ fn run_steps(
             Ok(())
         }
     }
+}
+
+/// Build one probe-key column. Flat `Var`/`Ground` patterns read a
+/// binding or copy an id; compound patterns must intern a term, which
+/// allocates — counted so `EvalStats` can prove the ordinary join path
+/// is allocation-free.
+#[inline]
+fn build_key_col(
+    arg: &Pattern,
+    store: &mut TermStore,
+    env: &Env,
+    counters: &ProbeCounters,
+) -> TermId {
+    if !matches!(arg, Pattern::Var(_) | Pattern::Ground(_)) {
+        ProbeCounters::bump(&counters.allocs, 1);
+    }
+    arg.build(store, env)
+        .expect("planner guarantees bound columns")
+}
+
+/// Match one relation row (or builtin candidate tuple) against `args`
+/// and recurse into the remaining steps for each solution. Flat tuples
+/// (all `Var`/`Ground` args, precomputed by the planner) have at most
+/// one solution and bind in place with no allocation; general patterns
+/// fall back to solution capture.
+#[allow(clippy::too_many_arguments)]
+fn match_row_then_continue(
+    lits: &[BodyLit],
+    steps: &[Step],
+    k: usize,
+    store: &mut TermStore,
+    views: &RelViews<'_>,
+    policy: SetUniverse,
+    env: &mut Env,
+    sink: &mut dyn FnMut(&mut TermStore, &mut Env) -> Result<(), EngineError>,
+    args: &[Pattern],
+    tuple: &[TermId],
+    flat: bool,
+) -> Result<(), EngineError> {
+    if flat {
+        let mark = env.mark();
+        if match_flat(args, tuple, env) {
+            run_steps(lits, steps, k + 1, store, views, policy, env, sink)?;
+        }
+        env.undo_to(mark);
+        return Ok(());
+    }
+    let sols = match_solutions(store, args, tuple, env);
+    for bindings in sols {
+        let mark = env.mark();
+        env.apply(&bindings);
+        run_steps(lits, steps, k + 1, store, views, policy, env, sink)?;
+        env.undo_to(mark);
+    }
+    Ok(())
+}
+
+/// Match a flat (all `Var`/`Ground`) argument tuple against a ground
+/// tuple, binding unbound variables in place. Returns whether the whole
+/// tuple matched; the caller undoes any partial bindings via its mark.
+#[inline]
+fn match_flat(args: &[Pattern], tuple: &[TermId], env: &mut Env) -> bool {
+    for (p, &t) in args.iter().zip(tuple) {
+        match p {
+            Pattern::Ground(id) => {
+                if *id != t {
+                    return false;
+                }
+            }
+            Pattern::Var(v) => match env.get(*v) {
+                Some(bound) => {
+                    if bound != t {
+                        return false;
+                    }
+                }
+                None => env.bind(*v, t),
+            },
+            _ => unreachable!("flat tuple has Var/Ground args only"),
+        }
+    }
+    true
 }
 
 /// All match solutions of `patterns` against `tuple` under `env`,

@@ -13,15 +13,54 @@ use lps_term::{FxHashSet, TermId, TermStore};
 
 use crate::config::{EvalConfig, EvalStats, FixpointStrategy};
 use crate::error::EngineError;
-use crate::eval::{eval_rule_variant, QuantTrigger, RelViews};
+use crate::eval::{eval_rule_variant, ProbeCounters, QuantTrigger, RelViews};
 use crate::pattern::Pattern;
 use crate::plan::CompiledRule;
 use crate::pred::PredId;
 use crate::relation::Relation;
 use crate::rule::BodyLit;
 
-/// Derived head tuples from one rule pass.
-type Derived = Vec<(PredId, Box<[TermId]>)>;
+/// Reusable buffer of derived head tuples: one flat `TermId` pool plus
+/// per-tuple `(pred, start, len)` records. The drivers clear it between
+/// fixpoint rounds (capacities retained), so a round allocates nothing
+/// once the buffer has reached its working size — no per-tuple boxes,
+/// no per-round vectors.
+#[derive(Debug, Default)]
+struct DerivedBuf {
+    heads: Vec<(PredId, u32, u32)>,
+    pool: Vec<TermId>,
+}
+
+impl DerivedBuf {
+    /// Forget all tuples, keeping capacity.
+    fn clear(&mut self) {
+        self.heads.clear();
+        self.pool.clear();
+    }
+
+    /// Number of buffered tuples.
+    fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Start a tuple: returns the pool offset to record.
+    fn begin(&self) -> u32 {
+        u32::try_from(self.pool.len()).expect("derived pool overflow")
+    }
+
+    /// Finish the tuple started at `start` for `pred`.
+    fn commit(&mut self, pred: PredId, start: u32) {
+        let len = self.pool.len() as u32 - start;
+        self.heads.push((pred, start, len));
+    }
+
+    /// Buffered `(pred, tuple)` pairs in derivation order.
+    fn iter(&self) -> impl Iterator<Item = (PredId, &[TermId])> {
+        self.heads
+            .iter()
+            .map(move |&(p, start, len)| (p, &self.pool[start as usize..(start + len) as usize]))
+    }
+}
 
 /// Run one stratum to fixpoint. `regular` are ordinary rules whose
 /// heads live in this stratum; `grouping` are LDL grouping rules
@@ -38,13 +77,16 @@ pub fn run_stratum(
         strata: 1,
         ..EvalStats::default()
     };
+    let counters = ProbeCounters::default();
 
     // Grouping rules first (Definition 14): body strata are final.
+    let mut derived = DerivedBuf::default();
     for cr in grouping {
-        let derived = eval_grouping(cr, store, full, delta, config)?;
+        derived.clear();
+        eval_grouping(cr, store, full, delta, config, &counters, &mut derived)?;
         stats.rule_evaluations += 1;
         stats.tuples_considered += derived.len();
-        for (pred, tuple) in derived {
+        for (pred, tuple) in derived.iter() {
             if full[pred.index()].insert(tuple) {
                 stats.facts_derived += 1;
             }
@@ -52,12 +94,20 @@ pub fn run_stratum(
     }
 
     match config.strategy {
-        FixpointStrategy::Naive => naive(store, full, delta, regular, config, &mut stats)?,
-        FixpointStrategy::SemiNaive => seminaive(store, full, delta, regular, config, &mut stats)?,
+        FixpointStrategy::Naive => {
+            naive(store, full, delta, regular, config, &counters, &mut stats)?
+        }
+        FixpointStrategy::SemiNaive => {
+            seminaive(store, full, delta, regular, config, &counters, &mut stats)?
+        }
     }
+    stats.index_probes = counters.probes.get() as usize;
+    stats.probe_rows = counters.rows.get() as usize;
+    stats.probe_allocs = counters.allocs.get() as usize;
     Ok(stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_variant(
     cr: &CompiledRule,
     variant_idx: usize,
@@ -66,9 +116,14 @@ fn collect_variant(
     delta: &[Relation],
     config: &EvalConfig,
     trigger: Option<&QuantTrigger<'_>>,
-) -> Result<Derived, EngineError> {
-    let views = RelViews { full, delta };
-    let mut out: Derived = Vec::new();
+    counters: &ProbeCounters,
+    out: &mut DerivedBuf,
+) -> Result<(), EngineError> {
+    let views = RelViews {
+        full,
+        delta,
+        counters,
+    };
     let rule = &cr.rule;
     eval_rule_variant(
         rule,
@@ -79,33 +134,39 @@ fn collect_variant(
         config.set_universe,
         trigger,
         &mut |store, env| {
-            let mut tuple = Vec::with_capacity(rule.head_args.len());
+            let start = out.begin();
             for arg in &rule.head_args {
-                tuple.push(
-                    arg.build(store, env)
-                        .expect("planner guarantees head vars are bound"),
-                );
+                let id = arg
+                    .build(store, env)
+                    .expect("planner guarantees head vars are bound");
+                out.pool.push(id);
             }
-            out.push((rule.head, tuple.into_boxed_slice()));
+            out.commit(rule.head, start);
             Ok(())
         },
-    )?;
-    Ok(out)
+    )
 }
 
 /// Evaluate one grouping rule: join the body, then collect the set of
 /// grouping-variable values per binding of the remaining head
 /// arguments (Definition 14).
+#[allow(clippy::too_many_arguments)]
 fn eval_grouping(
     cr: &CompiledRule,
     store: &mut TermStore,
     full: &[Relation],
     delta: &[Relation],
     config: &EvalConfig,
-) -> Result<Derived, EngineError> {
+    counters: &ProbeCounters,
+    out: &mut DerivedBuf,
+) -> Result<(), EngineError> {
     let rule = &cr.rule;
     let group = rule.group.as_ref().expect("grouping rule");
-    let views = RelViews { full, delta };
+    let views = RelViews {
+        full,
+        delta,
+        counters,
+    };
     // key (non-group head args) → collected group values.
     let mut groups: lps_term::FxHashMap<Vec<TermId>, Vec<TermId>> = lps_term::FxHashMap::default();
     eval_rule_variant(
@@ -133,31 +194,34 @@ fn eval_grouping(
         },
     )?;
 
-    let mut out: Derived = Vec::with_capacity(groups.len());
     for (key, vals) in groups {
         let set = store.set(vals);
-        let mut tuple = Vec::with_capacity(rule.head_args.len());
+        let start = out.begin();
         let mut key_iter = key.into_iter();
         for pos in 0..rule.head_args.len() {
             if pos == group.arg_pos {
-                tuple.push(set);
+                out.pool.push(set);
             } else {
-                tuple.push(key_iter.next().expect("key arity"));
+                out.pool.push(key_iter.next().expect("key arity"));
             }
         }
-        out.push((rule.head, tuple.into_boxed_slice()));
+        out.commit(rule.head, start);
     }
-    Ok(out)
+    Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn naive(
     store: &mut TermStore,
     full: &mut [Relation],
     delta: &mut [Relation],
     regular: &[&CompiledRule],
     config: &EvalConfig,
+    counters: &ProbeCounters,
     stats: &mut EvalStats,
 ) -> Result<(), EngineError> {
+    // One derivation buffer for the whole fixpoint, cleared per round.
+    let mut derived = DerivedBuf::default();
     loop {
         if stats.iterations >= config.max_iterations {
             return Err(EngineError::IterationLimit {
@@ -165,15 +229,25 @@ fn naive(
             });
         }
         let sets_at_round_start = store.set_ids().len();
-        let mut derived: Derived = Vec::new();
+        derived.clear();
         for cr in regular {
-            derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+            collect_variant(
+                cr,
+                0,
+                store,
+                full,
+                delta,
+                config,
+                None,
+                counters,
+                &mut derived,
+            )?;
             stats.rule_evaluations += 1;
         }
         stats.iterations += 1;
         stats.tuples_considered += derived.len();
         let mut changed = false;
-        for (pred, tuple) in derived {
+        for (pred, tuple) in derived.iter() {
             if full[pred.index()].insert(tuple) {
                 stats.facts_derived += 1;
                 changed = true;
@@ -206,19 +280,35 @@ fn quant_trigger_safe(cr: &CompiledRule) -> bool {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn seminaive(
     store: &mut TermStore,
     full: &mut [Relation],
     delta: &mut [Relation],
     regular: &[&CompiledRule],
     config: &EvalConfig,
+    counters: &ProbeCounters,
     stats: &mut EvalStats,
 ) -> Result<(), EngineError> {
+    // Round-persistent buffers: the derivation buffer and the
+    // ∀-trigger candidate set are cleared per round, not reallocated.
+    let mut derived = DerivedBuf::default();
+    let mut candidate_sets: FxHashSet<TermId> = FxHashSet::default();
+
     // Round 0: all rules, full relations.
     let mut sets_seen = store.set_ids().len();
-    let mut derived: Derived = Vec::new();
     for cr in regular {
-        derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+        collect_variant(
+            cr,
+            0,
+            store,
+            full,
+            delta,
+            config,
+            None,
+            counters,
+            &mut derived,
+        )?;
         stats.rule_evaluations += 1;
     }
     stats.iterations += 1;
@@ -226,8 +316,8 @@ fn seminaive(
     for d in delta.iter_mut() {
         d.clear();
     }
-    for (pred, tuple) in derived {
-        if full[pred.index()].insert(tuple.clone()) {
+    for (pred, tuple) in derived.iter() {
+        if full[pred.index()].insert(tuple) {
             stats.facts_derived += 1;
             delta[pred.index()].insert(tuple);
         }
@@ -247,7 +337,7 @@ fn seminaive(
 
         // Candidate sets for the ∀-trigger: sets containing any newly
         // derived component.
-        let mut candidate_sets: FxHashSet<TermId> = FxHashSet::default();
+        candidate_sets.clear();
         if config.forall_trigger_index {
             for d in delta.iter() {
                 for tuple in d.iter() {
@@ -264,12 +354,22 @@ fn seminaive(
             }
         }
 
-        let mut derived: Derived = Vec::new();
+        derived.clear();
         for cr in regular {
             // Universe-growth trigger: rules that enumerate the active
             // set universe must re-run against the enlarged universe.
             if universe_grew && cr.uses_active_universe {
-                derived.extend(collect_variant(cr, 0, store, full, delta, config, None)?);
+                collect_variant(
+                    cr,
+                    0,
+                    store,
+                    full,
+                    delta,
+                    config,
+                    None,
+                    counters,
+                    &mut derived,
+                )?;
                 stats.rule_evaluations += 1;
             }
             // Delta variants: re-join from each recursive literal.
@@ -281,7 +381,17 @@ fn seminaive(
                 if delta[p.index()].is_empty() {
                     continue;
                 }
-                derived.extend(collect_variant(cr, vi, store, full, delta, config, None)?);
+                collect_variant(
+                    cr,
+                    vi,
+                    store,
+                    full,
+                    delta,
+                    config,
+                    None,
+                    counters,
+                    &mut derived,
+                )?;
                 stats.rule_evaluations += 1;
             }
             // Quantifier trigger: inner predicates grew.
@@ -296,7 +406,17 @@ fn seminaive(
                 } else {
                     None
                 };
-                derived.extend(collect_variant(cr, 0, store, full, delta, config, trigger)?);
+                collect_variant(
+                    cr,
+                    0,
+                    store,
+                    full,
+                    delta,
+                    config,
+                    trigger,
+                    counters,
+                    &mut derived,
+                )?;
                 stats.rule_evaluations += 1;
             }
         }
@@ -307,8 +427,8 @@ fn seminaive(
             d.clear();
         }
         let mut changed = false;
-        for (pred, tuple) in derived {
-            if full[pred.index()].insert(tuple.clone()) {
+        for (pred, tuple) in derived.iter() {
+            if full[pred.index()].insert(tuple) {
                 stats.facts_derived += 1;
                 delta[pred.index()].insert(tuple);
                 changed = true;

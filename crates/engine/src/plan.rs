@@ -36,11 +36,18 @@ pub enum Step {
         mask: ColMask,
         /// Read from the delta relation (semi-naive variants).
         delta: bool,
+        /// All argument patterns are plain `Var`/`Ground` (precomputed
+        /// here so the executor can take its allocation-free
+        /// bind-in-place path without re-inspecting patterns per row).
+        flat: bool,
     },
     /// Evaluate a builtin via `builtin::enumerate`.
     BuiltinStep {
         /// Index into `rule.outer`.
         lit: usize,
+        /// All argument patterns are plain `Var`/`Ground` (see
+        /// [`Step::Pos::flat`]).
+        flat: bool,
     },
     /// Check a negated atom (all variables bound).
     NegStep {
@@ -66,7 +73,9 @@ impl Step {
     /// universe enumeration).
     pub fn lit(&self) -> Option<usize> {
         match self {
-            Step::Pos { lit, .. } | Step::BuiltinStep { lit } | Step::NegStep { lit } => Some(*lit),
+            Step::Pos { lit, .. } | Step::BuiltinStep { lit, .. } | Step::NegStep { lit } => {
+                Some(*lit)
+            }
             Step::EnumUniverse { .. } => None,
         }
     }
@@ -352,7 +361,10 @@ pub fn compile_rule(
     let mut index_requests = Vec::new();
     let mut push_requests = |steps: &[Step], lits: &[BodyLit]| {
         for step in steps {
-            if let Step::Pos { lit, mask, delta } = step {
+            if let Step::Pos {
+                lit, mask, delta, ..
+            } = step
+            {
                 if *mask != 0 {
                     if let BodyLit::Pos(p, _) = &lits[*lit] {
                         index_requests.push((*p, *mask, *delta));
@@ -393,7 +405,7 @@ fn vars_bound_after(steps: &[Step], rule: &Rule) -> FxHashSet<VarId> {
     let mut bound = FxHashSet::default();
     for step in steps {
         match step {
-            Step::Pos { lit, .. } | Step::BuiltinStep { lit } => {
+            Step::Pos { lit, .. } | Step::BuiltinStep { lit, .. } => {
                 bound.extend(rule.outer[*lit].vars());
             }
             Step::NegStep { .. } => {}
@@ -444,7 +456,10 @@ fn order_steps(
         .into_iter()
         .map(|d| match &rule.outer[d] {
             BodyLit::Neg(..) => Step::NegStep { lit: d },
-            BodyLit::Builtin(..) => Step::BuiltinStep { lit: d },
+            BodyLit::Builtin(..) => Step::BuiltinStep {
+                lit: d,
+                flat: lit_flat(&rule.outer[d]),
+            },
             BodyLit::Pos(..) => unreachable!("positive literals are never deferred"),
         })
         .collect();
@@ -481,6 +496,7 @@ fn order_lits(
             lit: d,
             mask,
             delta: true,
+            flat: lit_flat(&lits[d]),
         });
         bound.extend(lits[d].vars());
         remaining.retain(|&i| i != d);
@@ -570,6 +586,7 @@ fn order_lits(
                 lit: pick,
                 mask: bound_mask(&lits[pick], &bound),
                 delta: false,
+                flat: lit_flat(&lits[pick]),
             },
             BodyLit::Neg(_, _) => Step::NegStep { lit: pick },
             BodyLit::Builtin(b, args) => {
@@ -587,7 +604,10 @@ fn order_lits(
                 if enumerates_sets {
                     *uses_active = true;
                 }
-                Step::BuiltinStep { lit: pick }
+                Step::BuiltinStep {
+                    lit: pick,
+                    flat: lit_flat(&lits[pick]),
+                }
             }
         };
         if !matches!(step, Step::NegStep { .. }) {
@@ -597,6 +617,18 @@ fn order_lits(
         remaining.retain(|&i| i != pick);
     }
     Ok((steps, Vec::new()))
+}
+
+/// Whether every argument of a literal is a plain `Var`/`Ground`
+/// pattern. Flat tuples have at most one match solution per row, which
+/// the executor exploits to bind in place without capturing solutions.
+fn lit_flat(lit: &BodyLit) -> bool {
+    let args = match lit {
+        BodyLit::Pos(_, args) | BodyLit::Neg(_, args) => args,
+        BodyLit::Builtin(_, args) => args,
+    };
+    args.iter()
+        .all(|p| matches!(p, Pattern::Var(_) | Pattern::Ground(_)))
 }
 
 fn pattern_bound(p: &Pattern, bound: &FxHashSet<VarId>) -> bool {
@@ -705,7 +737,7 @@ mod tests {
         .expect("plans");
         let steps = &compiled.variants[0].steps;
         assert!(matches!(steps[0], Step::Pos { .. }));
-        assert!(matches!(steps[1], Step::BuiltinStep { lit: 0 }));
+        assert!(matches!(steps[1], Step::BuiltinStep { lit: 0, .. }));
     }
 
     #[test]

@@ -1,35 +1,241 @@
-//! Tuple storage with on-demand hash indexes.
+//! Arena-backed tuple storage with on-demand, allocation-free indexes.
 //!
 //! A [`Relation`] holds the extension of one predicate: a deduplicated,
-//! insertion-ordered list of tuples of interned terms. Secondary
-//! indexes are built per *column mask* (the set of columns bound at a
-//! join step) the first time a plan needs them, and maintained
-//! incrementally on insert thereafter.
+//! insertion-ordered list of tuples of interned terms, stored in one
+//! contiguous [`TermId`] arena with stride = arity. Deduplication and
+//! the per-[`ColMask`] secondary indexes never materialize keys: they
+//! hash and compare the relevant columns *in place* in the arena, open
+//! addressing over `u32` row ids with the workspace Fx hasher
+//! ([`lps_term::fx_fold`]).
+//!
+//! Compared to the previous `Vec<Box<[TermId]>>` + boxed-key-hash-map
+//! layout this removes all three per-tuple heap allocations on insert
+//! (boxed tuple, cloned dedup key, per-mask boxed index keys) and both
+//! per-probe allocations on lookup (key vector, defensive row-id
+//! copy). [`Relation::lookup`] returns a borrowed row-id slice; probes
+//! are allocation-free (DESIGN.md §3/§7, experiment E11).
+//!
+//! Secondary indexes are built per *column mask* (the set of columns
+//! bound at a join step) the first time a plan needs them, and
+//! maintained incrementally on insert thereafter.
 
-use lps_term::{FxHashMap, FxHashSet, TermId};
+use lps_term::{fx_fold, TermId};
 
 /// Bitmask of bound columns (bit *i* set ⇔ column *i* bound).
 /// Relations are capped at 32 columns, far above any realistic arity.
 pub type ColMask = u32;
 
-/// Build the key for `mask` from a full tuple.
-fn key_for(tuple: &[TermId], mask: ColMask) -> Box<[TermId]> {
-    let mut key = Vec::with_capacity(mask.count_ones() as usize);
-    for (i, &t) in tuple.iter().enumerate() {
-        if mask & (1 << i) != 0 {
-            key.push(t);
-        }
-    }
-    key.into_boxed_slice()
+/// Sentinel for an empty open-addressing slot.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Initial open-addressing capacity (power of two).
+const INITIAL_CAP: usize = 8;
+
+/// Hash a key slice (the bound values of a probe, in ascending column
+/// order). Must agree with [`hash_masked_row`] for the same values.
+#[inline]
+fn hash_ids(ids: &[TermId]) -> u64 {
+    ids.iter().fold(0u64, |h, id| fx_fold(h, id.index() as u64))
 }
 
-/// The extension of one predicate.
+/// Hash the `mask`-selected columns of the row starting at `base`,
+/// in place in the arena, in ascending column order.
+#[inline]
+fn hash_masked_row(arena: &[TermId], base: usize, mask: ColMask) -> u64 {
+    let mut h = 0u64;
+    let mut m = mask;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        h = fx_fold(h, arena[base + col].index() as u64);
+        m &= m - 1;
+    }
+    h
+}
+
+/// Do the `mask`-selected columns of the row starting at `base` equal
+/// `key` (ascending column order)?
+#[inline]
+fn masked_row_matches(arena: &[TermId], base: usize, mask: ColMask, key: &[TermId]) -> bool {
+    let mut m = mask;
+    let mut k = 0;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        if arena[base + col] != key[k] {
+            return false;
+        }
+        k += 1;
+        m &= m - 1;
+    }
+    true
+}
+
+/// Linear-probe `slots` for `hash`, returning the first slot index that
+/// is either empty or whose occupant satisfies `matches`. `slots.len()`
+/// must be a nonzero power of two with at least one empty slot.
+#[inline]
+fn find_slot(slots: &[u32], hash: u64, mut matches: impl FnMut(u32) -> bool) -> usize {
+    let cap_mask = slots.len() - 1;
+    let mut i = (hash as usize) & cap_mask;
+    loop {
+        let s = slots[i];
+        if s == EMPTY_SLOT || matches(s) {
+            return i;
+        }
+        i = (i + 1) & cap_mask;
+    }
+}
+
+/// Open-addressing dedup table over row ids: rows are hashed and
+/// compared in place in the arena, so no key is ever materialized.
+#[derive(Debug, Default, Clone)]
+struct RowTable {
+    /// Row ids (or [`EMPTY_SLOT`]); length is a power of two.
+    slots: Box<[u32]>,
+    /// Occupied slot count.
+    len: usize,
+}
+
+impl RowTable {
+    /// Grow and rehash (from the arena) when the next insert would push
+    /// the load factor past 7/8.
+    fn reserve_one(&mut self, arena: &[TermId], arity: usize) {
+        if (self.len + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let new_cap = (self.slots.len() * 2).max(INITIAL_CAP);
+        let mut slots = vec![EMPTY_SLOT; new_cap].into_boxed_slice();
+        for row in 0..self.len as u32 {
+            let base = row as usize * arity;
+            let h = hash_ids(&arena[base..base + arity]);
+            // All stored rows are distinct: only an empty slot matches.
+            let i = find_slot(&slots, h, |_| false);
+            slots[i] = row;
+        }
+        self.slots = slots;
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+}
+
+/// A secondary index for one column mask: an open-addressing table of
+/// bucket ids, where each bucket lists the row ids sharing the same
+/// values on the `mask` columns, in insertion order. Probes hash the
+/// caller's bound values directly; stored keys are compared against a
+/// bucket's first row in place in the arena.
+#[derive(Debug, Clone)]
+struct ColIndex {
+    mask: ColMask,
+    /// Bucket ids (or [`EMPTY_SLOT`]); length is a power of two.
+    slots: Box<[u32]>,
+    /// Row ids per distinct key, insertion-ordered. Only the first
+    /// `live` buckets are in use; the tail is emptied buckets kept for
+    /// reuse, so `clear` + refill (delta relations, every semi-naive
+    /// round) reallocates nothing at steady state.
+    buckets: Vec<Vec<u32>>,
+    /// Buckets currently reachable from `slots`.
+    live: usize,
+}
+
+impl ColIndex {
+    fn new(mask: ColMask) -> Self {
+        ColIndex {
+            mask,
+            slots: Box::default(),
+            buckets: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Add `row` (already appended to the arena) to the index.
+    fn insert_row(&mut self, arena: &[TermId], arity: usize, row: u32) {
+        // Grow on distinct-key count (`live`).
+        if (self.live + 1) * 8 > self.slots.len() * 7 {
+            let new_cap = (self.slots.len() * 2).max(INITIAL_CAP);
+            let mut slots = vec![EMPTY_SLOT; new_cap].into_boxed_slice();
+            for (b, bucket) in self.buckets[..self.live].iter().enumerate() {
+                let base = bucket[0] as usize * arity;
+                let h = hash_masked_row(arena, base, self.mask);
+                let i = find_slot(&slots, h, |_| false);
+                slots[i] = b as u32;
+            }
+            self.slots = slots;
+        }
+        let base = row as usize * arity;
+        let h = hash_masked_row(arena, base, self.mask);
+        let (mask, buckets) = (self.mask, &self.buckets);
+        let i = find_slot(&self.slots, h, |b| {
+            let rep = buckets[b as usize][0] as usize * arity;
+            masked_rows_equal(arena, rep, base, mask)
+        });
+        match self.slots[i] {
+            EMPTY_SLOT => {
+                self.slots[i] = self.live as u32;
+                if self.live == self.buckets.len() {
+                    self.buckets.push(Vec::new());
+                }
+                self.buckets[self.live].push(row);
+                self.live += 1;
+            }
+            b => self.buckets[b as usize].push(row),
+        }
+    }
+
+    /// Row ids matching `key` (ascending-column order), or `&[]`.
+    fn lookup<'a>(&'a self, arena: &[TermId], arity: usize, key: &[TermId]) -> &'a [u32] {
+        if self.slots.is_empty() {
+            return &[];
+        }
+        let h = hash_ids(key);
+        let (mask, buckets) = (self.mask, &self.buckets);
+        let i = find_slot(&self.slots, h, |b| {
+            let rep = buckets[b as usize][0] as usize * arity;
+            masked_row_matches(arena, rep, mask, key)
+        });
+        match self.slots[i] {
+            EMPTY_SLOT => &[],
+            b => &self.buckets[b as usize],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        for bucket in &mut self.buckets[..self.live] {
+            bucket.clear();
+        }
+        self.live = 0;
+    }
+}
+
+/// Do two rows (at arena offsets `b1`, `b2`) agree on `mask` columns?
+#[inline]
+fn masked_rows_equal(arena: &[TermId], b1: usize, b2: usize, mask: ColMask) -> bool {
+    let mut m = mask;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        if arena[b1 + col] != arena[b2 + col] {
+            return false;
+        }
+        m &= m - 1;
+    }
+    true
+}
+
+/// The extension of one predicate: a flat `TermId` arena with stride =
+/// arity, an in-place dedup table, and per-mask secondary indexes.
 #[derive(Debug, Default, Clone)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Box<[TermId]>>,
-    dedup: FxHashSet<Box<[TermId]>>,
-    indexes: FxHashMap<ColMask, FxHashMap<Box<[TermId]>, Vec<u32>>>,
+    /// Tuple storage: row *r* occupies `arena[r*arity .. (r+1)*arity]`.
+    arena: Vec<TermId>,
+    /// Row count (tracked separately so zero-arity relations work).
+    rows: u32,
+    dedup: RowTable,
+    /// Secondary indexes; relations have very few masks, so a linear
+    /// scan beats hashing the mask on every probe.
+    indexes: Vec<ColIndex>,
 }
 
 impl Relation {
@@ -49,85 +255,119 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows as usize
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// Insert a tuple; returns `true` if it was new.
-    pub fn insert(&mut self, tuple: Box<[TermId]>) -> bool {
-        debug_assert_eq!(tuple.len(), self.arity);
-        if !self.dedup.insert(tuple.clone()) {
+    /// Insert a tuple; returns `true` if it was new. The tuple is
+    /// copied into the arena — no per-tuple box is allocated.
+    ///
+    /// # Panics
+    /// Panics if `tuple.len() != arity`: a wrong-length row would
+    /// shift the stride of every later row in the flat arena, so this
+    /// is a hard check even in release builds (one compare per insert,
+    /// off the per-column hot loop).
+    pub fn insert(&mut self, tuple: &[TermId]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.dedup.reserve_one(&self.arena, self.arity);
+        let h = hash_ids(tuple);
+        let (arena, arity) = (&self.arena, self.arity);
+        let slot = find_slot(&self.dedup.slots, h, |r| {
+            let base = r as usize * arity;
+            &arena[base..base + arity] == tuple
+        });
+        if self.dedup.slots[slot] != EMPTY_SLOT {
             return false;
         }
-        let row = u32::try_from(self.tuples.len()).expect("relation overflow");
-        for (&mask, index) in &mut self.indexes {
-            index.entry(key_for(&tuple, mask)).or_default().push(row);
+        let row = self.rows;
+        assert!(row != u32::MAX, "relation overflow");
+        self.arena.extend_from_slice(tuple);
+        self.rows += 1;
+        self.dedup.slots[slot] = row;
+        self.dedup.len += 1;
+        let arena = &self.arena;
+        for index in &mut self.indexes {
+            index.insert_row(arena, arity, row);
         }
-        self.tuples.push(tuple);
         true
     }
 
-    /// Membership test.
+    /// Membership test (in-place hash and compare; no allocation).
     pub fn contains(&self, tuple: &[TermId]) -> bool {
-        self.dedup.contains(tuple)
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.dedup.slots.is_empty() {
+            return false;
+        }
+        let h = hash_ids(tuple);
+        let (arena, arity) = (&self.arena, self.arity);
+        let slot = find_slot(&self.dedup.slots, h, |r| {
+            let base = r as usize * arity;
+            &arena[base..base + arity] == tuple
+        });
+        self.dedup.slots[slot] != EMPTY_SLOT
     }
 
     /// All tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[TermId]> {
-        self.tuples.iter().map(AsRef::as_ref)
+        (0..self.rows).map(move |r| self.row(r))
     }
 
     /// Tuple at a row index.
+    #[inline]
     pub fn row(&self, row: u32) -> &[TermId] {
-        &self.tuples[row as usize]
+        debug_assert!(row < self.rows, "row {row} out of bounds");
+        let base = row as usize * self.arity;
+        &self.arena[base..base + self.arity]
     }
 
     /// Ensure an index exists for `mask` (no-op for the empty mask,
     /// which would just be a scan).
     pub fn ensure_index(&mut self, mask: ColMask) {
-        if mask == 0 || self.indexes.contains_key(&mask) {
+        if mask == 0 || self.indexes.iter().any(|i| i.mask == mask) {
             return;
         }
-        let mut index: FxHashMap<Box<[TermId]>, Vec<u32>> = FxHashMap::default();
-        for (row, tuple) in self.tuples.iter().enumerate() {
-            index
-                .entry(key_for(tuple, mask))
-                .or_default()
-                .push(row as u32);
+        let mut index = ColIndex::new(mask);
+        for row in 0..self.rows {
+            index.insert_row(&self.arena, self.arity, row);
         }
-        self.indexes.insert(mask, index);
+        self.indexes.push(index);
     }
 
-    /// Row indices matching `key` on the columns of `mask`. The index
-    /// must have been created with [`Relation::ensure_index`].
+    /// Row indices matching `key` on the columns of `mask`, in
+    /// insertion order. `key` holds the bound values in ascending
+    /// column order. The probe hashes `key` directly against rows in
+    /// the arena — nothing is allocated. The index must have been
+    /// created with [`Relation::ensure_index`].
     ///
     /// # Panics
     /// Panics if the index for `mask` does not exist.
     pub fn lookup(&self, mask: ColMask, key: &[TermId]) -> &[u32] {
         debug_assert_ne!(mask, 0, "use iter() for full scans");
+        debug_assert_eq!(key.len(), mask.count_ones() as usize);
         self.indexes
-            .get(&mask)
+            .iter()
+            .find(|i| i.mask == mask)
             .expect("index not built — plan must call ensure_index")
-            .get(key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .lookup(&self.arena, self.arity, key)
     }
 
     /// Whether an index for `mask` exists.
     pub fn has_index(&self, mask: ColMask) -> bool {
-        self.indexes.contains_key(&mask)
+        self.indexes.iter().any(|i| i.mask == mask)
     }
 
     /// Remove all tuples (keeping index *definitions* but emptying
     /// them). Used for delta relations between semi-naive iterations.
+    /// Arena and table capacities are retained for reuse.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.arena.clear();
+        self.rows = 0;
         self.dedup.clear();
-        for index in self.indexes.values_mut() {
+        for index in &mut self.indexes {
             index.clear();
         }
     }
@@ -138,19 +378,15 @@ mod tests {
     use super::*;
     use lps_term::TermStore;
 
-    fn tup(ids: &[TermId]) -> Box<[TermId]> {
-        ids.to_vec().into_boxed_slice()
-    }
-
     #[test]
     fn insert_deduplicates() {
         let mut st = TermStore::new();
         let a = st.atom("a");
         let b = st.atom("b");
         let mut r = Relation::new(2);
-        assert!(r.insert(tup(&[a, b])));
-        assert!(!r.insert(tup(&[a, b])));
-        assert!(r.insert(tup(&[b, a])));
+        assert!(r.insert(&[a, b]));
+        assert!(!r.insert(&[a, b]));
+        assert!(r.insert(&[b, a]));
         assert_eq!(r.len(), 2);
         assert!(r.contains(&[a, b]));
         assert!(!r.contains(&[a, a]));
@@ -164,9 +400,9 @@ mod tests {
         let c = st.atom("c");
         let mut r = Relation::new(2);
         r.ensure_index(0b01);
-        r.insert(tup(&[a, b]));
-        r.insert(tup(&[a, c]));
-        r.insert(tup(&[b, c]));
+        r.insert(&[a, b]);
+        r.insert(&[a, c]);
+        r.insert(&[b, c]);
         let rows = r.lookup(0b01, &[a]);
         assert_eq!(rows.len(), 2);
         assert_eq!(r.row(rows[0]), &[a, b]);
@@ -180,8 +416,8 @@ mod tests {
         let a = st.atom("a");
         let b = st.atom("b");
         let mut r = Relation::new(2);
-        r.insert(tup(&[a, b]));
-        r.insert(tup(&[b, b]));
+        r.insert(&[a, b]);
+        r.insert(&[b, b]);
         r.ensure_index(0b10);
         assert_eq!(r.lookup(0b10, &[b]).len(), 2);
     }
@@ -192,8 +428,8 @@ mod tests {
         let a = st.atom("a");
         let b = st.atom("b");
         let mut r = Relation::new(3);
-        r.insert(tup(&[a, b, a]));
-        r.insert(tup(&[a, a, b]));
+        r.insert(&[a, b, a]);
+        r.insert(&[a, a, b]);
         r.ensure_index(0b101);
         assert_eq!(r.lookup(0b101, &[a, a]).len(), 1);
         assert_eq!(r.row(r.lookup(0b101, &[a, a])[0]), &[a, b, a]);
@@ -205,22 +441,63 @@ mod tests {
         let a = st.atom("a");
         let mut r = Relation::new(1);
         r.ensure_index(0b1);
-        r.insert(tup(&[a]));
+        r.insert(&[a]);
         r.clear();
         assert!(r.is_empty());
         assert!(r.has_index(0b1));
         assert!(r.lookup(0b1, &[a]).is_empty());
         // Reinsert after clear works and is indexed.
-        r.insert(tup(&[a]));
+        r.insert(&[a]);
         assert_eq!(r.lookup(0b1, &[a]).len(), 1);
     }
 
     #[test]
     fn zero_arity_relation_holds_one_tuple() {
         let mut r = Relation::new(0);
-        assert!(r.insert(tup(&[])));
-        assert!(!r.insert(tup(&[])));
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
         assert_eq!(r.len(), 1);
         assert!(r.contains(&[]));
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!(r.row(0), &[] as &[TermId]);
+    }
+
+    #[test]
+    fn growth_rehashes_dedup_and_indexes() {
+        // Push well past several resize thresholds and verify every
+        // tuple stays findable through both the dedup table and an
+        // index that existed from the start.
+        let mut st = TermStore::new();
+        let ids: Vec<_> = (0..512).map(|i| st.int(i)).collect();
+        let mut r = Relation::new(2);
+        r.ensure_index(0b01);
+        for (i, &x) in ids.iter().enumerate() {
+            // Key column cycles over 16 values → 32-row buckets.
+            r.insert(&[ids[i % 16], x]);
+        }
+        assert_eq!(r.len(), 512);
+        for (i, &x) in ids.iter().enumerate() {
+            assert!(r.contains(&[ids[i % 16], x]));
+        }
+        for key in ids.iter().take(16) {
+            assert_eq!(r.lookup(0b01, &[*key]).len(), 32);
+        }
+        // Late index sees the same rows.
+        r.ensure_index(0b10);
+        for &x in &ids {
+            assert_eq!(r.lookup(0b10, &[x]).len(), 1);
+        }
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut st = TermStore::new();
+        let ids: Vec<_> = (0..64).map(|i| st.int(i)).collect();
+        let mut r = Relation::new(1);
+        for &x in &ids {
+            r.insert(&[x]);
+        }
+        let seen: Vec<TermId> = r.iter().map(|t| t[0]).collect();
+        assert_eq!(seen, ids);
     }
 }

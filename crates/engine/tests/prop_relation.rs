@@ -1,0 +1,144 @@
+//! Property tests for the arena-backed [`Relation`] against a naive
+//! `Vec`-of-tuples + linear-scan reference model: random streams of
+//! insert/clear operations, then membership and indexed-lookup
+//! agreement across every column mask — with indexes created both
+//! before and after the stream, so incremental maintenance and bulk
+//! build are exercised on the same data.
+
+use proptest::prelude::*;
+
+use lps_engine::relation::{ColMask, Relation};
+use lps_term::{TermId, TermStore};
+
+/// Linear-scan reference model: insertion-ordered, deduplicated.
+struct RefModel {
+    rows: Vec<Vec<TermId>>,
+}
+
+impl RefModel {
+    fn insert(&mut self, tuple: &[TermId]) -> bool {
+        if self.rows.iter().any(|r| r == tuple) {
+            return false;
+        }
+        self.rows.push(tuple.to_vec());
+        true
+    }
+
+    fn contains(&self, tuple: &[TermId]) -> bool {
+        self.rows.iter().any(|r| r == tuple)
+    }
+
+    /// Row ids whose `mask` columns equal `key`, in insertion order.
+    fn lookup(&self, mask: ColMask, key: &[TermId]) -> Vec<u32> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| key_of(row, mask) == key)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// The `mask`-selected columns of a tuple, ascending column order.
+fn key_of(tuple: &[TermId], mask: ColMask) -> Vec<TermId> {
+    tuple
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &t)| t)
+        .collect()
+}
+
+proptest! {
+    /// insert/contains/lookup/clear agree with the reference model on
+    /// random tuple streams over a small value universe (dense enough
+    /// to force duplicates, shared index keys, and table growth).
+    #[test]
+    fn arena_matches_reference_model(
+        arity in 1usize..4,
+        ops in proptest::collection::vec((0u8..16, (0u8..6, 0u8..6, 0u8..6)), 1..120),
+        probes in proptest::collection::vec((0u8..6, 0u8..6, 0u8..6), 0..24),
+    ) {
+        let mut store = TermStore::new();
+        let atoms: Vec<TermId> = (0..6).map(|i| store.atom(&format!("a{i}"))).collect();
+        let mut rel = Relation::new(arity);
+        let mut model = RefModel { rows: Vec::new() };
+        let all_masks: Vec<ColMask> = (1..(1u32 << arity)).collect();
+        // Half the indexes exist from the start (incremental
+        // maintenance); the rest are built after the stream (bulk).
+        for &m in all_masks.iter().step_by(2) {
+            rel.ensure_index(m);
+        }
+        for (op, (v0, v1, v2)) in &ops {
+            let vals = [
+                atoms[*v0 as usize],
+                atoms[*v1 as usize],
+                atoms[*v2 as usize],
+            ];
+            let tuple = &vals[..arity];
+            if *op == 0 {
+                // Occasional clear: both sides drop all tuples.
+                rel.clear();
+                model.rows.clear();
+            } else {
+                prop_assert_eq!(rel.insert(tuple), model.insert(tuple));
+            }
+            prop_assert_eq!(rel.len(), model.rows.len());
+            prop_assert_eq!(rel.is_empty(), model.rows.is_empty());
+        }
+        for &m in &all_masks {
+            rel.ensure_index(m);
+        }
+        // Arena rows agree with the model, in insertion order.
+        for (i, row) in model.rows.iter().enumerate() {
+            prop_assert_eq!(rel.row(i as u32), &row[..]);
+        }
+        let collected: Vec<Vec<TermId>> = rel.iter().map(<[_]>::to_vec).collect();
+        prop_assert_eq!(&collected, &model.rows);
+        // Membership and every-mask lookups, probing both present and
+        // absent keys.
+        for (v0, v1, v2) in &probes {
+            let vals = [
+                atoms[*v0 as usize],
+                atoms[*v1 as usize],
+                atoms[*v2 as usize],
+            ];
+            let tuple = &vals[..arity];
+            prop_assert_eq!(rel.contains(tuple), model.contains(tuple));
+            for &m in &all_masks {
+                let key = key_of(tuple, m);
+                prop_assert_eq!(rel.lookup(m, &key).to_vec(), model.lookup(m, &key));
+            }
+        }
+    }
+
+    /// A relation cleared and refilled behaves like a fresh one: clear
+    /// keeps index definitions live and tables consistent.
+    #[test]
+    fn clear_then_refill_matches_fresh(
+        tuples in proptest::collection::vec((0u8..5, 0u8..5), 1..60),
+    ) {
+        let mut store = TermStore::new();
+        let atoms: Vec<TermId> = (0..5).map(|i| store.atom(&format!("a{i}"))).collect();
+        let mut reused = Relation::new(2);
+        reused.ensure_index(0b01);
+        reused.ensure_index(0b10);
+        // Fill with garbage, then clear.
+        for (x, y) in &tuples {
+            reused.insert(&[atoms[*y as usize], atoms[*x as usize]]);
+        }
+        reused.clear();
+        let mut fresh = Relation::new(2);
+        fresh.ensure_index(0b01);
+        fresh.ensure_index(0b10);
+        for (x, y) in &tuples {
+            let t = [atoms[*x as usize], atoms[*y as usize]];
+            prop_assert_eq!(reused.insert(&t), fresh.insert(&t));
+        }
+        prop_assert_eq!(reused.len(), fresh.len());
+        for a in &atoms {
+            prop_assert_eq!(reused.lookup(0b01, &[*a]), fresh.lookup(0b01, &[*a]));
+            prop_assert_eq!(reused.lookup(0b10, &[*a]), fresh.lookup(0b10, &[*a]));
+        }
+    }
+}

@@ -22,10 +22,22 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const ROTATE: u32 = 5;
 
+/// One folding step of the Fx hash: mix `word` into the running
+/// `hash`. Exposed so callers that hash short id sequences *in place*
+/// (the engine's arena relation storage hashes tuple columns without
+/// materializing a key) can fold words directly instead of driving a
+/// [`Hasher`] object. `fx_fold(…fx_fold(fx_fold(0, w₀), w₁)…, wₙ)` is
+/// exactly the hash [`FxHasher`] computes for the same word stream.
+#[inline]
+#[must_use]
+pub const fn fx_fold(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED)
+}
+
 impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+        self.hash = fx_fold(self.hash, word);
     }
 }
 
@@ -103,6 +115,18 @@ mod tests {
         // Tail handling (non-multiple-of-8 lengths) must feed every byte.
         assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
         assert_ne!(hash_of(&[0u8; 9]), hash_of(&[0u8; 10]));
+    }
+
+    #[test]
+    fn fold_agrees_with_hasher() {
+        // Folding words directly must reproduce the Hasher's stream.
+        let words = [7u64, 0, u64::MAX, 0x1234_5678_9abc_def0];
+        let folded = words.iter().fold(0u64, |h, &w| fx_fold(h, w));
+        let mut hasher = FxHasher::default();
+        for &w in &words {
+            hasher.write_u64(w);
+        }
+        assert_eq!(folded, hasher.finish());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod value;
 mod display;
 
 pub use display::DisplayTerm;
+pub use fxhash::fx_fold;
 pub use store::{StoreStats, TermData, TermId, TermStore};
 pub use symbol::{Symbol, SymbolTable};
 pub use value::{Sort, Value};

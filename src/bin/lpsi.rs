@@ -185,8 +185,15 @@ fn main() -> io::Result<()> {
                 ":program" => print!("{}", session.source),
                 ":stats" => match &session.last_stats {
                     Some(s) => println!(
-                        "facts={} rounds={} strata={} rule_evals={}",
-                        s.facts_derived, s.iterations, s.strata, s.rule_evaluations
+                        "facts={} rounds={} strata={} rule_evals={} \
+                         probes={} probe_rows={} probe_allocs={}",
+                        s.facts_derived,
+                        s.iterations,
+                        s.strata,
+                        s.rule_evaluations,
+                        s.index_probes,
+                        s.probe_rows,
+                        s.probe_allocs
                     ),
                     None => println!("no evaluation yet."),
                 },
