@@ -14,14 +14,14 @@
 //!   `BENCH_report.smoke.json` so it can never clobber the committed
 //!   full-parameter baseline.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lps_bench::workloads::{self, SumStyle};
 use lps_bench::{db, db_cfg, eval, median_time, time_eval, us, Report};
 use lps_core::transform::positive::{compilation_size, compile_positive_paper, normalize_program};
 use lps_core::transform::setof::setof_database;
 use lps_core::transform::translations::{elps_to_horn_scons, elps_to_horn_union};
-use lps_core::{Dialect, Value};
+use lps_core::{Dialect, Model, Value};
 use lps_engine::{EvalConfig, FixpointStrategy, SetUniverse};
 use lps_syntax::{parse_program, pretty_program};
 
@@ -73,6 +73,9 @@ fn main() {
     }
     if want("e11") {
         e11(&mut rep);
+    }
+    if want("e12") {
+        e12(&mut rep);
     }
     if json {
         // Smoke numbers come from reduced sweeps — keep them out of
@@ -594,6 +597,99 @@ fn e11(rep: &mut Report) {
             s.index_probes.to_string(),
             s.probe_rows.to_string(),
             s.probe_allocs.to_string(),
+        ]],
+    );
+}
+
+fn e12(rep: &mut Report) {
+    // Incremental maintenance (EXPERIMENTS.md E12): k single-fact
+    // updates to a materialized chain transitive closure, driven
+    // through the Model session (add_fact + update → seeded semi-naive
+    // continuation) vs k from-scratch `Database::evaluate` calls of
+    // the same growing database. The incremental path must never fall
+    // back to a full recompute on this monotone workload, and the
+    // final model must be bit-identical (same interned TermId tuples)
+    // to the batch model.
+    let (nodes, k) = if rep.smoke { (128, 16) } else { (1024, 64) };
+    let src = workloads::chain_tc(nodes);
+    let edges = workloads::update_edges(nodes, k, 99);
+    let atom = |i: usize| Value::atom(format!("n{i}"));
+
+    // Incremental session: materialize once, then fold in each edge.
+    let base = db(&src, Dialect::Elps, SetUniverse::Reject);
+    let (t_setup, mut model) = time_eval(&base);
+    let start = Instant::now();
+    for &(a, b) in &edges {
+        model.add_fact("e", &[atom(a), atom(b)]).expect("add_fact");
+        model.update().expect("incremental update");
+    }
+    let t_incr = start.elapsed();
+    let cum = model.stats();
+    assert_eq!(
+        cum.incremental_runs, k,
+        "the incremental path must not fall back to a full recompute \
+         on the E12 workload"
+    );
+
+    // From-scratch: re-evaluate the whole database after every edge,
+    // exactly what a session had to do before the update path existed.
+    let mut scratch = db(&src, Dialect::Elps, SetUniverse::Reject);
+    let start = Instant::now();
+    let mut batch: Option<Model> = None;
+    for &(a, b) in &edges {
+        scratch.add_fact("e", &[atom(a), atom(b)]);
+        batch = Some(eval(&scratch));
+    }
+    let t_scratch = start.elapsed();
+    let batch = batch.expect("k >= 1");
+
+    // Bit-identical models: same interned TermId tuples.
+    let id_rows = |m: &Model| -> Vec<Vec<lps_term::TermId>> {
+        let engine = m.engine();
+        let t = engine.lookup_pred("t", 2).expect("t is defined");
+        let mut rows: Vec<Vec<lps_term::TermId>> = engine.rows(t).map(<[_]>::to_vec).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(
+        id_rows(&model),
+        id_rows(&batch),
+        "incremental model must be bit-identical to the batch model"
+    );
+
+    let speedup = t_scratch.as_secs_f64() / t_incr.as_secs_f64().max(1e-9);
+    if !rep.smoke {
+        // The acceptance bar for the update path (observed ≈120×; the
+        // smoke sweep is too short to time reliably, so it only checks
+        // the fallback and equality invariants above).
+        assert!(
+            speedup >= 10.0,
+            "incremental updates must be ≥10× faster than from-scratch \
+             re-evaluation (got {speedup:.1}×)"
+        );
+    }
+    rep.section(
+        "e12",
+        "E12: incremental maintenance — k single-fact updates vs from-scratch (chain TC)",
+        &[
+            "nodes",
+            "k",
+            "setup_us",
+            "incr_total_us",
+            "scratch_total_us",
+            "speedup",
+            "incr_runs",
+            "seed_facts",
+        ],
+        &[vec![
+            nodes.to_string(),
+            k.to_string(),
+            us(t_setup),
+            us(t_incr),
+            us(t_scratch),
+            format!("{speedup:.1}"),
+            cum.incremental_runs.to_string(),
+            cum.delta_seed_facts.to_string(),
         ]],
     );
 }

@@ -182,6 +182,39 @@ pub fn forall_trigger(num_sets: usize, universe: usize, set_size: usize, seed: u
     src
 }
 
+/// E12: a directed chain `n0 → n1 → … → n(nodes-1)` with the
+/// transitive-closure rules. Acyclic, so the materialized closure is
+/// the `O(n²/2)` ancestor relation and every update edge creates real
+/// new paths — the incremental-maintenance stress workload.
+pub fn chain_tc(nodes: usize) -> String {
+    let mut src = String::new();
+    for i in 0..nodes.saturating_sub(1) {
+        let _ = writeln!(src, "e(n{i}, n{}).", i + 1);
+    }
+    src.push_str("t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).\n");
+    src
+}
+
+/// E12: `k` random single-edge updates over a `nodes`-node graph
+/// (endpoint indices), deterministic in `seed`. Edges already present
+/// in the [`chain_tc`] base (`i → i+1`) and repeats are rejected, so
+/// every update is a genuinely new fact — a duplicate would make the
+/// engine's `update()` a no-op and skew the incremental-run count the
+/// E12 report asserts on.
+pub fn update_edges(nodes: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(nodes >= 3, "too few nodes to draw non-chain edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(k);
+    while out.len() < k {
+        let edge = (rng.gen_range(0..nodes), rng.gen_range(0..nodes));
+        if edge.1 == edge.0 + 1 || out.contains(&edge) {
+            continue;
+        }
+        out.push(edge);
+    }
+    out
+}
+
 /// E10: a non-1NF relation with `rows` tuples whose set attribute has
 /// `set_size` elements, plus the unnest rule (Example 4).
 pub fn unnest(rows: usize, set_size: usize) -> String {
@@ -214,6 +247,7 @@ mod tests {
             bom(3, SumStyle::SconsMin),
             strata_chain(4, 6),
             unnest(10, 4),
+            chain_tc(8),
         ] {
             lps_syntax::parse_program(&src)
                 .unwrap_or_else(|e| panic!("{}\n---\n{src}", e.render(&src)));
@@ -234,6 +268,17 @@ mod tests {
                 None => expected = Some(got),
                 Some(e) => assert_eq!(e, &got),
             }
+        }
+    }
+
+    #[test]
+    fn update_edges_are_new_and_distinct() {
+        let edges = update_edges(64, 32, 7);
+        assert_eq!(edges.len(), 32);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &edges {
+            assert_ne!(b, a + 1, "chain edge ({a}, {b}) already exists");
+            assert!(seen.insert((a, b)), "duplicate edge ({a}, {b})");
         }
     }
 

@@ -114,7 +114,10 @@ impl Database {
         normalize_program(&self.program)
     }
 
-    /// Validate, compile, evaluate to the least model.
+    /// Validate, compile, evaluate to the least model. The returned
+    /// [`Model`] owns a live engine session: facts can be appended with
+    /// [`Model::add_fact`] and reconciled incrementally with
+    /// [`Model::update`] instead of re-evaluating from scratch.
     pub fn evaluate(&self) -> Result<Model, CoreError> {
         let normalized = self.normalized()?;
         // Re-infer sorts over the *normalized* program so auxiliary
@@ -124,8 +127,8 @@ impl Database {
         let sorts = infer_sorts(&normalized, crate::Dialect::StratifiedElps).ok();
         let mut engine = Engine::new(self.config);
         load_program_sorted(&mut engine, &normalized, sorts.as_ref())?;
-        let stats = engine.run()?;
-        Ok(Model { engine, stats })
+        engine.run()?;
+        Ok(Model { engine })
     }
 }
 
@@ -144,17 +147,26 @@ fn value_to_term(v: &Value) -> Term {
     }
 }
 
-/// The least (stratified-perfect) model of a database, queryable.
+/// The least (stratified-perfect) model of a database: queryable, and
+/// *maintainable* — it owns the engine session, so facts added after
+/// evaluation are folded in by [`Model::update`] via the engine's
+/// incremental path rather than a from-scratch recompute.
 #[derive(Debug)]
 pub struct Model {
     engine: Engine,
-    stats: EvalStats,
 }
 
 impl Model {
-    /// Evaluation statistics (`T_P` rounds, facts derived, …).
+    /// Evaluation statistics accumulated over the session (`T_P`
+    /// rounds, facts derived, incremental runs, …): the initial
+    /// evaluation plus every [`Model::update`] since.
     pub fn stats(&self) -> EvalStats {
-        self.stats
+        self.engine.cumulative_stats()
+    }
+
+    /// Statistics of the most recent evaluation or update pass alone.
+    pub fn last_stats(&self) -> EvalStats {
+        self.engine.stats()
     }
 
     /// Direct access to the underlying engine.
@@ -165,6 +177,39 @@ impl Model {
     /// Mutable access (interning query terms).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
+    }
+
+    /// Queue one ground fact into the live session. The model stays on
+    /// its previous fixpoint until [`Model::update`] reconciles; use
+    /// [`Model::needs_update`] to check. Unknown predicates register on
+    /// the fly. Note this bypasses dialect validation — the fact is
+    /// ground by construction, which every dialect admits.
+    pub fn add_fact(&mut self, pred: &str, args: &[Value]) -> Result<(), CoreError> {
+        let id = self.engine.pred(pred, args.len());
+        self.engine.fact_values(id, args)?;
+        Ok(())
+    }
+
+    /// Re-reach the least model after queued fact additions: seeds the
+    /// engine's semi-naive deltas and re-runs from the lowest affected
+    /// stratum, reusing the retained relations (`stats().
+    /// incremental_runs` counts the passes that avoided a recompute).
+    /// A no-op on a clean model.
+    pub fn update(&mut self) -> Result<EvalStats, CoreError> {
+        Ok(self.engine.update()?)
+    }
+
+    /// Whether queries would see a stale fixpoint until
+    /// [`Model::update`] (or a reset dropped the materialization).
+    pub fn needs_update(&self) -> bool {
+        self.engine.state() != lps_engine::EngineState::Materialized
+    }
+
+    /// Drop all facts while keeping the rules and their compiled
+    /// plans — the session returns to the prepared state, so facts
+    /// added afterwards evaluate without restratifying or recompiling.
+    pub fn reset_facts(&mut self) {
+        self.engine.reset_facts();
     }
 
     /// Does `pred(args…)` hold in the least model?
@@ -199,11 +244,12 @@ impl Model {
             .unwrap_or_default()
     }
 
-    /// Number of facts for a predicate.
+    /// Number of facts for a predicate (O(1) via the borrowing row
+    /// iterator).
     pub fn count(&self, pred: &str, arity: usize) -> usize {
         self.engine
             .lookup_pred(pred, arity)
-            .map(|id| self.engine.tuples(id).count())
+            .map(|id| self.engine.rows(id).len())
             .unwrap_or(0)
     }
 }
@@ -317,6 +363,47 @@ mod tests {
         assert!(m.stats().facts_derived >= 5);
         assert!(m.stats().iterations >= 2);
         assert_eq!(m.count("t", 2), 3);
+    }
+
+    #[test]
+    fn model_add_fact_then_update_is_incremental() {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str("e(a, b). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+            .unwrap();
+        let mut m = db.evaluate().unwrap();
+        assert_eq!(m.count("t", 2), 1);
+        m.add_fact("e", &[Value::atom("b"), Value::atom("c")])
+            .unwrap();
+        assert!(m.needs_update());
+        let stats = m.update().unwrap();
+        assert!(!m.needs_update());
+        assert_eq!(stats.incremental_runs, 1);
+        assert_eq!(stats.delta_seed_facts, 1);
+        assert_eq!(m.count("t", 2), 3);
+        // …and agrees with a from-scratch evaluation of the grown DB.
+        let mut grown = db.clone();
+        grown.add_fact("e", &[Value::atom("b"), Value::atom("c")]);
+        let batch = grown.evaluate().unwrap();
+        assert_eq!(m.extension_n("t", 2), batch.extension_n("t", 2));
+        // Cumulative vs per-pass stats differ once updates happened.
+        assert!(m.stats().iterations > m.last_stats().iterations);
+    }
+
+    #[test]
+    fn model_reset_facts_keeps_rules_live() {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str("e(a, b). t(X, Y) :- e(X, Y).").unwrap();
+        let mut m = db.evaluate().unwrap();
+        assert_eq!(m.count("t", 2), 1);
+        m.reset_facts();
+        assert!(m.needs_update());
+        m.update().unwrap();
+        assert_eq!(m.count("t", 2), 0);
+        m.add_fact("e", &[Value::atom("x"), Value::atom("y")])
+            .unwrap();
+        m.update().unwrap();
+        assert!(m.holds("t", &[Value::atom("x"), Value::atom("y")]));
+        assert_eq!(m.count("t", 2), 1);
     }
 
     #[test]

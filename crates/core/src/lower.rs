@@ -25,6 +25,10 @@ pub fn load_program(engine: &mut Engine, program: &Program) -> Result<(), CoreEr
 
 /// Lower with sort annotations from the two-sorted inference (§2.1):
 /// engine-level universe enumeration then respects variable sorts.
+///
+/// Ground facts load through [`Engine::fact`] — the engine's EDB layer
+/// — rather than as bodyless rules, so an engine session can reset or
+/// extend its fact base without touching the compiled rule plans.
 pub fn load_program_sorted(
     engine: &mut Engine,
     program: &Program,
@@ -35,7 +39,19 @@ pub fn load_program_sorted(
     }
     for clause in program.clauses() {
         let rule = lower_clause_sorted(engine, clause, sorts)?;
-        engine.rule(rule)?;
+        if rule.is_fact() {
+            let tuple = rule
+                .head_args
+                .iter()
+                .map(|p| match p {
+                    Pattern::Ground(id) => *id,
+                    _ => unreachable!("is_fact guarantees a ground head"),
+                })
+                .collect();
+            engine.fact(rule.head, tuple)?;
+        } else {
+            engine.rule(rule)?;
+        }
     }
     Ok(())
 }

@@ -40,7 +40,7 @@ pub enum SetUniverse {
 }
 
 /// Evaluation settings.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Fixpoint algorithm.
     pub strategy: FixpointStrategy,
@@ -90,6 +90,14 @@ pub struct EvalStats {
     /// joins build keys into a stack buffer, so this is 0 for them —
     /// the observable guarantee of the arena storage layer (E11).
     pub probe_allocs: usize,
+    /// Update passes that took the incremental path: the semi-naive
+    /// drivers were re-seeded from pending deltas and continued from
+    /// the retained model instead of recomputing it (E12). A full
+    /// recompute — batch run or non-monotone fallback — contributes 0.
+    pub incremental_runs: usize,
+    /// Pending facts spliced into the semi-naive deltas by incremental
+    /// updates (new tuples only; duplicates of the model don't count).
+    pub delta_seed_facts: usize,
 }
 
 impl EvalStats {
@@ -103,6 +111,8 @@ impl EvalStats {
         self.index_probes += other.index_probes;
         self.probe_rows += other.probe_rows;
         self.probe_allocs += other.probe_allocs;
+        self.incremental_runs += other.incremental_runs;
+        self.delta_seed_facts += other.delta_seed_facts;
     }
 }
 
@@ -130,6 +140,8 @@ mod tests {
             index_probes: 7,
             probe_rows: 30,
             probe_allocs: 0,
+            incremental_runs: 1,
+            delta_seed_facts: 2,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -140,6 +152,8 @@ mod tests {
             index_probes: 5,
             probe_rows: 6,
             probe_allocs: 1,
+            incremental_runs: 1,
+            delta_seed_facts: 3,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -147,5 +161,7 @@ mod tests {
         assert_eq!(a.index_probes, 12);
         assert_eq!(a.probe_rows, 36);
         assert_eq!(a.probe_allocs, 1);
+        assert_eq!(a.incremental_runs, 2);
+        assert_eq!(a.delta_seed_facts, 5);
     }
 }

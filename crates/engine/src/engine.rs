@@ -1,16 +1,72 @@
 //! The public evaluation session: register predicates, load facts and
-//! rules, run to fixpoint, query results.
+//! rules, run to fixpoint, query results — and keep the result
+//! *maintainable*: facts added after a completed fixpoint accumulate
+//! as pending deltas, and [`Engine::update`] seeds the semi-naive
+//! drivers with them, re-running only from the lowest affected stratum
+//! onward over the retained relations instead of recomputing the model
+//! from scratch.
 
 use lps_term::{setops, FxHashSet, TermId, TermStore, Value};
 
 use crate::config::{EvalConfig, EvalStats, SetUniverse};
 use crate::error::EngineError;
-use crate::fixpoint::run_stratum;
+use crate::fixpoint::{run_stratum, StratumStart};
 use crate::plan::{compile_rule, CompiledRule};
 use crate::pred::{PredId, PredRegistry};
-use crate::relation::Relation;
-use crate::rule::Rule;
-use crate::strata::stratify;
+use crate::relation::{ColMask, Relation};
+use crate::rule::{BodyLit, Rule};
+use crate::strata::{stratify, Stratification};
+
+/// Lifecycle of an [`Engine`] session.
+///
+/// ```text
+/// Unprepared ──prepare──▶ Prepared ──run──▶ Materialized ──fact──▶ Dirty
+///      ▲                      ▲                  │  ▲                │
+///      └───────── rule ───────┴── reset_facts ───┘  └──── update ────┘
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineState {
+    /// Rules changed since the last prepare: the next run restratifies
+    /// and recompiles.
+    Unprepared,
+    /// Stratification, compiled rules, and index requests are cached;
+    /// no model is materialized yet (fresh prepare, or after
+    /// [`Engine::reset_facts`]).
+    Prepared,
+    /// A least model is materialized and current.
+    Materialized,
+    /// A model is materialized, but facts added since then wait in the
+    /// pending deltas; [`Engine::update`] reconciles incrementally.
+    Dirty,
+}
+
+/// Cached prepare-phase artifacts: everything derived from the rule
+/// set alone. Reused across batch runs and incremental updates;
+/// invalidated only when a rule is added (or the universe policy
+/// changes, which affects compilation).
+#[derive(Debug)]
+struct Prepared {
+    strat: Stratification,
+    compiled: Vec<CompiledRule>,
+    /// Indices into `compiled` of ordinary rules, per stratum.
+    regular_by_stratum: Vec<Vec<usize>>,
+    /// Indices into `compiled` of LDL grouping rules, per stratum.
+    grouping_by_stratum: Vec<Vec<usize>>,
+    /// Indices into `compiled` of ground-head fact rules.
+    fact_rules: Vec<usize>,
+    /// Deduplicated `(pred, mask, delta)` index requests.
+    index_requests: Vec<(PredId, ColMask, bool)>,
+    /// Highest stratum holding a non-monotone rule (negation anywhere
+    /// in the body, or a grouping head). Incremental updates whose
+    /// restart stratum is at or below it fall back to a batch run:
+    /// monotone delta continuation cannot retract.
+    max_nonmono_stratum: Option<usize>,
+    /// Lowest stratum holding a rule that enumerates the active set
+    /// universe: growth of the universe restarts from here.
+    min_universe_stratum: Option<usize>,
+    /// The universe policy the rules were compiled under.
+    policy: SetUniverse,
+}
 
 /// An evaluation session over a program's rules and facts.
 ///
@@ -57,16 +113,44 @@ use crate::strata::stratify;
 /// engine.run().unwrap();
 /// assert!(engine.holds(path, &[a, c]));
 /// assert_eq!(engine.tuples(path).count(), 3);
+/// // The session stays maintainable: a fact added after the fixpoint
+/// // queues as a pending delta, and `update` re-reaches the least
+/// // model incrementally instead of recomputing it.
+/// let d = engine.store_mut().atom("d");
+/// engine.fact(edge, vec![c, d]).unwrap();
+/// let stats = engine.update().unwrap();
+/// assert_eq!(stats.incremental_runs, 1);
+/// assert!(engine.holds(path, &[a, d]));
+/// assert_eq!(engine.rows(path).len(), 6);
 /// ```
 #[derive(Debug)]
 pub struct Engine {
     store: TermStore,
     preds: PredRegistry,
+    /// Extensional facts loaded via [`Engine::fact`] — the session's
+    /// EDB, kept apart from derived tuples so batch runs (and the
+    /// non-monotone fallback) can rebuild the model from scratch.
+    edb: Vec<Relation>,
+    /// The materialized model: EDB plus derived tuples.
     full: Vec<Relation>,
+    /// Semi-naive working deltas.
     delta: Vec<Relation>,
+    /// Facts added after a completed fixpoint, awaiting
+    /// [`Engine::update`].
+    pending: Vec<Relation>,
     rules: Vec<Rule>,
     config: EvalConfig,
+    state: EngineState,
+    prepared: Option<Prepared>,
+    /// Interned-set count at the last completed materialization (the
+    /// baseline for universe-growth triggers in incremental updates).
+    sets_at_materialize: usize,
+    /// The configuration the model was materialized under: a
+    /// [`Engine::config_mut`] change after that voids the
+    /// `Materialized`/`Dirty` short-circuits and forces a rebuild.
+    config_at_materialize: EvalConfig,
     last_stats: EvalStats,
+    cumulative_stats: EvalStats,
 }
 
 /// Hard cap on the atom-domain size for the `ActiveSubsets` powerset
@@ -79,12 +163,24 @@ impl Engine {
         Engine {
             store: TermStore::new(),
             preds: PredRegistry::new(),
+            edb: Vec::new(),
             full: Vec::new(),
             delta: Vec::new(),
+            pending: Vec::new(),
             rules: Vec::new(),
             config,
+            state: EngineState::Unprepared,
+            prepared: None,
+            sets_at_materialize: 0,
+            config_at_materialize: config,
             last_stats: EvalStats::default(),
+            cumulative_stats: EvalStats::default(),
         }
+    }
+
+    /// Where the session is in its lifecycle.
+    pub fn state(&self) -> EngineState {
+        self.state
     }
 
     /// The term store (for interning constants and reading results).
@@ -108,9 +204,16 @@ impl Engine {
         &mut self.config
     }
 
-    /// Statistics from the most recent [`Engine::run`].
+    /// Statistics from the most recent evaluation pass (batch run or
+    /// incremental update) that performed work.
     pub fn stats(&self) -> EvalStats {
         self.last_stats
+    }
+
+    /// Statistics accumulated over the whole session: the initial
+    /// materialization plus every incremental update since.
+    pub fn cumulative_stats(&self) -> EvalStats {
+        self.cumulative_stats
     }
 
     /// Register (or look up) a predicate by name and arity.
@@ -118,13 +221,17 @@ impl Engine {
         let sym = self.store.symbols_mut().intern(name);
         let id = self.preds.register(sym, arity);
         while self.full.len() <= id.index() {
+            self.edb.push(Relation::new(0));
             self.full.push(Relation::new(0));
             self.delta.push(Relation::new(0));
+            self.pending.push(Relation::new(0));
         }
         // (Re)size the relation if this is the first registration.
         if self.full[id.index()].arity() != arity && self.full[id.index()].is_empty() {
+            self.edb[id.index()] = Relation::new(arity);
             self.full[id.index()] = Relation::new(arity);
             self.delta[id.index()] = Relation::new(arity);
+            self.pending[id.index()] = Relation::new(arity);
         }
         id
     }
@@ -148,7 +255,10 @@ impl Engine {
         &self.preds
     }
 
-    /// Load a ground fact.
+    /// Load a ground fact. Before the first run it joins the EDB to be
+    /// picked up by the next batch evaluation; after a completed
+    /// fixpoint it queues as a pending delta and marks the session
+    /// [`EngineState::Dirty`], to be reconciled by [`Engine::update`].
     pub fn fact(&mut self, pred: PredId, tuple: Vec<TermId>) -> Result<(), EngineError> {
         let arity = self.preds.info(pred).arity;
         if tuple.len() != arity {
@@ -158,7 +268,13 @@ impl Engine {
                 got: tuple.len(),
             });
         }
-        self.full[pred.index()].insert(&tuple);
+        self.edb[pred.index()].insert(&tuple);
+        if matches!(self.state, EngineState::Materialized | EngineState::Dirty)
+            && !self.full[pred.index()].contains(&tuple)
+        {
+            self.pending[pred.index()].insert(&tuple);
+            self.state = EngineState::Dirty;
+        }
         Ok(())
     }
 
@@ -204,12 +320,82 @@ impl Engine {
             }
         }
         self.rules.push(rule);
+        // The rule set changed: cached plans and any materialized model
+        // are stale. The next run restratifies, recompiles, and
+        // rebuilds the model from the EDB.
+        self.prepared = None;
+        self.state = EngineState::Unprepared;
         Ok(())
     }
 
-    /// Evaluate to fixpoint: stratify, compile, run each stratum.
+    /// Reach the least model.
+    ///
+    /// * [`EngineState::Unprepared`] / [`EngineState::Prepared`]: batch
+    ///   evaluation — stratify and compile if not cached, rebuild the
+    ///   model from the EDB, run every stratum to fixpoint.
+    /// * [`EngineState::Dirty`]: delegates to [`Engine::update`] — the
+    ///   pending facts are reconciled incrementally.
+    /// * [`EngineState::Materialized`]: a cheap no-op — the fixpoint is
+    ///   already reached; returns zeroed stats and leaves the model
+    ///   (and [`Engine::stats`]) untouched.
+    ///
+    /// A configuration changed via [`Engine::config_mut`] after a
+    /// materialization voids the short-circuits: the model is rebuilt
+    /// under the new settings.
     pub fn run(&mut self) -> Result<EvalStats, EngineError> {
-        // Materialize the bounded powerset universe if configured.
+        if matches!(self.state, EngineState::Materialized | EngineState::Dirty)
+            && self.config != self.config_at_materialize
+        {
+            // The materialized model was computed under a different
+            // configuration; `prepare` re-checks the universe policy.
+            return self.run_batch();
+        }
+        match self.state {
+            EngineState::Materialized => Ok(EvalStats::default()),
+            EngineState::Dirty => self.update_incremental(),
+            EngineState::Unprepared | EngineState::Prepared => self.run_batch(),
+        }
+    }
+
+    /// Reconcile facts added since the last completed fixpoint.
+    ///
+    /// Seeds the semi-naive drivers with the per-predicate pending
+    /// deltas and re-runs only from the lowest affected stratum onward,
+    /// over the retained full relations. Falls back to a batch
+    /// recompute (from the EDB) when a non-monotone rule — negation or
+    /// grouping — sits at or above the restart stratum, since a
+    /// monotone continuation cannot retract tuples. With no model
+    /// materialized yet this is a batch run; with nothing pending it is
+    /// a no-op returning zeroed stats. Equivalent to [`Engine::run`] —
+    /// both entry points resolve the session state the same way.
+    pub fn update(&mut self) -> Result<EvalStats, EngineError> {
+        self.run()
+    }
+
+    /// Drop all facts — EDB, pending deltas, and the materialized
+    /// model — while keeping the rules and their compiled plans. The
+    /// session returns to [`EngineState::Prepared`] (or
+    /// [`EngineState::Unprepared`] if it was never prepared), so the
+    /// next run skips restratification and recompilation.
+    pub fn reset_facts(&mut self) {
+        for i in 0..self.preds.len() {
+            self.edb[i].clear();
+            self.full[i].clear();
+            self.delta[i].clear();
+            self.pending[i].clear();
+        }
+        self.state = if self.prepared.is_some() {
+            EngineState::Prepared
+        } else {
+            EngineState::Unprepared
+        };
+    }
+
+    /// Materialize the bounded powerset universe if configured. Run
+    /// before every evaluation pass: idempotent, and monotone in the
+    /// atom domain, so incremental updates that intern new atoms extend
+    /// the universe in place.
+    fn materialize_universe(&mut self) -> Result<(), EngineError> {
         if let SetUniverse::ActiveSubsets { max_card } = self.config.set_universe {
             let atoms: Vec<TermId> = self
                 .store
@@ -224,14 +410,29 @@ impl Engine {
             }
             setops::subsets_up_to(&mut self.store, &atoms, max_card);
         }
+        Ok(())
+    }
 
-        let idb: FxHashSet<PredId> = self.rules.iter().map(|r| r.head).collect();
+    /// Stratify and compile the rule set, caching the result. A no-op
+    /// when a cache built under the current universe policy exists.
+    fn prepare(&mut self) -> Result<(), EngineError> {
+        if self
+            .prepared
+            .as_ref()
+            .is_some_and(|p| p.policy == self.config.set_universe)
+        {
+            return Ok(());
+        }
+        // Every registered predicate can gain facts later in the
+        // session, so every positive literal gets a delta variant and
+        // every quantifier-inner predicate is a re-evaluation trigger
+        // (in batch runs the extra variants skip on empty deltas).
+        let growable: FxHashSet<PredId> = self.preds.ids().collect();
         let names = {
             let store = &self.store;
             let preds = &self.preds;
             move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
         };
-
         let strat = stratify(&self.rules, self.preds.len(), &names)?;
 
         let mut compiled: Vec<CompiledRule> = Vec::with_capacity(self.rules.len());
@@ -240,67 +441,231 @@ impl Engine {
                 rule,
                 &self.preds,
                 &names,
-                &idb,
+                &growable,
                 self.config.set_universe,
             )?);
         }
 
-        // Satisfy index requests.
-        for cr in &compiled {
-            for &(pred, mask, is_delta) in &cr.index_requests {
-                self.full[pred.index()].ensure_index(mask);
-                if is_delta {
-                    self.delta[pred.index()].ensure_index(mask);
-                }
-            }
-        }
-
-        // Facts with ground heads load directly; everything else
-        // evaluates per stratum.
-        let mut stats = EvalStats::default();
-        let mut regular_by_stratum: Vec<Vec<&CompiledRule>> = vec![Vec::new(); strat.num_strata];
-        let mut grouping_by_stratum: Vec<Vec<&CompiledRule>> = vec![Vec::new(); strat.num_strata];
-        for cr in &compiled {
+        let mut regular_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
+        let mut grouping_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
+        let mut fact_rules = Vec::new();
+        let mut index_requests = Vec::new();
+        let mut max_nonmono_stratum = None;
+        let mut min_universe_stratum = None;
+        for (i, cr) in compiled.iter().enumerate() {
+            index_requests.extend_from_slice(&cr.index_requests);
             if cr.rule.is_fact() {
+                fact_rules.push(i);
                 continue;
             }
             let s = strat.stratum(cr.rule.head);
+            let nonmono = cr.rule.group.is_some()
+                || cr
+                    .rule
+                    .all_body_lits()
+                    .any(|l| matches!(l, BodyLit::Neg(..)));
+            if nonmono {
+                max_nonmono_stratum = Some(max_nonmono_stratum.map_or(s, |m: usize| m.max(s)));
+            }
+            if cr.uses_active_universe {
+                min_universe_stratum = Some(min_universe_stratum.map_or(s, |m: usize| m.min(s)));
+            }
             if cr.rule.group.is_some() {
-                grouping_by_stratum[s].push(cr);
+                grouping_by_stratum[s].push(i);
             } else {
-                regular_by_stratum[s].push(cr);
+                regular_by_stratum[s].push(i);
             }
         }
-        for cr in &compiled {
-            if cr.rule.is_fact() {
-                let tuple: Vec<TermId> = cr
-                    .rule
-                    .head_args
-                    .iter()
-                    .map(|p| match p {
-                        crate::pattern::Pattern::Ground(id) => *id,
-                        _ => unreachable!("is_fact guarantees ground head"),
-                    })
-                    .collect();
-                if self.full[cr.rule.head.index()].insert(&tuple) {
-                    stats.facts_derived += 1;
-                }
+        index_requests.sort_unstable();
+        index_requests.dedup();
+
+        self.prepared = Some(Prepared {
+            strat,
+            compiled,
+            regular_by_stratum,
+            grouping_by_stratum,
+            fact_rules,
+            index_requests,
+            max_nonmono_stratum,
+            min_universe_stratum,
+            policy: self.config.set_universe,
+        });
+        if self.state == EngineState::Unprepared {
+            self.state = EngineState::Prepared;
+        }
+        Ok(())
+    }
+
+    /// Batch evaluation: rebuild the model from the EDB and run every
+    /// stratum to fixpoint with the cached plans.
+    fn run_batch(&mut self) -> Result<EvalStats, EngineError> {
+        self.materialize_universe()?;
+        self.prepare()?;
+        let mut stats = EvalStats::default();
+
+        // Reset the model to the EDB; loaded facts count as derived
+        // (they are part of `T_P ↑ ω`'s base).
+        for i in 0..self.preds.len() {
+            self.full[i] = self.edb[i].clone();
+            stats.facts_derived += self.edb[i].len();
+            self.delta[i].clear();
+            self.pending[i].clear();
+        }
+
+        let prepared = self.prepared.as_ref().expect("prepare() just ran");
+        for &(pred, mask, is_delta) in &prepared.index_requests {
+            self.full[pred.index()].ensure_index(mask);
+            if is_delta {
+                self.delta[pred.index()].ensure_index(mask);
             }
         }
 
-        for s in 0..strat.num_strata {
+        // Ground-head fact rules load directly; everything else
+        // evaluates per stratum.
+        for &i in &prepared.fact_rules {
+            let cr = &prepared.compiled[i];
+            let tuple: Vec<TermId> = cr
+                .rule
+                .head_args
+                .iter()
+                .map(|p| match p {
+                    crate::pattern::Pattern::Ground(id) => *id,
+                    _ => unreachable!("is_fact guarantees ground head"),
+                })
+                .collect();
+            if self.full[cr.rule.head.index()].insert(&tuple) {
+                stats.facts_derived += 1;
+            }
+        }
+
+        for s in 0..prepared.strat.num_strata {
+            let regular: Vec<&CompiledRule> = prepared.regular_by_stratum[s]
+                .iter()
+                .map(|&i| &prepared.compiled[i])
+                .collect();
+            let grouping: Vec<&CompiledRule> = prepared.grouping_by_stratum[s]
+                .iter()
+                .map(|&i| &prepared.compiled[i])
+                .collect();
             let stratum_stats = run_stratum(
                 &mut self.store,
                 &mut self.full,
                 &mut self.delta,
-                &regular_by_stratum[s],
-                &grouping_by_stratum[s],
+                &regular,
+                &grouping,
                 &self.config,
+                StratumStart::Batch,
             )?;
             stats.absorb(stratum_stats);
         }
 
+        self.finish(stats)
+    }
+
+    /// Incremental update: splice the pending facts into the model,
+    /// then continue the semi-naive fixpoint from the lowest affected
+    /// stratum with the deltas seeded from exactly those new tuples.
+    fn update_incremental(&mut self) -> Result<EvalStats, EngineError> {
+        self.materialize_universe()?;
+        let npreds = self.preds.len();
+        let changed: Vec<PredId> = (0..npreds)
+            .map(PredId::from_index)
+            .filter(|p| !self.pending[p.index()].is_empty())
+            .collect();
+        let universe_grew = self.store.set_ids().len() > self.sets_at_materialize;
+
+        let (start, fallback, num_strata) = {
+            let prepared = self
+                .prepared
+                .as_ref()
+                .expect("a materialized session is prepared");
+            let mut start = prepared.strat.lowest_affected(changed.iter().copied());
+            if universe_grew {
+                // New interned sets can re-fire universe-enumerating
+                // rules even below the lowest fact-affected stratum.
+                start = match (start, prepared.min_universe_stratum) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let fallback =
+                start.is_some_and(|s0| prepared.max_nonmono_stratum.is_some_and(|m| m >= s0));
+            (start, fallback, prepared.strat.num_strata)
+        };
+        if fallback {
+            // Negation or grouping at/above the restart stratum: a
+            // monotone continuation cannot retract, so recompute from
+            // the EDB (which already includes the pending facts).
+            return self.run_batch();
+        }
+
+        let mut stats = EvalStats::default();
+        // Splice pending facts into the model, remembering each
+        // relation's previous length: rows past the snapshot are this
+        // update's seed set.
+        let snapshot: Vec<u32> = (0..npreds).map(|i| self.full[i].len() as u32).collect();
+        for &p in &changed {
+            let i = p.index();
+            for r in 0..self.pending[i].len() as u32 {
+                let tuple = self.pending[i].row(r);
+                if self.full[i].insert(tuple) {
+                    stats.delta_seed_facts += 1;
+                    stats.facts_derived += 1;
+                }
+            }
+            self.pending[i].clear();
+        }
+
+        if let Some(s0) = start {
+            let sets_baseline = self.sets_at_materialize;
+            for s in s0..num_strata {
+                // Re-seed the deltas with everything this update has
+                // added so far (pending facts plus lower-stratum
+                // derivations) — but only for the predicates this
+                // stratum's rules actually read; the delta variants and
+                // quantifier triggers consult no others.
+                for d in self.delta.iter_mut() {
+                    d.clear();
+                }
+                let prepared = self.prepared.as_ref().expect("checked above");
+                for &p in prepared.strat.reads(s) {
+                    let i = p.index();
+                    for r in snapshot[i]..self.full[i].len() as u32 {
+                        let tuple = self.full[i].row(r);
+                        self.delta[i].insert(tuple);
+                    }
+                }
+                let regular: Vec<&CompiledRule> = prepared.regular_by_stratum[s]
+                    .iter()
+                    .map(|&i| &prepared.compiled[i])
+                    .collect();
+                let stratum_stats = run_stratum(
+                    &mut self.store,
+                    &mut self.full,
+                    &mut self.delta,
+                    &regular,
+                    &[],
+                    &self.config,
+                    StratumStart::Seeded { sets_baseline },
+                )?;
+                stats.absorb(stratum_stats);
+            }
+            for d in self.delta.iter_mut() {
+                d.clear();
+            }
+        }
+
+        stats.incremental_runs = 1;
+        self.finish(stats)
+    }
+
+    /// Common epilogue of every evaluation pass.
+    fn finish(&mut self, stats: EvalStats) -> Result<EvalStats, EngineError> {
+        self.state = EngineState::Materialized;
+        self.sets_at_materialize = self.store.set_ids().len();
+        self.config_at_materialize = self.config;
         self.last_stats = stats;
+        self.cumulative_stats.absorb(stats);
         Ok(stats)
     }
 
@@ -316,15 +681,27 @@ impl Engine {
 
     /// Iterate over the tuples of a predicate.
     pub fn tuples(&self, pred: PredId) -> impl Iterator<Item = &[TermId]> {
-        self.full[pred.index()].iter()
+        self.rows(pred)
+    }
+
+    /// Borrowing, exact-size iterator over a predicate's tuples: rows
+    /// are read straight out of the relation arena, nothing is
+    /// allocated, and `len()` is O(1) — the cheap counterpart of
+    /// [`Engine::extension`] for callers that only need to walk or
+    /// count.
+    pub fn rows(&self, pred: PredId) -> Rows<'_> {
+        Rows {
+            rel: &self.full[pred.index()],
+            next: 0,
+        }
     }
 
     /// Extract a predicate's extension as owned [`Value`] rows, sorted
     /// — a stable form for tests and for the Theorem-10/11 equivalence
-    /// harness.
+    /// harness. Prefer [`Engine::rows`] when borrowing suffices.
     pub fn extension(&self, pred: PredId) -> Vec<Vec<Value>> {
         let mut rows: Vec<Vec<Value>> = self
-            .tuples(pred)
+            .rows(pred)
             .map(|t| {
                 t.iter()
                     .map(|&id| Value::from_store(&self.store, id))
@@ -335,6 +712,34 @@ impl Engine {
         rows
     }
 }
+
+/// Borrowing tuple iterator returned by [`Engine::rows`].
+#[derive(Clone, Debug)]
+pub struct Rows<'a> {
+    rel: &'a Relation,
+    next: u32,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [TermId];
+
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if (self.next as usize) < self.rel.len() {
+            let row = self.rel.row(self.next);
+            self.next += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.rel.len() - self.next as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -684,6 +1089,240 @@ mod tests {
         let a = e.store_mut().atom("a");
         let err = e.fact(p, vec![a]).unwrap_err();
         assert!(matches!(err, EngineError::ArityMismatch { .. }));
+    }
+
+    fn tc_engine() -> (Engine, PredId, PredId, Vec<TermId>) {
+        let mut e = Engine::new(EvalConfig::default());
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let ids: Vec<TermId> = (0..5)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+                BodyLit::Pos(path, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        (e, edge, path, ids)
+    }
+
+    #[test]
+    fn second_run_is_a_cheap_noop() {
+        // Regression: `run()` used to recompute (and with stale state,
+        // corrupt) the model when called twice. Now an unchanged,
+        // materialized session reports zero work and an identical
+        // model.
+        let (mut e, _, path, _) = tc_engine();
+        e.run().unwrap();
+        assert_eq!(e.state(), crate::engine::EngineState::Materialized);
+        let before = e.extension(path);
+        let cumulative = e.cumulative_stats();
+        let stats = e.run().unwrap();
+        assert_eq!(stats, EvalStats::default(), "no work on a reached fixpoint");
+        assert_eq!(e.extension(path), before);
+        assert_eq!(
+            e.cumulative_stats(),
+            cumulative,
+            "the no-op run must not even touch the counters"
+        );
+    }
+
+    #[test]
+    fn incremental_update_continues_from_the_retained_model() {
+        let (mut e, edge, path, ids) = tc_engine();
+        e.run().unwrap();
+        // New edge n4 → n0 closes the ring: every ordered pair becomes
+        // a path.
+        e.fact(edge, vec![ids[4], ids[0]]).unwrap();
+        assert_eq!(e.state(), crate::engine::EngineState::Dirty);
+        let stats = e.update().unwrap();
+        assert_eq!(stats.incremental_runs, 1);
+        assert_eq!(stats.delta_seed_facts, 1);
+        assert_eq!(e.rows(path).len(), 25, "closure of the 5-cycle");
+        // Only the new tuples were derived: 1 seeded edge + 15 paths.
+        assert_eq!(stats.facts_derived, 16);
+        // And the model equals a from-scratch evaluation.
+        let (mut fresh, fedge, fpath, fids) = tc_engine();
+        fresh.fact(fedge, vec![fids[4], fids[0]]).unwrap();
+        fresh.run().unwrap();
+        assert_eq!(e.extension(path), fresh.extension(fpath));
+        let inc: Vec<Vec<TermId>> = e.rows(path).map(<[_]>::to_vec).collect();
+        let mut inc = inc;
+        inc.sort();
+        let mut batch: Vec<Vec<TermId>> = fresh.rows(fpath).map(<[_]>::to_vec).collect();
+        batch.sort();
+        assert_eq!(inc, batch, "bit-identical interned tuples");
+    }
+
+    #[test]
+    fn config_change_after_run_voids_the_noop_shortcircuit() {
+        let (mut e, _, path, _) = tc_engine();
+        e.run().unwrap();
+        e.config_mut().strategy = crate::config::FixpointStrategy::Naive;
+        let stats = e.run().unwrap();
+        assert!(
+            stats.iterations > 0,
+            "a changed config must rebuild, not return the stale model"
+        );
+        assert_eq!(e.rows(path).len(), 10);
+        // Unchanged config short-circuits again.
+        assert_eq!(e.run().unwrap(), EvalStats::default());
+    }
+
+    #[test]
+    fn duplicate_fact_after_run_stays_clean() {
+        let (mut e, edge, _, ids) = tc_engine();
+        e.run().unwrap();
+        // Re-adding a known fact queues nothing.
+        e.fact(edge, vec![ids[0], ids[1]]).unwrap();
+        assert_eq!(e.state(), crate::engine::EngineState::Materialized);
+        assert_eq!(e.update().unwrap(), EvalStats::default());
+    }
+
+    #[test]
+    fn update_with_negation_falls_back_to_a_sound_recompute() {
+        // unreachable(X) :- node(X), not reach(X): a monotone
+        // continuation cannot retract `unreachable(n2)` when a new edge
+        // makes n2 reachable — the old engine silently kept it. The
+        // session detects the non-monotone stratum and recomputes.
+        let mut e = Engine::new(EvalConfig::default());
+        let node = e.pred("node", 1);
+        let edge = e.pred("edge", 2);
+        let reach = e.pred("reach", 1);
+        let unreach = e.pred("unreachable", 1);
+        let ids: Vec<TermId> = (0..3)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for &n in &ids {
+            e.fact(node, vec![n]).unwrap();
+        }
+        e.fact(edge, vec![ids[0], ids[1]]).unwrap();
+        e.fact(reach, vec![ids[0]]).unwrap();
+        e.rule(plain_rule(
+            reach,
+            vec![v(1)],
+            vec![
+                BodyLit::Pos(reach, vec![v(0)]),
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+            ],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            unreach,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(node, vec![v(0)]),
+                BodyLit::Neg(reach, vec![v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+        e.run().unwrap();
+        assert!(e.holds(unreach, &[ids[2]]));
+        e.fact(edge, vec![ids[1], ids[2]]).unwrap();
+        let stats = e.run().unwrap();
+        assert_eq!(stats.incremental_runs, 0, "negation forces the fallback");
+        assert!(e.holds(reach, &[ids[2]]));
+        assert!(!e.holds(unreach, &[ids[2]]), "stale tuple retracted");
+    }
+
+    #[test]
+    fn update_not_reading_changed_pred_is_trivial() {
+        let (mut e, _, path, _) = tc_engine();
+        e.run().unwrap();
+        let before = e.rows(path).len();
+        // `isolated` feeds no rule: the model is already the least
+        // model of the enlarged database.
+        let iso = e.pred("isolated", 1);
+        let x = e.store_mut().atom("x");
+        e.fact(iso, vec![x]).unwrap();
+        let stats = e.update().unwrap();
+        assert_eq!(stats.incremental_runs, 1);
+        assert_eq!(stats.iterations, 0, "no stratum re-ran");
+        assert!(e.holds(iso, &[x]));
+        assert_eq!(e.rows(path).len(), before);
+    }
+
+    #[test]
+    fn reset_facts_keeps_rules_and_compiled_plans() {
+        let (mut e, edge, path, _) = tc_engine();
+        e.run().unwrap();
+        e.reset_facts();
+        assert_eq!(e.state(), crate::engine::EngineState::Prepared);
+        assert_eq!(e.rows(path).len(), 0);
+        // Fresh facts evaluate under the cached plans.
+        let (a, b) = {
+            let st = e.store_mut();
+            (st.atom("a"), st.atom("b"))
+        };
+        e.fact(edge, vec![a, b]).unwrap();
+        e.run().unwrap();
+        assert!(e.holds(path, &[a, b]));
+        assert_eq!(e.rows(path).len(), 1);
+    }
+
+    #[test]
+    fn rows_is_exact_size_and_matches_tuples() {
+        let (mut e, _, path, _) = tc_engine();
+        e.run().unwrap();
+        let rows = e.rows(path);
+        assert_eq!(rows.len(), 10);
+        let collected: Vec<&[TermId]> = rows.collect();
+        let via_tuples: Vec<&[TermId]> = e.tuples(path).collect();
+        assert_eq!(collected, via_tuples);
+    }
+
+    #[test]
+    fn grouping_update_falls_back_and_regroups() {
+        // owns(P, <C>) :- car(P, C): grouping is non-monotone — adding
+        // a car must *replace* alice's set, which only the fallback
+        // recompute can do.
+        let mut e = Engine::new(EvalConfig::default());
+        let car = e.pred("car", 2);
+        let owns = e.pred("owns", 2);
+        let (alice, c1, c2) = {
+            let st = e.store_mut();
+            (st.atom("alice"), st.atom("c1"), st.atom("c2"))
+        };
+        e.fact(car, vec![alice, c1]).unwrap();
+        e.rule(Rule {
+            head: owns,
+            head_args: vec![v(0), v(1)],
+            group: Some(crate::rule::GroupSpec {
+                arg_pos: 1,
+                var: VarId(1),
+            }),
+            outer: vec![BodyLit::Pos(car, vec![v(0), v(1)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["P".into(), "C".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.run().unwrap();
+        e.fact(car, vec![alice, c2]).unwrap();
+        let stats = e.update().unwrap();
+        assert_eq!(stats.incremental_runs, 0, "grouping forces the fallback");
+        let both = e.store_mut().set(vec![c1, c2]);
+        let only_c1 = e.store_mut().set(vec![c1]);
+        assert!(e.holds(owns, &[alice, both]));
+        assert!(!e.holds(owns, &[alice, only_c1]), "old group retracted");
     }
 
     #[test]

@@ -62,9 +62,31 @@ impl DerivedBuf {
     }
 }
 
+/// How a stratum run starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StratumStart {
+    /// Batch evaluation: grouping rules run first, then the fixpoint
+    /// opens with a full round over the complete relations.
+    Batch,
+    /// Incremental continuation: the full relations already hold a
+    /// completed fixpoint plus newly inserted facts, and the delta
+    /// relations are pre-seeded with exactly those new tuples. The
+    /// grouping pass and the full round 0 are skipped; the semi-naive
+    /// driver drains the seeded deltas to the new fixpoint. Sound only
+    /// for monotone rules — the engine falls back to a batch run when
+    /// negation or grouping sits at or above the restart stratum.
+    Seeded {
+        /// Interned-set count at the last completed materialization,
+        /// so universe-enumerating rules re-fire when the update
+        /// interned new sets.
+        sets_baseline: usize,
+    },
+}
+
 /// Run one stratum to fixpoint. `regular` are ordinary rules whose
 /// heads live in this stratum; `grouping` are LDL grouping rules
-/// (evaluated once, first — their bodies are complete lower strata).
+/// (evaluated once, first — their bodies are complete lower strata;
+/// must be empty for a [`StratumStart::Seeded`] run).
 pub fn run_stratum(
     store: &mut TermStore,
     full: &mut [Relation],
@@ -72,6 +94,7 @@ pub fn run_stratum(
     regular: &[&CompiledRule],
     grouping: &[&CompiledRule],
     config: &EvalConfig,
+    start: StratumStart,
 ) -> Result<EvalStats, EngineError> {
     let mut stats = EvalStats {
         strata: 1,
@@ -80,6 +103,10 @@ pub fn run_stratum(
     let counters = ProbeCounters::default();
 
     // Grouping rules first (Definition 14): body strata are final.
+    debug_assert!(
+        grouping.is_empty() || start == StratumStart::Batch,
+        "seeded continuations never re-run grouping rules"
+    );
     let mut derived = DerivedBuf::default();
     for cr in grouping {
         derived.clear();
@@ -95,11 +122,15 @@ pub fn run_stratum(
 
     match config.strategy {
         FixpointStrategy::Naive => {
+            // The naive driver re-applies every rule to the full
+            // relations until quiescent, so a seeded continuation needs
+            // no delta plumbing: resuming from the retained model is
+            // already its semantics (`T_P` is monotone on this path).
             naive(store, full, delta, regular, config, &counters, &mut stats)?
         }
-        FixpointStrategy::SemiNaive => {
-            seminaive(store, full, delta, regular, config, &counters, &mut stats)?
-        }
+        FixpointStrategy::SemiNaive => seminaive(
+            store, full, delta, regular, config, start, &counters, &mut stats,
+        )?,
     }
     stats.index_probes = counters.probes.get() as usize;
     stats.probe_rows = counters.rows.get() as usize;
@@ -287,6 +318,7 @@ fn seminaive(
     delta: &mut [Relation],
     regular: &[&CompiledRule],
     config: &EvalConfig,
+    start: StratumStart,
     counters: &ProbeCounters,
     stats: &mut EvalStats,
 ) -> Result<(), EngineError> {
@@ -295,33 +327,44 @@ fn seminaive(
     let mut derived = DerivedBuf::default();
     let mut candidate_sets: FxHashSet<TermId> = FxHashSet::default();
 
-    // Round 0: all rules, full relations.
-    let mut sets_seen = store.set_ids().len();
-    for cr in regular {
-        collect_variant(
-            cr,
-            0,
-            store,
-            full,
-            delta,
-            config,
-            None,
-            counters,
-            &mut derived,
-        )?;
-        stats.rule_evaluations += 1;
-    }
-    stats.iterations += 1;
-    stats.tuples_considered += derived.len();
-    for d in delta.iter_mut() {
-        d.clear();
-    }
-    for (pred, tuple) in derived.iter() {
-        if full[pred.index()].insert(tuple) {
-            stats.facts_derived += 1;
-            delta[pred.index()].insert(tuple);
+    let mut sets_seen = match start {
+        StratumStart::Batch => {
+            // Round 0: all rules, full relations.
+            let sets_seen = store.set_ids().len();
+            for cr in regular {
+                collect_variant(
+                    cr,
+                    0,
+                    store,
+                    full,
+                    delta,
+                    config,
+                    None,
+                    counters,
+                    &mut derived,
+                )?;
+                stats.rule_evaluations += 1;
+            }
+            stats.iterations += 1;
+            stats.tuples_considered += derived.len();
+            for d in delta.iter_mut() {
+                d.clear();
+            }
+            for (pred, tuple) in derived.iter() {
+                if full[pred.index()].insert(tuple) {
+                    stats.facts_derived += 1;
+                    delta[pred.index()].insert(tuple);
+                }
+            }
+            sets_seen
         }
-    }
+        // Seeded continuation: the caller pre-filled the deltas with the
+        // newly inserted facts; go straight to the delta rounds. The
+        // universe baseline is the set count at the last completed
+        // materialization, so growth since then re-triggers
+        // universe-enumerating rules.
+        StratumStart::Seeded { sets_baseline } => sets_baseline,
+    };
 
     loop {
         let universe_grew = store.set_ids().len() > sets_seen;
@@ -434,7 +477,10 @@ fn seminaive(
                 changed = true;
             }
         }
-        if !changed {
+        // No new facts: done — unless this round interned new sets, in
+        // which case the top-of-loop universe trigger must get a look
+        // (the naive driver already rechecks growth before exiting).
+        if !changed && store.set_ids().len() <= sets_seen {
             return Ok(());
         }
     }

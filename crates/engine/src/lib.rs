@@ -39,7 +39,7 @@ pub mod rule;
 pub mod strata;
 
 pub use config::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
-pub use engine::Engine;
+pub use engine::{Engine, EngineState, Rows};
 pub use error::EngineError;
 pub use pred::{PredId, PredRegistry};
 pub use relation::Relation;

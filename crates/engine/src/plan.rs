@@ -142,7 +142,11 @@ pub struct CompiledRule {
 }
 
 /// Compile `rule` under the given policy. `idb` says which predicates
-/// are derived (have rules) — only those get delta variants.
+/// can acquire new tuples during (or between) fixpoints — only those
+/// get delta variants and count as quantifier-trigger predicates. The
+/// engine session passes every registered predicate, since EDB facts
+/// can arrive incrementally after a materialization; the unused
+/// variants cost one empty-delta check per round.
 pub fn compile_rule(
     rule: &Rule,
     preds: &PredRegistry,

@@ -10,7 +10,7 @@
 //! * positive dependencies satisfy `stratum(head) ≥ stratum(body)`,
 //! * negative/grouping dependencies satisfy `stratum(head) > stratum(body)`.
 
-use lps_term::FxHashMap;
+use lps_term::{FxHashMap, FxHashSet};
 
 use crate::error::EngineError;
 use crate::pred::PredId;
@@ -34,12 +34,39 @@ pub struct Stratification {
     pub stratum_of: Vec<usize>,
     /// Total number of strata.
     pub num_strata: usize,
+    /// Per stratum: the predicates read (positively, negatively, or
+    /// inside a quantifier group) by rules whose heads live in that
+    /// stratum — sorted and deduplicated. This is the dependency
+    /// information the incremental engine uses to find the lowest
+    /// stratum a batch of new facts can affect.
+    reads_of: Vec<Vec<PredId>>,
 }
 
 impl Stratification {
     /// Stratum of a predicate.
     pub fn stratum(&self, p: PredId) -> usize {
         self.stratum_of.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// Predicates read by rules whose heads live in `stratum`.
+    pub fn reads(&self, stratum: usize) -> &[PredId] {
+        self.reads_of.get(stratum).map_or(&[], Vec::as_slice)
+    }
+
+    /// The lowest stratum whose rules read any of `changed` — the
+    /// point from which an incremental update must re-run the fixpoint
+    /// when those predicates gain facts. `None` means no rule reads
+    /// any changed predicate, so the materialized model is already the
+    /// least model of the enlarged database.
+    pub fn lowest_affected<I>(&self, changed: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = PredId>,
+    {
+        let changed: FxHashSet<PredId> = changed.into_iter().collect();
+        if changed.is_empty() {
+            return None;
+        }
+        (0..self.num_strata).find(|&s| self.reads(s).iter().any(|p| changed.contains(p)))
     }
 }
 
@@ -120,9 +147,27 @@ pub fn stratify(
         stratum_of[n] = scc_stratum[scc_of[n]];
     }
     let num_strata = stratum_of.iter().max().map_or(1, |m| m + 1);
+
+    // Stratum → read-predicate sets, for incremental restarts.
+    let mut reads_of: Vec<Vec<PredId>> = vec![Vec::new(); num_strata];
+    for rule in rules {
+        let s = stratum_of[rule.head.index()];
+        for lit in rule.all_body_lits() {
+            match lit {
+                BodyLit::Pos(p, _) | BodyLit::Neg(p, _) => reads_of[s].push(*p),
+                BodyLit::Builtin(..) => {}
+            }
+        }
+    }
+    for reads in &mut reads_of {
+        reads.sort_unstable();
+        reads.dedup();
+    }
+
     Ok(Stratification {
         stratum_of,
         num_strata,
+        reads_of,
     })
 }
 
@@ -330,6 +375,34 @@ mod tests {
         let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
         assert_eq!(s.num_strata, 4);
         assert_eq!(s.stratum(ids[3]), 3);
+    }
+
+    #[test]
+    fn reads_and_lowest_affected_track_stratum_dependencies() {
+        let (fx, ids) = Fixture::new(&["edb", "p", "q", "island"]);
+        // p :- edb, not q. q :- edb.  (edb read at strata 0 and 1)
+        let rules = vec![
+            rule(ids[1], vec![pos(ids[0]), neg(ids[2])]),
+            rule(ids[2], vec![pos(ids[0])]),
+        ];
+        let s = stratify(&rules, fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.reads(0), &[ids[0]]);
+        assert_eq!(s.reads(1), &[ids[0], ids[2]]);
+        // New edb facts hit stratum 0 first; new q facts only stratum 1.
+        assert_eq!(s.lowest_affected([ids[0]]), Some(0));
+        assert_eq!(s.lowest_affected([ids[2]]), Some(1));
+        // Nothing reads p or the island predicate.
+        assert_eq!(s.lowest_affected([ids[1]]), None);
+        assert_eq!(s.lowest_affected([ids[3]]), None);
+        assert_eq!(s.lowest_affected([]), None);
+        // Quantifier-inner literals count as reads too.
+        let mut r = rule(ids[1], vec![pos(ids[0])]);
+        r.quant = Some(crate::rule::QuantGroup {
+            binders: vec![(VarId(1), Pattern::Var(VarId(0)))],
+            inner: vec![pos(ids[2])],
+        });
+        let s = stratify(&[r], fx.reg.len(), &fx.name_fn()).unwrap();
+        assert_eq!(s.lowest_affected([ids[2]]), Some(0));
     }
 
     #[test]

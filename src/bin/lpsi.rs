@@ -16,20 +16,32 @@
 //! :program               print the accumulated program
 //! :normalized            print the Theorem-6-compiled program
 //! :sorts                 print inferred predicate signatures
-//! :stats                 evaluation statistics of the last run
+//! :stats                 evaluation statistics of the session
+//! :reset                 drop facts, keep rules and compiled plans
 //! :clear                 drop the accumulated program
 //! :quit                  exit
 //! ```
+//!
+//! The session keeps one live engine: the first query materializes the
+//! model, and ground facts entered afterwards are folded in by the
+//! engine's incremental update path (seeded semi-naive deltas) instead
+//! of recomputing the model from scratch. Rules, dialect, or universe
+//! changes rebuild the session.
 
 use std::io::{self, BufRead, Write};
 
-use lps::{Database, Dialect, EvalConfig, EvalStats, SetUniverse};
-use lps_syntax::{parse_program, pretty_program, Formula, Literal};
+use lps::{Database, Dialect, EvalConfig, EvalStats, Model, SetUniverse, Value};
+use lps_syntax::{parse_program, pretty_program, Clause, Formula, HeadArg, Item, Literal, Program};
 
 struct Session {
     dialect: Dialect,
     config: EvalConfig,
     source: String,
+    /// The live engine session, materialized by the first query and
+    /// maintained incrementally; `None` until then or after anything
+    /// that invalidates the compiled program (rules, dialect/universe
+    /// changes, `:clear`).
+    model: Option<Model>,
     last_stats: Option<EvalStats>,
 }
 
@@ -39,6 +51,7 @@ impl Session {
             dialect: Dialect::StratifiedElps,
             config: EvalConfig::default(),
             source: String::new(),
+            model: None,
             last_stats: None,
         }
     }
@@ -49,11 +62,33 @@ impl Session {
         Ok(db)
     }
 
+    /// Drop the live session (rules/dialect/universe changed).
+    fn invalidate(&mut self) {
+        self.model = None;
+    }
+
+    /// The up-to-date model: built on first use, then maintained by
+    /// incremental updates (a no-op when nothing is pending).
+    fn ensure_model(&mut self) -> Result<&mut Model, String> {
+        if self.model.is_none() {
+            let db = self.database().map_err(|e| e.to_string())?;
+            self.model = Some(db.evaluate().map_err(|e| e.to_string())?);
+        } else if let Some(m) = self.model.as_mut() {
+            if m.needs_update() {
+                m.update().map_err(|e| e.to_string())?;
+            }
+        }
+        let model = self.model.as_mut().expect("just ensured");
+        self.last_stats = Some(model.stats());
+        Ok(model)
+    }
+
     /// Add program text (facts/rules), validating eagerly so errors
-    /// point at the offending line.
+    /// point at the offending line. Ground facts flow into the live
+    /// session's pending deltas; anything else invalidates it.
     fn add(&mut self, text: &str) -> Result<(), String> {
         // Parse standalone first for a precise message.
-        parse_program(text).map_err(|e| e.render(text))?;
+        let parsed = parse_program(text).map_err(|e| e.render(text))?;
         let mut candidate = self.source.clone();
         candidate.push_str(text);
         candidate.push('\n');
@@ -61,6 +96,18 @@ impl Session {
         db.load_str(&candidate).map_err(|e| e.to_string())?;
         db.check().map_err(|e| e.to_string())?;
         self.source = candidate;
+        if self.model.is_some() {
+            let mut keep_session = false;
+            if let Some(facts) = ground_facts(&parsed) {
+                let model = self.model.as_mut().expect("checked above");
+                keep_session = facts
+                    .iter()
+                    .all(|(pred, args)| model.add_fact(pred, args).is_ok());
+            }
+            if !keep_session {
+                self.invalidate();
+            }
+        }
         Ok(())
     }
 
@@ -78,12 +125,10 @@ impl Session {
                 "queries must be a single predicate literal, e.g. ?- disj(X, {a}).".to_owned(),
             );
         };
+        let (name, args) = (name.clone(), args.clone());
 
-        let db = self.database().map_err(|e| e.to_string())?;
-        let model = db.evaluate().map_err(|e| e.to_string())?;
-        self.last_stats = Some(model.stats());
-
-        let rows = model.extension_n(name, args.len());
+        let model = self.ensure_model()?;
+        let rows = model.extension_n(&name, args.len());
         // Filter rows against any ground arguments in the query.
         let ground: Vec<Option<lps::Value>> = args.iter().map(term_to_value).collect();
         let mut hits = 0usize;
@@ -105,6 +150,29 @@ impl Session {
         }
         Ok(())
     }
+}
+
+/// If every item of `parsed` is a ground fact clause, return the
+/// `(pred, args)` pairs for the live session's incremental path;
+/// `None` (rules, declarations, variables, grouping heads) means the
+/// session must be rebuilt.
+fn ground_facts(parsed: &Program) -> Option<Vec<(String, Vec<Value>)>> {
+    let mut out = Vec::new();
+    for item in &parsed.items {
+        let Item::Clause(Clause {
+            head, body: None, ..
+        }) = item
+        else {
+            return None;
+        };
+        let mut args = Vec::with_capacity(head.args.len());
+        for arg in &head.args {
+            let HeadArg::Term(t) = arg else { return None };
+            args.push(term_to_value(t)?);
+        }
+        out.push((head.pred.clone(), args));
+    }
+    Some(out)
 }
 
 /// Convert a ground query term to a value (None for variables —
@@ -130,7 +198,7 @@ fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
 fn print_help() {
     println!(
         "Enter facts/rules ending in `.`; `?- literal.` to query.\n\
-         :help :dialect :universe :model :program :normalized :sorts :stats :clear :quit"
+         :help :dialect :universe :model :program :normalized :sorts :stats :reset :clear :quit"
     );
 }
 
@@ -180,24 +248,47 @@ fn main() -> io::Result<()> {
                 ":help" | ":h" => print_help(),
                 ":clear" => {
                     session.source.clear();
+                    session.invalidate();
                     println!("cleared.");
+                }
+                ":reset" => {
+                    // Drop fact clauses from the source; rules (and
+                    // declarations) survive, and so do the live
+                    // session's compiled plans.
+                    let parsed = parse_program(&session.source).expect("accumulated source parses");
+                    let (facts, kept): (Vec<Item>, Vec<Item>) = parsed
+                        .items
+                        .into_iter()
+                        .partition(|item| matches!(item, Item::Clause(Clause { body: None, .. })));
+                    session.source = pretty_program(&Program { items: kept });
+                    if let Some(m) = session.model.as_mut() {
+                        m.reset_facts();
+                    }
+                    println!(
+                        "reset: dropped {} fact(s); rules and compiled plans kept.",
+                        facts.len()
+                    );
                 }
                 ":program" => print!("{}", session.source),
                 ":stats" => match &session.last_stats {
                     Some(s) => println!(
                         "facts={} rounds={} strata={} rule_evals={} \
-                         probes={} probe_rows={} probe_allocs={}",
+                         probes={} probe_rows={} probe_allocs={} \
+                         incr_runs={} seeded={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
                         s.rule_evaluations,
                         s.index_probes,
                         s.probe_rows,
-                        s.probe_allocs
+                        s.probe_allocs,
+                        s.incremental_runs,
+                        s.delta_seed_facts
                     ),
                     None => println!("no evaluation yet."),
                 },
                 ":dialect" => {
+                    session.invalidate();
                     session.dialect = match arg {
                         "purelps" => Dialect::PureLps,
                         "lps" => Dialect::Lps,
@@ -211,6 +302,7 @@ fn main() -> io::Result<()> {
                     println!("dialect = {:?}", session.dialect);
                 }
                 ":universe" => {
+                    session.invalidate();
                     let mut words = arg.split_whitespace();
                     session.config.set_universe = match words.next() {
                         Some("reject") => SetUniverse::Reject,
@@ -231,7 +323,7 @@ fn main() -> io::Result<()> {
                         println!("usage: :model PRED");
                         continue;
                     }
-                    match session.database().and_then(|db| db.evaluate()) {
+                    match session.ensure_model() {
                         Ok(model) => {
                             let rows = model.extension(arg);
                             for row in &rows {

@@ -166,6 +166,65 @@ fn sorts_program_clear_and_help_round_out_the_surface() {
 }
 
 #[test]
+fn reset_drops_facts_but_keeps_rules() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "edge(a, b). edge(b, c).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+         ?- path(X, Y).\n\
+         :reset\n\
+         ?- path(X, Y).\n\
+         edge(c, d).\n\
+         ?- path(X, Y).\n\
+         :program\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("3 answer(s)."), "before reset:\n{stdout}");
+    assert!(
+        stdout.contains("reset: dropped 2 fact(s); rules and compiled plans kept."),
+        "reset notice:\n{stdout}"
+    );
+    assert!(stdout.contains("no."), "model empty after reset:\n{stdout}");
+    assert!(
+        stdout.contains("1 answer(s)."),
+        "fresh fact evaluates under the kept rules:\n{stdout}"
+    );
+    // The source kept the rules but dropped the old facts.
+    let after_reset = stdout.split("reset:").nth(1).expect("output after reset");
+    assert!(
+        after_reset.contains("path(X, Z) :-"),
+        "rules kept:\n{stdout}"
+    );
+    assert!(
+        !after_reset.contains("edge(a, b)."),
+        "facts gone:\n{stdout}"
+    );
+}
+
+#[test]
+fn facts_after_a_query_update_the_live_session_incrementally() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(X, Y).\n\
+         e(b, c).\n\
+         ?- t(X, Y).\n\
+         :stats\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("1 answer(s)."), "initial model:\n{stdout}");
+    assert!(stdout.contains("3 answer(s)."), "updated model:\n{stdout}");
+    assert!(
+        stdout.contains("incr_runs=1 seeded=1"),
+        "the second query must go through the incremental path, \
+         not a recompute:\n{stdout}"
+    );
+}
+
+#[test]
 fn loads_program_files_from_argv() {
     let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lpsi_smoke");
     std::fs::create_dir_all(&dir).expect("mkdir");
