@@ -77,6 +77,9 @@ fn main() {
     if want("e12") {
         e12(&mut rep);
     }
+    if want("e13") {
+        e13(&mut rep);
+    }
     if json {
         // Smoke numbers come from reduced sweeps — keep them out of
         // the committed full-parameter baseline file.
@@ -690,6 +693,131 @@ fn e12(rep: &mut Report) {
             format!("{speedup:.1}"),
             cum.incremental_runs.to_string(),
             cum.delta_seed_facts.to_string(),
+        ]],
+    );
+}
+
+fn e13(rep: &mut Report) {
+    // Demand-driven point queries (EXPERIMENTS.md E13): a stream of k
+    // point queries `?- t(src, X)` against the chain transitive
+    // closure, answered two ways. Demand: a never-materialized session
+    // compiles the magic-set plan for the `bf` adornment once, then
+    // seeds one magic fact per query and derives only the tuples
+    // reachable from `src`. Full: materialize the whole O(n²/2)
+    // closure once — what every query paid before the demand
+    // subsystem — then filter per query (engine-side row filtering,
+    // cheaper than the old lpsi extension-clone path, so the
+    // comparison favors the full side). The closure is written
+    // left-linear — `t(X, Z) :- t(X, Y), e(Y, Z)` — the orientation
+    // under which the rewrite keeps demand at the seed (the
+    // right-linear form re-demands every suffix node; see
+    // EXPERIMENTS.md E13). The workload is set-free: the demand path
+    // must never fall back, and every query's answers must match the
+    // materialized model exactly.
+    let (nodes, k) = if rep.smoke { (128, 8) } else { (1024, 32) };
+    let src = workloads::chain_tc_left(nodes);
+    let sources = workloads::point_query_sources(nodes, k, 17);
+    let atom = |i: usize| Value::atom(format!("n{i}"));
+
+    // Demand side: plan compiled on the first query, cached after.
+    let base = db(&src, Dialect::Elps, SetUniverse::Reject);
+    let mut session = base.session().expect("session loads");
+    let start = Instant::now();
+    let mut demand_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(k);
+    for &s in &sources {
+        let ans = session
+            .query("t", &[Some(atom(s)), None])
+            .expect("demand query");
+        demand_rows.push(ans.rows);
+    }
+    let t_demand = start.elapsed();
+    let cum = session.stats();
+    assert_eq!(
+        cum.demand_fallbacks, 0,
+        "the set-free E13 workload must never fall back to full \
+         materialization"
+    );
+    assert_eq!(cum.magic_facts_seeded, k, "one magic seed per query");
+    assert!(
+        cum.adornments_compiled >= 1,
+        "the bf adornment compiles once"
+    );
+
+    // Full-materialization side.
+    let full_db = db(&src, Dialect::Elps, SetUniverse::Reject);
+    let start = Instant::now();
+    let full = eval(&full_db);
+    let mut full_total = 0usize;
+    for &s in &sources {
+        let engine = full.engine();
+        let t = engine.lookup_pred("t", 2).expect("t is defined");
+        let want = atom(s);
+        full_total += engine
+            .rows(t)
+            .filter(|row| Value::from_store(engine.store(), row[0]) == want)
+            .count();
+    }
+    let t_full = start.elapsed();
+
+    // Answer equivalence, row for row, against the materialized model.
+    for (qi, &s) in sources.iter().enumerate() {
+        let engine = full.engine();
+        let t = engine.lookup_pred("t", 2).expect("t is defined");
+        let want_src = atom(s);
+        let mut expected: Vec<Vec<Value>> = engine
+            .rows(t)
+            .filter(|row| Value::from_store(engine.store(), row[0]) == want_src)
+            .map(|row| {
+                row.iter()
+                    .map(|&id| Value::from_store(engine.store(), id))
+                    .collect()
+            })
+            .collect();
+        expected.sort();
+        assert_eq!(
+            demand_rows[qi], expected,
+            "demand answers must equal the materialized model's \
+             (query {qi}, source n{s})"
+        );
+    }
+    let demand_total: usize = demand_rows.iter().map(Vec::len).sum();
+    assert_eq!(demand_total, full_total);
+
+    let speedup = t_full.as_secs_f64() / t_demand.as_secs_f64().max(1e-9);
+    if !rep.smoke {
+        // The acceptance bar for the demand subsystem (observed well
+        // above it; the smoke sweep only checks the fallback and
+        // equivalence invariants).
+        assert!(
+            speedup >= 10.0,
+            "demand-driven point queries must be ≥10× faster than full \
+             materialization + filtering (got {speedup:.1}×)"
+        );
+    }
+    rep.section(
+        "e13",
+        "E13: demand-driven point queries — magic sets vs full materialization (chain TC)",
+        &[
+            "nodes",
+            "k",
+            "demand_total_us",
+            "full_total_us",
+            "speedup",
+            "answers",
+            "adornments",
+            "magic_seeds",
+            "fallbacks",
+        ],
+        &[vec![
+            nodes.to_string(),
+            k.to_string(),
+            us(t_demand),
+            us(t_full),
+            format!("{speedup:.1}"),
+            demand_total.to_string(),
+            cum.adornments_compiled.to_string(),
+            cum.magic_facts_seeded.to_string(),
+            cum.demand_fallbacks.to_string(),
         ]],
     );
 }

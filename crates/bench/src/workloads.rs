@@ -215,6 +215,33 @@ pub fn update_edges(nodes: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
     out
 }
 
+/// E13: the chain of [`chain_tc`] with *left-linear* transitive
+/// closure — `t(X, Z) :- t(X, Y), e(Y, Z)` — the demand-friendly
+/// orientation. Under the magic-set rewrite of a `?- t(src, X)` query
+/// the recursive call keeps its first argument bound to `src`, so
+/// demand never leaves the seed and the derivation is `O(reach(src))`.
+/// (The right-linear form of [`chain_tc`] re-demands every suffix
+/// node, materializing the whole sub-closure cone — sound, but the
+/// known-degenerate case; see EXPERIMENTS.md E13.)
+pub fn chain_tc_left(nodes: usize) -> String {
+    let mut src = String::new();
+    for i in 0..nodes.saturating_sub(1) {
+        let _ = writeln!(src, "e(n{i}, n{}).", i + 1);
+    }
+    src.push_str("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).\n");
+    src
+}
+
+/// E13: `k` point-query sources over a `nodes`-node graph — the query
+/// stream `?- t(n_src, X).` for the demand-vs-materialization
+/// comparison. Deterministic in `seed`; sources repeat only if
+/// `k > nodes`, and every source is drawn uniformly, so the demand
+/// side answers queries of widely varying reach.
+pub fn point_query_sources(nodes: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen_range(0..nodes)).collect()
+}
+
 /// E10: a non-1NF relation with `rows` tuples whose set attribute has
 /// `set_size` elements, plus the unnest rule (Example 4).
 pub fn unnest(rows: usize, set_size: usize) -> String {

@@ -8,6 +8,7 @@ use crate::dialect::Dialect;
 use crate::error::CoreError;
 use crate::lower::load_program_sorted;
 use crate::sorts::{infer_sorts, SortTable};
+use crate::transform::magic::QueryAnswers;
 use crate::transform::positive::normalize_program;
 use crate::validate::validate_program;
 
@@ -119,6 +120,21 @@ impl Database {
     /// [`Model::add_fact`] and reconciled incrementally with
     /// [`Model::update`] instead of re-evaluating from scratch.
     pub fn evaluate(&self) -> Result<Model, CoreError> {
+        let mut model = self.session()?;
+        model.engine.run()?;
+        Ok(model)
+    }
+
+    /// Validate, compile, and load the program *without* materializing
+    /// the least model. The returned session answers point and
+    /// conjunctive queries demand-driven ([`Model::query`],
+    /// [`Model::query_str`]): the engine magic-rewrites the reachable
+    /// rules for the query's binding pattern and derives only what the
+    /// bindings can reach, caching the specialized plan per adornment.
+    /// Anything that needs the full model ([`Model::extension`],
+    /// [`Model::update`], a non-monotone query) materializes it on
+    /// first use, after which queries read the maintained model.
+    pub fn session(&self) -> Result<Model, CoreError> {
         let normalized = self.normalized()?;
         // Re-infer sorts over the *normalized* program so auxiliary
         // predicates introduced by the Theorem-6 compiler carry sort
@@ -127,7 +143,6 @@ impl Database {
         let sorts = infer_sorts(&normalized, crate::Dialect::StratifiedElps).ok();
         let mut engine = Engine::new(self.config);
         load_program_sorted(&mut engine, &normalized, sorts.as_ref())?;
-        engine.run()?;
         Ok(Model { engine })
     }
 }
@@ -210,6 +225,51 @@ impl Model {
     /// added afterwards evaluate without restratifying or recompiling.
     pub fn reset_facts(&mut self) {
         self.engine.reset_facts();
+    }
+
+    /// Demand-driven point query: answer `pred(args…)` with `Some` as
+    /// bound and `None` as free positions, *without* materializing the
+    /// full model when the session has none (see
+    /// [`Database::session`]). Unknown predicates register on the fly
+    /// and answer with no rows. On a materialized session this reads
+    /// the maintained model (reconciling pending facts first).
+    ///
+    /// ```
+    /// use lps_core::{Database, Dialect, Value};
+    /// use lps_engine::QueryPath;
+    ///
+    /// let mut db = Database::new(Dialect::Elps);
+    /// db.load_str(
+    ///     "e(a, b). e(b, c).
+    ///      t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+    /// ).unwrap();
+    /// let mut session = db.session().unwrap();
+    /// let ans = session
+    ///     .query("t", &[Some(Value::atom("b")), None])
+    ///     .unwrap();
+    /// assert_eq!(ans.path, QueryPath::Demand);
+    /// assert_eq!(ans.rows, vec![vec![Value::atom("b"), Value::atom("c")]]);
+    /// ```
+    pub fn query(&mut self, pred: &str, args: &[Option<Value>]) -> Result<QueryAnswers, CoreError> {
+        let id = self.engine.pred(pred, args.len());
+        let interned: Vec<Option<lps_term::TermId>> = args
+            .iter()
+            .map(|a| a.as_ref().map(|v| v.intern(self.engine.store_mut())))
+            .collect();
+        let res = self.engine.query(id, &interned)?;
+        Ok(QueryAnswers::from_result(&self.engine, Vec::new(), res))
+    }
+
+    /// Demand-driven conjunctive query from surface syntax: the goal
+    /// text (ending with `.`) is compiled into a temporary query rule
+    /// ([`crate::transform::magic::compile_query`]) and evaluated
+    /// through the engine's magic-set pipeline. The answer columns are
+    /// the goal's free variables in first-appearance order; a fully
+    /// ground goal answers with one empty row ("yes") or none ("no").
+    pub fn query_str(&mut self, body: &str) -> Result<QueryAnswers, CoreError> {
+        let goal = crate::transform::magic::compile_query(&mut self.engine, body)?;
+        let res = self.engine.query_rule(goal.rule)?;
+        Ok(QueryAnswers::from_result(&self.engine, goal.columns, res))
     }
 
     /// Does `pred(args…)` hold in the least model?
@@ -404,6 +464,76 @@ mod tests {
         m.update().unwrap();
         assert!(m.holds("t", &[Value::atom("x"), Value::atom("y")]));
         assert_eq!(m.count("t", 2), 1);
+    }
+
+    #[test]
+    fn session_answers_point_queries_demand_driven() {
+        use lps_engine::QueryPath;
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str(
+            "e(a, b). e(b, c). e(c, d).
+             t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let mut s = db.session().unwrap();
+        let ans = s.query("t", &[Some(Value::atom("b")), None]).unwrap();
+        assert_eq!(ans.path, QueryPath::Demand);
+        assert_eq!(ans.rows.len(), 2, "b reaches c and d");
+        assert_eq!(ans.stats.magic_facts_seeded, 1);
+        // The cached plan serves the next constant without recompiling.
+        let ans = s.query("t", &[Some(Value::atom("a")), None]).unwrap();
+        assert_eq!(ans.stats.adornments_compiled, 0);
+        assert_eq!(ans.rows.len(), 3);
+        // Unknown predicates answer empty instead of erroring.
+        let ans = s.query("nosuch", &[None]).unwrap();
+        assert!(ans.rows.is_empty());
+        // Forcing the extension materializes; queries then read the
+        // model.
+        s.update().unwrap();
+        let ans = s.query("t", &[Some(Value::atom("c")), None]).unwrap();
+        assert_eq!(ans.path, QueryPath::Materialized);
+        assert_eq!(ans.rows, vec![vec![Value::atom("c"), Value::atom("d")]]);
+    }
+
+    #[test]
+    fn session_answers_conjunctive_queries() {
+        use lps_engine::QueryPath;
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str(
+            "r(x1, {p, q}). r(x2, {q}).
+             s(X, Y) :- r(X, Ys), Y in Ys.",
+        )
+        .unwrap();
+        let mut m = db.session().unwrap();
+        let ans = m.query_str("s(X, q), r(X, Ys).").unwrap();
+        assert_eq!(ans.path, QueryPath::Demand);
+        assert_eq!(ans.columns, vec!["X", "Ys"]);
+        assert_eq!(ans.rows.len(), 2);
+        // Ground goal: one empty row means yes, none means no.
+        let yes = m.query_str("s(x1, p).").unwrap();
+        assert_eq!(yes.rows, vec![Vec::<Value>::new()]);
+        let no = m.query_str("s(x2, p).").unwrap();
+        assert!(no.rows.is_empty());
+    }
+
+    #[test]
+    fn session_query_falls_back_on_negation() {
+        use lps_engine::QueryPath;
+        let mut db = Database::new(Dialect::StratifiedElps);
+        db.load_str(
+            "node(a). node(b). e(a, b).
+             reach(a). reach(Y) :- reach(X), e(X, Y).
+             un(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let mut s = db.session().unwrap();
+        let ans = s.query("un", &[None]).unwrap();
+        assert_eq!(ans.path, QueryPath::Fallback);
+        assert_eq!(ans.stats.demand_fallbacks, 1);
+        assert!(ans.rows.is_empty(), "all nodes reachable");
+        // Demand answers and model answers agree on the monotone part.
+        let ans = s.query("reach", &[Some(Value::atom("b"))]).unwrap();
+        assert_eq!(ans.rows, vec![vec![Value::atom("b")]]);
     }
 
     #[test]

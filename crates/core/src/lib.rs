@@ -50,4 +50,6 @@ pub mod validate;
 pub use database::{Database, Model};
 pub use dialect::Dialect;
 pub use error::CoreError;
+pub use lps_engine::QueryPath;
 pub use lps_term::Value;
+pub use transform::magic::QueryAnswers;

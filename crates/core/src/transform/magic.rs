@@ -1,0 +1,201 @@
+//! Demand-driven query answering — the surface half of the magic-set
+//! subsystem.
+//!
+//! The engine half ([`lps_engine::magic`]) rewrites the *lowered* rule
+//! set for a query's bound/free pattern and caches the specialized
+//! plan per adornment behind [`Engine::query`]. This module supplies
+//! the surface-language entry points on top of it:
+//!
+//! * [`compile_query`] lowers a *conjunctive* goal written in the
+//!   surface syntax — `p(X), q(X, {a}).` — into a temporary query
+//!   rule `query#goal(vars…) :- p(X), q(X, {a})` whose head collects
+//!   the goal's free variables in first-appearance order. Ground
+//!   terms inside the goal become magic seeds, so
+//!   `tc(a, X), color(X, blue).` derives only from `a` onward. The
+//!   head predicate lives in the engine's `#`-namespace, which the
+//!   lexer cannot produce, so it never collides with program
+//!   predicates.
+//! * [`QueryAnswers`] is the owned, [`Value`]-level result form used
+//!   by [`crate::Model::query`] and [`crate::Model::query_str`] (and
+//!   by `lpsi`).
+//!
+//! Goals may use everything a normalized rule body may: positive and
+//! negated literals, comparisons, arithmetic, and a restricted
+//! universal quantifier group. Non-monotone goals (negation, or any
+//! predicate reaching negation/grouping) are answered soundly through
+//! the engine's full-materialization fallback — see
+//! `DESIGN.md` §3 for the fallback discipline.
+
+use lps_engine::pattern::{Pattern, VarId};
+use lps_engine::{Engine, EvalStats, QueryPath, QueryResult, Rule};
+use lps_syntax::{parse_program, Span};
+use lps_term::Value;
+
+use crate::error::CoreError;
+use crate::lower::lower_clause;
+
+/// A compiled conjunctive goal: the temporary rule to hand to
+/// [`Engine::query_rule`], plus the answer column names.
+#[derive(Debug)]
+pub struct QueryGoal {
+    /// `query#goal(vars…) :- goal-conjunction`.
+    pub rule: Rule,
+    /// The goal's free variable names, in head-argument order. Empty
+    /// for a fully ground goal (whose single empty answer row means
+    /// "yes").
+    pub columns: Vec<String>,
+}
+
+/// Owned answers of a demand query, lifted to [`Value`]s and sorted.
+#[derive(Debug, Clone)]
+pub struct QueryAnswers {
+    /// Column names for conjunctive goals (empty for single-predicate
+    /// queries, whose rows follow the predicate's argument order).
+    pub columns: Vec<String>,
+    /// The matching rows, sorted.
+    pub rows: Vec<Vec<Value>>,
+    /// Which engine pipeline answered (demand, model, or fallback).
+    pub path: QueryPath,
+    /// Work the query performed.
+    pub stats: EvalStats,
+}
+
+impl QueryAnswers {
+    /// Lift an engine-level result into owned values.
+    pub fn from_result(engine: &Engine, columns: Vec<String>, res: QueryResult) -> Self {
+        let mut rows: Vec<Vec<Value>> = res
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&id| Value::from_store(engine.store(), id))
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        QueryAnswers {
+            columns,
+            rows,
+            path: res.path,
+            stats: res.stats,
+        }
+    }
+}
+
+/// Compile a conjunctive goal written in the surface syntax (ending
+/// with `.`) into a [`QueryGoal`]. The goal is lowered exactly like a
+/// rule body — predicates register on the fly, arithmetic flattens to
+/// builtin literals — and the answer head collects its free variables
+/// (compiler temporaries and quantifier-bound variables are
+/// existential and do not appear).
+pub fn compile_query(engine: &mut Engine, body: &str) -> Result<QueryGoal, CoreError> {
+    let wrapped = format!("query_goal :- {body}");
+    let parsed = parse_program(&wrapped)?;
+    let mut clauses = parsed.clauses();
+    let clause = clauses
+        .next()
+        .ok_or_else(|| CoreError::invalid(Span::default(), "empty query"))?;
+    if clauses.next().is_some() {
+        return Err(CoreError::invalid(
+            Span::default(),
+            "a query is a single goal conjunction, e.g. `?- p(X), q(X, {a}).`",
+        ));
+    }
+    if clause.body.is_none() {
+        return Err(CoreError::invalid(clause.span, "empty query body"));
+    }
+    let mut rule = lower_clause(engine, clause)?;
+
+    // Answer columns: free variables of the goal — outer-literal
+    // variables plus the quantifier group's free variables — in first
+    // appearance order, minus `$`-prefixed compiler temporaries.
+    let mut head_vars: Vec<VarId> = Vec::new();
+    for lit in &rule.outer {
+        for v in lit.vars() {
+            if !head_vars.contains(&v) {
+                head_vars.push(v);
+            }
+        }
+    }
+    if let Some(q) = &rule.quant {
+        for v in q.free_vars() {
+            if !head_vars.contains(&v) {
+                head_vars.push(v);
+            }
+        }
+    }
+    head_vars.retain(|v| !rule.var_names[v.index()].starts_with('$'));
+    let columns: Vec<String> = head_vars
+        .iter()
+        .map(|v| rule.var_names[v.index()].clone())
+        .collect();
+
+    // Graft the real head: a dedicated predicate in the engine's
+    // unparseable `#`-namespace (the parsed `query_goal` head atom was
+    // only a vehicle for lowering the body).
+    rule.head = engine.pred("query#goal", head_vars.len());
+    rule.head_args = head_vars.into_iter().map(Pattern::Var).collect();
+    Ok(QueryGoal { rule, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_engine::EvalConfig;
+
+    fn engine_with(src: &str) -> Engine {
+        let program = parse_program(src).unwrap();
+        let mut engine = Engine::new(EvalConfig::default());
+        crate::lower::load_program(&mut engine, &program).unwrap();
+        engine
+    }
+
+    #[test]
+    fn compile_query_collects_free_vars_in_order() {
+        let mut e = engine_with("e(a, b). e(b, c). t(X, Y) :- e(X, Y).");
+        let goal = compile_query(&mut e, "t(X, Y), e(Y, Z).").unwrap();
+        assert_eq!(goal.columns, vec!["X", "Y", "Z"]);
+        assert_eq!(goal.rule.head_args.len(), 3);
+    }
+
+    #[test]
+    fn ground_goal_has_no_columns() {
+        let mut e = engine_with("e(a, b).");
+        let goal = compile_query(&mut e, "e(a, b).").unwrap();
+        assert!(goal.columns.is_empty());
+        assert_eq!(goal.rule.head_args.len(), 0);
+    }
+
+    #[test]
+    fn quantifier_binders_are_not_answer_columns() {
+        let mut e = engine_with("pair({a}, {a, b}).");
+        let goal = compile_query(&mut e, "pair(X, Y), forall U in X: U in Y.").unwrap();
+        assert_eq!(goal.columns, vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn arithmetic_temporaries_are_existential() {
+        let mut e = engine_with("n(3). n(5).");
+        let goal = compile_query(&mut e, "n(M), n(N), K = M + N - 1.").unwrap();
+        assert_eq!(goal.columns, vec!["M", "N", "K"]);
+    }
+
+    #[test]
+    fn end_to_end_demand_answers() {
+        let mut e = engine_with(
+            "e(a, b). e(b, c). e(c, d).
+             t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        );
+        let goal = compile_query(&mut e, "t(a, X), e(X, Y).").unwrap();
+        let res = e.query_rule(goal.rule).unwrap();
+        assert_eq!(res.path, QueryPath::Demand);
+        // X ∈ {b, c} with a successor: (b,c), (c,d).
+        assert_eq!(res.rows.len(), 2);
+    }
+
+    #[test]
+    fn multiple_clauses_are_rejected() {
+        let mut e = engine_with("e(a, b).");
+        assert!(compile_query(&mut e, "e(X, Y). e(Y, X).").is_err());
+    }
+}

@@ -1,10 +1,15 @@
-//! Program transformations from the paper.
+//! Program transformations from the paper (and the engineering
+//! extensions built in their style).
 //!
 //! * [`positive`] — Theorem 6: positive-formula bodies → pure LPS.
 //! * [`translations`] — Theorems 10/11: ELPS ⇄ Horn+`union` ⇄
 //!   Horn+`scons` ⇄ LDL grouping.
 //! * [`setof`] — §4.2: set construction via stratified negation.
+//! * [`magic`] — demand-driven query answering: conjunctive goals
+//!   compiled into temporary query rules over the engine's magic-set
+//!   rewrite.
 
+pub mod magic;
 pub mod positive;
 pub mod setof;
 pub mod translations;

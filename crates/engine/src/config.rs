@@ -98,6 +98,18 @@ pub struct EvalStats {
     /// Pending facts spliced into the semi-naive deltas by incremental
     /// updates (new tuples only; duplicates of the model don't count).
     pub delta_seed_facts: usize,
+    /// Adorned `(predicate, binding-pattern)` pairs compiled by the
+    /// demand subsystem during this pass — the size of the magic-set
+    /// rewrite a query triggered. 0 once a query hits the
+    /// per-adornment plan cache (E13).
+    pub adornments_compiled: usize,
+    /// Magic seed facts planted by demand-driven queries: the ground
+    /// bound-argument tuples that root the goal-directed derivation.
+    pub magic_facts_seeded: usize,
+    /// Queries that could not take the demand path — negation or
+    /// grouping reachable from the query predicate, or an unplannable
+    /// rewrite — and fell back to full materialization.
+    pub demand_fallbacks: usize,
 }
 
 impl EvalStats {
@@ -113,6 +125,9 @@ impl EvalStats {
         self.probe_allocs += other.probe_allocs;
         self.incremental_runs += other.incremental_runs;
         self.delta_seed_facts += other.delta_seed_facts;
+        self.adornments_compiled += other.adornments_compiled;
+        self.magic_facts_seeded += other.magic_facts_seeded;
+        self.demand_fallbacks += other.demand_fallbacks;
     }
 }
 
@@ -142,6 +157,9 @@ mod tests {
             probe_allocs: 0,
             incremental_runs: 1,
             delta_seed_facts: 2,
+            adornments_compiled: 3,
+            magic_facts_seeded: 1,
+            demand_fallbacks: 0,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -154,6 +172,9 @@ mod tests {
             probe_allocs: 1,
             incremental_runs: 1,
             delta_seed_facts: 3,
+            adornments_compiled: 2,
+            magic_facts_seeded: 2,
+            demand_fallbacks: 1,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -163,5 +184,8 @@ mod tests {
         assert_eq!(a.probe_allocs, 1);
         assert_eq!(a.incremental_runs, 2);
         assert_eq!(a.delta_seed_facts, 5);
+        assert_eq!(a.adornments_compiled, 5);
+        assert_eq!(a.magic_facts_seeded, 3);
+        assert_eq!(a.demand_fallbacks, 1);
     }
 }

@@ -6,16 +6,16 @@
 //! onward over the retained relations instead of recomputing the model
 //! from scratch.
 
-use lps_term::{setops, FxHashSet, TermId, TermStore, Value};
+use lps_term::{setops, FxHashMap, FxHashSet, TermId, TermStore, Value};
 
 use crate::config::{EvalConfig, EvalStats, SetUniverse};
 use crate::error::EngineError;
 use crate::fixpoint::{run_stratum, StratumStart};
-use crate::plan::{compile_rule, CompiledRule};
+use crate::magic::{self, MagicOutcome};
+use crate::plan::{compile_program, compile_rule, CompiledProgram};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::{ColMask, Relation};
-use crate::rule::{BodyLit, Rule};
-use crate::strata::{stratify, Stratification};
+use crate::rule::Rule;
 
 /// Lifecycle of an [`Engine`] session.
 ///
@@ -46,26 +46,65 @@ pub enum EngineState {
 /// changes, which affects compilation).
 #[derive(Debug)]
 struct Prepared {
-    strat: Stratification,
-    compiled: Vec<CompiledRule>,
-    /// Indices into `compiled` of ordinary rules, per stratum.
-    regular_by_stratum: Vec<Vec<usize>>,
-    /// Indices into `compiled` of LDL grouping rules, per stratum.
-    grouping_by_stratum: Vec<Vec<usize>>,
-    /// Indices into `compiled` of ground-head fact rules.
-    fact_rules: Vec<usize>,
-    /// Deduplicated `(pred, mask, delta)` index requests.
-    index_requests: Vec<(PredId, ColMask, bool)>,
-    /// Highest stratum holding a non-monotone rule (negation anywhere
-    /// in the body, or a grouping head). Incremental updates whose
-    /// restart stratum is at or below it fall back to a batch run:
-    /// monotone delta continuation cannot retract.
-    max_nonmono_stratum: Option<usize>,
-    /// Lowest stratum holding a rule that enumerates the active set
-    /// universe: growth of the universe restarts from here.
-    min_universe_stratum: Option<usize>,
+    /// The loaded rule set, stratified and compiled.
+    program: CompiledProgram,
     /// The universe policy the rules were compiled under.
     policy: SetUniverse,
+}
+
+/// One entry of the per-adornment demand plan cache.
+#[derive(Debug)]
+enum QueryEntry {
+    /// The magic-rewritten, compiled program for this query pattern.
+    Demand(Box<QueryPlan>),
+    /// The rewrite is inapplicable (non-monotone construct reachable
+    /// from the query) or unplannable: queries with this pattern
+    /// evaluate by full materialization.
+    Fallback,
+}
+
+/// A compiled demand plan: the specialized program for one
+/// `(predicate, adornment)` query pattern.
+#[derive(Debug)]
+struct QueryPlan {
+    program: CompiledProgram,
+    /// The magic predicate seeded with the query's bound arguments
+    /// (`None` for the all-free adornment).
+    magic_seed: Option<PredId>,
+    /// The adorned query predicate holding the answers.
+    answer: PredId,
+    /// Adorned + magic predicates — the relation space cleared before
+    /// each derivation.
+    space: Vec<PredId>,
+    /// The magic subset of `space` (demand-seed statistics).
+    magic_preds: Vec<PredId>,
+    /// `(pred, adornment)` pairs the rewrite compiled.
+    adornments: usize,
+}
+
+/// How a query was answered. See [`Engine::query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryPath {
+    /// Demand-driven evaluation: the magic-set-rewritten program
+    /// derived only tuples the query's bindings can reach.
+    Demand,
+    /// Answered from the maintained materialized model (reconciled
+    /// incrementally first if facts were pending).
+    Materialized,
+    /// The demand rewrite was inapplicable; the engine fell back to a
+    /// sound full materialization and filtered.
+    Fallback,
+}
+
+/// Answers of an [`Engine::query`] or [`Engine::query_rule`] call.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The matching tuples, as owned interned-term rows.
+    pub rows: Vec<Vec<TermId>>,
+    /// Which pipeline produced them.
+    pub path: QueryPath,
+    /// Work this call performed (zeroed by pure model reads).
+    pub stats: EvalStats,
 }
 
 /// An evaluation session over a program's rules and facts.
@@ -138,10 +177,21 @@ pub struct Engine {
     /// Facts added after a completed fixpoint, awaiting
     /// [`Engine::update`].
     pending: Vec<Relation>,
+    /// Per-predicate count of EDB rows already mirrored into `full` by
+    /// the demand pipeline's [`Engine::sync_edb_to_full`]; reset with
+    /// the facts.
+    edb_synced: Vec<u32>,
     rules: Vec<Rule>,
     config: EvalConfig,
     state: EngineState,
     prepared: Option<Prepared>,
+    /// Per-adornment demand plans: the magic-rewritten, compiled
+    /// program for each `(pred, bound-mask)` query pattern seen.
+    /// Invalidated with `prepared` on rule changes, and on universe
+    /// policy changes.
+    query_plans: FxHashMap<(PredId, ColMask), QueryEntry>,
+    /// The universe policy the cached query plans were compiled under.
+    query_policy: SetUniverse,
     /// Interned-set count at the last completed materialization (the
     /// baseline for universe-growth triggers in incremental updates).
     sets_at_materialize: usize,
@@ -167,10 +217,13 @@ impl Engine {
             full: Vec::new(),
             delta: Vec::new(),
             pending: Vec::new(),
+            edb_synced: Vec::new(),
             rules: Vec::new(),
             config,
             state: EngineState::Unprepared,
             prepared: None,
+            query_plans: FxHashMap::default(),
+            query_policy: config.set_universe,
             sets_at_materialize: 0,
             config_at_materialize: config,
             last_stats: EvalStats::default(),
@@ -225,6 +278,7 @@ impl Engine {
             self.full.push(Relation::new(0));
             self.delta.push(Relation::new(0));
             self.pending.push(Relation::new(0));
+            self.edb_synced.push(0);
         }
         // (Re)size the relation if this is the first registration.
         if self.full[id.index()].arity() != arity && self.full[id.index()].is_empty() {
@@ -320,10 +374,12 @@ impl Engine {
             }
         }
         self.rules.push(rule);
-        // The rule set changed: cached plans and any materialized model
-        // are stale. The next run restratifies, recompiles, and
-        // rebuilds the model from the EDB.
+        // The rule set changed: cached plans (batch and per-adornment
+        // demand plans alike) and any materialized model are stale.
+        // The next run restratifies, recompiles, and rebuilds the
+        // model from the EDB; the next query re-derives its rewrite.
         self.prepared = None;
+        self.query_plans.clear();
         self.state = EngineState::Unprepared;
         Ok(())
     }
@@ -383,12 +439,377 @@ impl Engine {
             self.full[i].clear();
             self.delta[i].clear();
             self.pending[i].clear();
+            self.edb_synced[i] = 0;
         }
         self.state = if self.prepared.is_some() {
             EngineState::Prepared
         } else {
             EngineState::Unprepared
         };
+    }
+
+    /// Answer `pred(args…)` — `Some` is a bound (ground) argument,
+    /// `None` a free one — without materializing the full model when
+    /// possible.
+    ///
+    /// On a session with no materialized model, the engine compiles a
+    /// *demand plan* for the query's adornment (its bound/free
+    /// pattern): the magic-set rewrite of the reachable rules
+    /// ([`crate::magic`]), stratified and planned through the ordinary
+    /// pipeline and cached per `(pred, adornment)` — so repeated point
+    /// queries with different constants reuse the plan and pay only
+    /// for seeding one magic fact and deriving the tuples their
+    /// binding can reach. When the rewrite is inapplicable (negation
+    /// or grouping reachable from the query, or an unplannable
+    /// rewrite) the engine soundly falls back to full materialization
+    /// and filters, counting [`EvalStats::demand_fallbacks`].
+    ///
+    /// On a session that already holds a materialized model, the query
+    /// answers from it directly (reconciling pending facts through the
+    /// incremental update path first) — demand evaluation only pays
+    /// off *before* the model exists.
+    ///
+    /// ```
+    /// use lps_engine::{Engine, EvalConfig};
+    /// use lps_engine::engine::QueryPath;
+    /// use lps_engine::pattern::{Pattern, VarId};
+    /// use lps_engine::rule::{BodyLit, Rule};
+    ///
+    /// let mut engine = Engine::new(EvalConfig::default());
+    /// let edge = engine.pred("edge", 2);
+    /// let path = engine.pred("path", 2);
+    /// let (a, b, c) = {
+    ///     let st = engine.store_mut();
+    ///     (st.atom("a"), st.atom("b"), st.atom("c"))
+    /// };
+    /// engine.fact(edge, vec![a, b]).unwrap();
+    /// engine.fact(edge, vec![b, c]).unwrap();
+    /// let v = |i| Pattern::Var(VarId(i));
+    /// engine.rule(Rule {
+    ///     head: path,
+    ///     head_args: vec![v(0), v(1)],
+    ///     group: None,
+    ///     outer: vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+    ///     quant: None,
+    ///     num_vars: 2,
+    ///     var_names: vec!["X".into(), "Y".into()],
+    ///     var_sorts: vec![],
+    /// }).unwrap();
+    /// // Goal-directed: `?- path(b, Y)` never materializes the model.
+    /// let res = engine.query(path, &[Some(b), None]).unwrap();
+    /// assert_eq!(res.path, QueryPath::Demand);
+    /// assert_eq!(res.rows, vec![vec![b, c]]);
+    /// assert_eq!(res.stats.magic_facts_seeded, 1);
+    /// // Same adornment, new constant: the demand plan is cached.
+    /// let res = engine.query(path, &[Some(a), None]).unwrap();
+    /// assert_eq!(res.stats.adornments_compiled, 0);
+    /// assert_eq!(res.rows, vec![vec![a, b]]);
+    /// ```
+    pub fn query(
+        &mut self,
+        pred: PredId,
+        args: &[Option<TermId>],
+    ) -> Result<QueryResult, EngineError> {
+        let arity = self.preds.info(pred).arity;
+        if args.len() != arity {
+            return Err(EngineError::ArityMismatch {
+                pred: self.pred_name(pred),
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        // A maintained model answers directly; `run` resolves pending
+        // facts (incrementally when it can) and is a no-op on a clean
+        // fixpoint.
+        if matches!(self.state, EngineState::Materialized | EngineState::Dirty) {
+            let stats = self.run()?;
+            return Ok(QueryResult {
+                rows: self.filter_rows(pred, args),
+                path: QueryPath::Materialized,
+                stats,
+            });
+        }
+
+        self.materialize_universe()?;
+        let mask = magic::adornment_of(args);
+        self.refresh_query_cache_policy();
+        let fresh = !self.query_plans.contains_key(&(pred, mask));
+        if fresh {
+            let entry = self.compile_query_plan(pred, mask);
+            self.query_plans.insert((pred, mask), entry);
+        }
+        if matches!(self.query_plans[&(pred, mask)], QueryEntry::Fallback) {
+            return self.query_fallback(pred, args);
+        }
+
+        self.sync_edb_to_full();
+        let plan = match &self.query_plans[&(pred, mask)] {
+            QueryEntry::Demand(p) => p,
+            QueryEntry::Fallback => unreachable!("handled above"),
+        };
+        let seed_tuple: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
+        let mut stats = run_demand_program(
+            &mut self.store,
+            &mut self.full,
+            &mut self.delta,
+            &self.config,
+            &plan.program,
+            &plan.space,
+            &plan.magic_preds,
+            plan.magic_seed.map(|m| (m, seed_tuple.as_slice())),
+        )?;
+        if fresh {
+            stats.adornments_compiled = plan.adornments;
+        }
+        let rows = self.filter_rows(plan.answer, args);
+        self.last_stats = stats;
+        self.cumulative_stats.absorb(stats);
+        Ok(QueryResult {
+            rows,
+            path: QueryPath::Demand,
+            stats,
+        })
+    }
+
+    /// Evaluate an ad-hoc query *rule* — the compiled form of a
+    /// conjunctive query like `?- p(X), q(X, {a}).`: the head collects
+    /// the answer variables, the body is the goal conjunction. The
+    /// head predicate must be dedicated to queries (not defined or
+    /// loaded by the program); its relation is cleared on every call.
+    ///
+    /// Demand evaluation appends the rule to the program and rewrites
+    /// from its head with the all-free adornment: ground arguments
+    /// inside body literals become magic seed facts, so
+    /// `?- path(a, X), color(X, blue)` derives only from `a` onward.
+    /// Plans are *not* cached across calls (the rule itself varies);
+    /// the non-monotone fallback discipline of [`Engine::query`]
+    /// applies unchanged.
+    pub fn query_rule(&mut self, rule: Rule) -> Result<QueryResult, EngineError> {
+        if rule.head_args.len() != self.preds.info(rule.head).arity {
+            return Err(EngineError::ArityMismatch {
+                pred: self.pred_name(rule.head),
+                expected: self.preds.info(rule.head).arity,
+                got: rule.head_args.len(),
+            });
+        }
+        if matches!(self.state, EngineState::Materialized | EngineState::Dirty) {
+            // `run` accounts for its own work (no-op, incremental, or
+            // rebuild); only the goal evaluation is new here.
+            let mut stats = self.run()?;
+            let extra = self.eval_single_rule(&rule)?;
+            stats.absorb(extra);
+            self.last_stats = stats;
+            self.cumulative_stats.absorb(extra);
+            return Ok(QueryResult {
+                rows: self.rows(rule.head).map(<[_]>::to_vec).collect(),
+                path: QueryPath::Materialized,
+                stats,
+            });
+        }
+
+        self.materialize_universe()?;
+        let mut all_rules = self.rules.clone();
+        let head = rule.head;
+        all_rules.push(rule.clone());
+        let rewritten =
+            match magic::magic_rewrite(&all_rules, head, 0, &mut self.store, &mut self.preds) {
+                MagicOutcome::Obstructed(_) => None,
+                MagicOutcome::Rewritten(mp) => self
+                    .compile_rewritten(&mp.rules)
+                    .ok()
+                    .map(|program| (mp, program)),
+            };
+        let Some((mp, program)) = rewritten else {
+            // Non-monotone goal (or unplannable rewrite): materialize
+            // (self-accounting, as above), then evaluate the query
+            // rule over the model.
+            let mut stats = self.run_batch()?;
+            let mut extra = self.eval_single_rule(&rule)?;
+            extra.demand_fallbacks = 1;
+            stats.absorb(extra);
+            self.last_stats = stats;
+            self.cumulative_stats.absorb(extra);
+            return Ok(QueryResult {
+                rows: self.rows(head).map(<[_]>::to_vec).collect(),
+                path: QueryPath::Fallback,
+                stats,
+            });
+        };
+
+        self.full[head.index()].clear();
+        self.delta[head.index()].clear();
+        self.sync_edb_to_full();
+        let mut stats = run_demand_program(
+            &mut self.store,
+            &mut self.full,
+            &mut self.delta,
+            &self.config,
+            &program,
+            &mp.space,
+            &mp.magic_preds,
+            None,
+        )?;
+        stats.adornments_compiled = mp.adornments;
+        let rows: Vec<Vec<TermId>> = self.rows(mp.answer).map(<[_]>::to_vec).collect();
+        self.last_stats = stats;
+        self.cumulative_stats.absorb(stats);
+        Ok(QueryResult {
+            rows,
+            path: QueryPath::Demand,
+            stats,
+        })
+    }
+
+    /// Fallback query evaluation: materialize the full model once,
+    /// then filter the predicate's extension.
+    fn query_fallback(
+        &mut self,
+        pred: PredId,
+        args: &[Option<TermId>],
+    ) -> Result<QueryResult, EngineError> {
+        let mut stats = self.run_batch()?;
+        stats.demand_fallbacks = 1;
+        self.last_stats.demand_fallbacks += 1;
+        self.cumulative_stats.demand_fallbacks += 1;
+        Ok(QueryResult {
+            rows: self.filter_rows(pred, args),
+            path: QueryPath::Fallback,
+            stats,
+        })
+    }
+
+    /// Compile the demand plan for one `(pred, adornment)` pattern.
+    /// Registers the adorned/magic predicates and sizes their
+    /// relations; any obstruction or planning failure yields the
+    /// fallback entry instead of an error (the batch pipeline will
+    /// surface real program errors).
+    fn compile_query_plan(&mut self, pred: PredId, mask: ColMask) -> QueryEntry {
+        let mp =
+            match magic::magic_rewrite(&self.rules, pred, mask, &mut self.store, &mut self.preds) {
+                MagicOutcome::Obstructed(_) => return QueryEntry::Fallback,
+                MagicOutcome::Rewritten(mp) => mp,
+            };
+        match self.compile_rewritten(&mp.rules) {
+            Ok(program) => QueryEntry::Demand(Box::new(QueryPlan {
+                program,
+                magic_seed: mp.magic_seed,
+                answer: mp.answer,
+                space: mp.space,
+                magic_preds: mp.magic_preds,
+                adornments: mp.adornments,
+            })),
+            Err(_) => QueryEntry::Fallback,
+        }
+    }
+
+    /// Stratify and compile a magic-rewritten rule set, sizing the
+    /// relation vectors for the predicates the rewrite registered.
+    fn compile_rewritten(&mut self, rules: &[Rule]) -> Result<CompiledProgram, EngineError> {
+        self.sync_relation_slots();
+        let names = {
+            let store = &self.store;
+            let preds = &self.preds;
+            move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
+        };
+        let growable: FxHashSet<PredId> = self.preds.ids().collect();
+        compile_program(
+            rules,
+            self.preds.len(),
+            &self.preds,
+            &names,
+            &growable,
+            self.config.set_universe,
+        )
+    }
+
+    /// Evaluate one ad-hoc rule against the (materialized) relations:
+    /// used by [`Engine::query_rule`] once a model exists.
+    fn eval_single_rule(&mut self, rule: &Rule) -> Result<EvalStats, EngineError> {
+        let names = {
+            let store = &self.store;
+            let preds = &self.preds;
+            move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
+        };
+        // Body relations are fixed during this evaluation: no delta
+        // variants, no quantifier triggers.
+        let cr = compile_rule(
+            rule,
+            &self.preds,
+            &names,
+            &FxHashSet::default(),
+            self.config.set_universe,
+        )?;
+        self.full[rule.head.index()].clear();
+        self.delta[rule.head.index()].clear();
+        for &(p, m, is_delta) in &cr.index_requests {
+            self.full[p.index()].ensure_index(m);
+            if is_delta {
+                self.delta[p.index()].ensure_index(m);
+            }
+        }
+        run_stratum(
+            &mut self.store,
+            &mut self.full,
+            &mut self.delta,
+            &[&cr],
+            &[],
+            &self.config,
+            StratumStart::Batch,
+        )
+    }
+
+    /// Drop the per-adornment plan cache when the universe policy it
+    /// was compiled under changed.
+    fn refresh_query_cache_policy(&mut self) {
+        if self.query_policy != self.config.set_universe {
+            self.query_plans.clear();
+            self.query_policy = self.config.set_universe;
+        }
+    }
+
+    /// Bring extensional facts into the shared `full` relations
+    /// without running the program — the demand pipeline reads base
+    /// predicates (and the EDB bridges of adorned predicates) from
+    /// `full`. In a session with no materialized model, `full` holds
+    /// nothing else for original predicates, so this is exactly the
+    /// EDB image; a later batch run rebuilds `full` from the EDB
+    /// regardless. EDB relations are append-only (until
+    /// [`Engine::reset_facts`] drops them and resets the cursors), so
+    /// a per-predicate synced-row cursor makes repeat syncs — one per
+    /// demand query — O(new facts), not O(EDB).
+    fn sync_edb_to_full(&mut self) {
+        for i in 0..self.preds.len() {
+            let len = self.edb[i].len();
+            for r in self.edb_synced[i] as usize..len {
+                let tuple = self.edb[i].row(r as u32);
+                self.full[i].insert(tuple);
+            }
+            self.edb_synced[i] = len as u32;
+        }
+    }
+
+    /// Size the per-predicate relation vectors up to the registry —
+    /// needed after the magic rewrite registers adorned predicates
+    /// directly in the registry.
+    fn sync_relation_slots(&mut self) {
+        for i in self.full.len()..self.preds.len() {
+            let arity = self.preds.info(PredId::from_index(i)).arity;
+            self.edb.push(Relation::new(arity));
+            self.full.push(Relation::new(arity));
+            self.delta.push(Relation::new(arity));
+            self.pending.push(Relation::new(arity));
+            self.edb_synced.push(0);
+        }
+    }
+
+    /// The rows of `pred` matching the bound positions of `args`, as
+    /// owned tuples.
+    fn filter_rows(&self, pred: PredId, args: &[Option<TermId>]) -> Vec<Vec<TermId>> {
+        self.full[pred.index()]
+            .iter()
+            .filter(|row| row.iter().zip(args).all(|(v, a)| a.is_none_or(|g| g == *v)))
+            .map(<[_]>::to_vec)
+            .collect()
     }
 
     /// Materialize the bounded powerset universe if configured. Run
@@ -433,61 +854,17 @@ impl Engine {
             let preds = &self.preds;
             move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
         };
-        let strat = stratify(&self.rules, self.preds.len(), &names)?;
-
-        let mut compiled: Vec<CompiledRule> = Vec::with_capacity(self.rules.len());
-        for rule in &self.rules {
-            compiled.push(compile_rule(
-                rule,
-                &self.preds,
-                &names,
-                &growable,
-                self.config.set_universe,
-            )?);
-        }
-
-        let mut regular_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
-        let mut grouping_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
-        let mut fact_rules = Vec::new();
-        let mut index_requests = Vec::new();
-        let mut max_nonmono_stratum = None;
-        let mut min_universe_stratum = None;
-        for (i, cr) in compiled.iter().enumerate() {
-            index_requests.extend_from_slice(&cr.index_requests);
-            if cr.rule.is_fact() {
-                fact_rules.push(i);
-                continue;
-            }
-            let s = strat.stratum(cr.rule.head);
-            let nonmono = cr.rule.group.is_some()
-                || cr
-                    .rule
-                    .all_body_lits()
-                    .any(|l| matches!(l, BodyLit::Neg(..)));
-            if nonmono {
-                max_nonmono_stratum = Some(max_nonmono_stratum.map_or(s, |m: usize| m.max(s)));
-            }
-            if cr.uses_active_universe {
-                min_universe_stratum = Some(min_universe_stratum.map_or(s, |m: usize| m.min(s)));
-            }
-            if cr.rule.group.is_some() {
-                grouping_by_stratum[s].push(i);
-            } else {
-                regular_by_stratum[s].push(i);
-            }
-        }
-        index_requests.sort_unstable();
-        index_requests.dedup();
+        let program = compile_program(
+            &self.rules,
+            self.preds.len(),
+            &self.preds,
+            &names,
+            &growable,
+            self.config.set_universe,
+        )?;
 
         self.prepared = Some(Prepared {
-            strat,
-            compiled,
-            regular_by_stratum,
-            grouping_by_stratum,
-            fact_rules,
-            index_requests,
-            max_nonmono_stratum,
-            min_universe_stratum,
+            program,
             policy: self.config.set_universe,
         });
         if self.state == EngineState::Unprepared {
@@ -512,8 +889,8 @@ impl Engine {
             self.pending[i].clear();
         }
 
-        let prepared = self.prepared.as_ref().expect("prepare() just ran");
-        for &(pred, mask, is_delta) in &prepared.index_requests {
+        let program = &self.prepared.as_ref().expect("prepare() just ran").program;
+        for &(pred, mask, is_delta) in &program.index_requests {
             self.full[pred.index()].ensure_index(mask);
             if is_delta {
                 self.delta[pred.index()].ensure_index(mask);
@@ -522,37 +899,21 @@ impl Engine {
 
         // Ground-head fact rules load directly; everything else
         // evaluates per stratum.
-        for &i in &prepared.fact_rules {
-            let cr = &prepared.compiled[i];
-            let tuple: Vec<TermId> = cr
-                .rule
-                .head_args
-                .iter()
-                .map(|p| match p {
-                    crate::pattern::Pattern::Ground(id) => *id,
-                    _ => unreachable!("is_fact guarantees ground head"),
-                })
-                .collect();
+        for &i in &program.fact_rules {
+            let cr = &program.compiled[i];
+            let tuple: Vec<TermId> = ground_head_tuple(&cr.rule);
             if self.full[cr.rule.head.index()].insert(&tuple) {
                 stats.facts_derived += 1;
             }
         }
 
-        for s in 0..prepared.strat.num_strata {
-            let regular: Vec<&CompiledRule> = prepared.regular_by_stratum[s]
-                .iter()
-                .map(|&i| &prepared.compiled[i])
-                .collect();
-            let grouping: Vec<&CompiledRule> = prepared.grouping_by_stratum[s]
-                .iter()
-                .map(|&i| &prepared.compiled[i])
-                .collect();
+        for s in 0..program.strat.num_strata {
             let stratum_stats = run_stratum(
                 &mut self.store,
                 &mut self.full,
                 &mut self.delta,
-                &regular,
-                &grouping,
+                &program.regular(s),
+                &program.grouping(s),
                 &self.config,
                 StratumStart::Batch,
             )?;
@@ -575,22 +936,23 @@ impl Engine {
         let universe_grew = self.store.set_ids().len() > self.sets_at_materialize;
 
         let (start, fallback, num_strata) = {
-            let prepared = self
+            let program = &self
                 .prepared
                 .as_ref()
-                .expect("a materialized session is prepared");
-            let mut start = prepared.strat.lowest_affected(changed.iter().copied());
+                .expect("a materialized session is prepared")
+                .program;
+            let mut start = program.strat.lowest_affected(changed.iter().copied());
             if universe_grew {
                 // New interned sets can re-fire universe-enumerating
                 // rules even below the lowest fact-affected stratum.
-                start = match (start, prepared.min_universe_stratum) {
+                start = match (start, program.min_universe_stratum) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
             }
             let fallback =
-                start.is_some_and(|s0| prepared.max_nonmono_stratum.is_some_and(|m| m >= s0));
-            (start, fallback, prepared.strat.num_strata)
+                start.is_some_and(|s0| program.max_nonmono_stratum.is_some_and(|m| m >= s0));
+            (start, fallback, program.strat.num_strata)
         };
         if fallback {
             // Negation or grouping at/above the restart stratum: a
@@ -627,23 +989,19 @@ impl Engine {
                 for d in self.delta.iter_mut() {
                     d.clear();
                 }
-                let prepared = self.prepared.as_ref().expect("checked above");
-                for &p in prepared.strat.reads(s) {
+                let program = &self.prepared.as_ref().expect("checked above").program;
+                for &p in program.strat.reads(s) {
                     let i = p.index();
                     for r in snapshot[i]..self.full[i].len() as u32 {
                         let tuple = self.full[i].row(r);
                         self.delta[i].insert(tuple);
                     }
                 }
-                let regular: Vec<&CompiledRule> = prepared.regular_by_stratum[s]
-                    .iter()
-                    .map(|&i| &prepared.compiled[i])
-                    .collect();
                 let stratum_stats = run_stratum(
                     &mut self.store,
                     &mut self.full,
                     &mut self.delta,
-                    &regular,
+                    &program.regular(s),
                     &[],
                     &self.config,
                     StratumStart::Seeded { sets_baseline },
@@ -711,6 +1069,82 @@ impl Engine {
         rows.sort();
         rows
     }
+}
+
+/// Run one magic-rewritten program to fixpoint: clear its relation
+/// space, satisfy its index requests, plant the explicit magic seed
+/// (if any) and the ground fact rules (counting those that seed magic
+/// predicates), then drive every stratum. Shared by [`Engine::query`]
+/// (cached plans, seed from the query arguments) and
+/// [`Engine::query_rule`] (one-shot plans, seeds inside the rewrite as
+/// fact rules). A free function over the engine's disjoint fields so
+/// callers can keep a borrow on the plan itself.
+#[allow(clippy::too_many_arguments)]
+fn run_demand_program(
+    store: &mut TermStore,
+    full: &mut [Relation],
+    delta: &mut [Relation],
+    config: &EvalConfig,
+    program: &CompiledProgram,
+    space: &[PredId],
+    magic_preds: &[PredId],
+    seed: Option<(PredId, &[TermId])>,
+) -> Result<EvalStats, EngineError> {
+    let mut stats = EvalStats::default();
+    for &p in space {
+        full[p.index()].clear();
+        delta[p.index()].clear();
+    }
+    for &(p, m, is_delta) in &program.index_requests {
+        full[p.index()].ensure_index(m);
+        if is_delta {
+            delta[p.index()].ensure_index(m);
+        }
+    }
+    if let Some((magic, tuple)) = seed {
+        if full[magic.index()].insert(tuple) {
+            stats.facts_derived += 1;
+        }
+        stats.magic_facts_seeded += 1;
+    }
+    for &i in &program.fact_rules {
+        let cr = &program.compiled[i];
+        let tuple: Vec<TermId> = ground_head_tuple(&cr.rule);
+        if full[cr.rule.head.index()].insert(&tuple) {
+            stats.facts_derived += 1;
+        }
+        if magic_preds.contains(&cr.rule.head) {
+            stats.magic_facts_seeded += 1;
+        }
+    }
+    for s in 0..program.strat.num_strata {
+        debug_assert!(
+            program.grouping(s).is_empty(),
+            "the rewrite excludes grouping"
+        );
+        let stratum_stats = run_stratum(
+            store,
+            full,
+            delta,
+            &program.regular(s),
+            &[],
+            config,
+            StratumStart::Batch,
+        )?;
+        stats.absorb(stratum_stats);
+    }
+    Ok(stats)
+}
+
+/// The ground tuple of a fact rule's head (`is_fact` guarantees it).
+fn ground_head_tuple(rule: &Rule) -> Vec<TermId> {
+    rule.head_args
+        .iter()
+        .map(|p| match p {
+            crate::pattern::Pattern::Ground(id) => *id,
+            _ => unreachable!("is_fact guarantees ground head"),
+        })
+        .collect()
 }
 
 /// Borrowing tuple iterator returned by [`Engine::rows`].
@@ -1323,6 +1757,238 @@ mod tests {
         let only_c1 = e.store_mut().set(vec![c1]);
         assert!(e.holds(owns, &[alice, both]));
         assert!(!e.holds(owns, &[alice, only_c1]), "old group retracted");
+    }
+
+    #[test]
+    fn demand_query_answers_without_materializing() {
+        let (mut e, _, path, ids) = tc_engine();
+        let res = e.query(path, &[Some(ids[2]), None]).unwrap();
+        assert_eq!(res.path, QueryPath::Demand);
+        assert_ne!(e.state(), EngineState::Materialized);
+        let mut rows = res.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![ids[2], ids[3]], vec![ids[2], ids[4]]]);
+        // The session never materialized the model: the path relation
+        // holds only demand-space tuples, and `full` for `path` is
+        // untouched.
+        assert_eq!(e.rows(path).len(), 0);
+        assert_eq!(res.stats.magic_facts_seeded, 1);
+        assert!(res.stats.adornments_compiled >= 1);
+        assert_eq!(res.stats.demand_fallbacks, 0);
+    }
+
+    #[test]
+    fn demand_plan_is_cached_per_adornment() {
+        let (mut e, _, path, ids) = tc_engine();
+        let first = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert!(first.stats.adornments_compiled >= 1);
+        assert_eq!(first.rows.len(), 4);
+        // Same adornment, different constant: plan reused.
+        let second = e.query(path, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(second.stats.adornments_compiled, 0);
+        assert_eq!(second.rows, vec![vec![ids[3], ids[4]]]);
+        // A different adornment compiles its own plan.
+        let third = e.query(path, &[None, Some(ids[4])]).unwrap();
+        assert!(third.stats.adornments_compiled >= 1);
+        assert_eq!(third.rows.len(), 4);
+        // Adding a rule invalidates every demand plan.
+        let edge = e.lookup_pred("edge", 2).unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(1), v(0)])],
+            2,
+        ))
+        .unwrap();
+        let fourth = e.query(path, &[Some(ids[3]), None]).unwrap();
+        assert!(fourth.stats.adornments_compiled >= 1, "plans recompiled");
+        // Forward (n3,n4), reverse (n3,n2), and (n3,n3) via the cycle
+        // edge(n3,n4) ∘ path(n4,n3).
+        assert_eq!(fourth.rows.len(), 3);
+    }
+
+    #[test]
+    fn demand_query_agrees_with_materialized_answers() {
+        for args_mask in 0..4u32 {
+            let (mut demand, _, dpath, dids) = tc_engine();
+            let (mut batch, _, bpath, bids) = tc_engine();
+            batch.run().unwrap();
+            let args: Vec<Option<TermId>> = (0..2)
+                .map(|i| (args_mask & (1 << i) != 0).then(|| dids[1 + i]))
+                .collect();
+            let bargs: Vec<Option<TermId>> = (0..2)
+                .map(|i| (args_mask & (1 << i) != 0).then(|| bids[1 + i]))
+                .collect();
+            let mut got = demand.query(dpath, &args).unwrap();
+            let mut want = batch.query(bpath, &bargs).unwrap();
+            assert_eq!(got.path, QueryPath::Demand);
+            assert_eq!(want.path, QueryPath::Materialized);
+            got.rows.sort();
+            want.rows.sort();
+            assert_eq!(got.rows, want.rows, "mask {args_mask:#b}");
+        }
+    }
+
+    #[test]
+    fn query_on_materialized_session_reads_the_model() {
+        let (mut e, edge, path, ids) = tc_engine();
+        e.run().unwrap();
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.path, QueryPath::Materialized);
+        assert_eq!(res.rows.len(), 4);
+        assert_eq!(res.stats, EvalStats::default(), "pure model read");
+        // Pending facts are reconciled (incrementally) before answering.
+        e.fact(edge, vec![ids[4], ids[0]]).unwrap();
+        let res = e.query(path, &[Some(ids[4]), None]).unwrap();
+        assert_eq!(res.path, QueryPath::Materialized);
+        assert_eq!(res.stats.incremental_runs, 1);
+        assert_eq!(res.rows.len(), 5, "closure of the cycle from n4");
+    }
+
+    #[test]
+    fn query_with_negation_falls_back_soundly() {
+        let mut e = Engine::new(EvalConfig::default());
+        let node = e.pred("node", 1);
+        let edge = e.pred("edge", 2);
+        let reach = e.pred("reach", 1);
+        let unreach = e.pred("unreachable", 1);
+        let ids: Vec<TermId> = (0..3)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for &n in &ids {
+            e.fact(node, vec![n]).unwrap();
+        }
+        e.fact(edge, vec![ids[0], ids[1]]).unwrap();
+        e.fact(reach, vec![ids[0]]).unwrap();
+        e.rule(plain_rule(
+            reach,
+            vec![v(1)],
+            vec![
+                BodyLit::Pos(reach, vec![v(0)]),
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+            ],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            unreach,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(node, vec![v(0)]),
+                BodyLit::Neg(reach, vec![v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+        let res = e.query(unreach, &[Some(ids[2])]).unwrap();
+        assert_eq!(res.path, QueryPath::Fallback);
+        assert_eq!(res.stats.demand_fallbacks, 1);
+        assert_eq!(res.rows, vec![vec![ids[2]]]);
+        assert_eq!(
+            e.state(),
+            EngineState::Materialized,
+            "fallback materializes"
+        );
+        // The monotone part still demand-evaluates on a fresh session…
+        let res = e.query(reach, &[Some(ids[1])]).unwrap();
+        // …but this session is materialized now, so it's a model read.
+        assert_eq!(res.path, QueryPath::Materialized);
+        assert_eq!(res.rows, vec![vec![ids[1]]]);
+    }
+
+    #[test]
+    fn edb_only_query_needs_no_rewrite_rules_beyond_the_bridge() {
+        let mut e = Engine::new(EvalConfig::default());
+        let edge = e.pred("edge", 2);
+        let (a, b, c) = {
+            let st = e.store_mut();
+            (st.atom("a"), st.atom("b"), st.atom("c"))
+        };
+        e.fact(edge, vec![a, b]).unwrap();
+        e.fact(edge, vec![a, c]).unwrap();
+        let res = e.query(edge, &[Some(a), None]).unwrap();
+        assert_eq!(res.path, QueryPath::Demand);
+        assert_eq!(res.rows.len(), 2);
+        let res = e.query(edge, &[Some(b), None]).unwrap();
+        assert!(res.rows.is_empty());
+    }
+
+    #[test]
+    fn query_rule_compiles_conjunctive_goals() {
+        let (mut e, edge, path, ids) = tc_engine();
+        // ?- path(n0, Y), edge(Y, Z).  →  q(Y, Z) :- path(n0, Y), edge(Y, Z).
+        let q = e.pred("query#goal", 2);
+        let goal = plain_rule(
+            q,
+            vec![v(0), v(1)],
+            vec![
+                BodyLit::Pos(path, vec![Pattern::Ground(ids[0]), v(0)]),
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+            ],
+            2,
+        );
+        let res = e.query_rule(goal.clone()).unwrap();
+        assert_eq!(res.path, QueryPath::Demand);
+        assert!(res.stats.magic_facts_seeded >= 1, "ground arg seeds demand");
+        let mut rows = res.rows.clone();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![ids[1], ids[2]],
+                vec![ids[2], ids[3]],
+                vec![ids[3], ids[4]],
+            ]
+        );
+        // Same goal against the materialized model agrees.
+        e.run().unwrap();
+        let mut again = e.query_rule(goal).unwrap();
+        assert_eq!(again.path, QueryPath::Materialized);
+        again.rows.sort();
+        assert_eq!(again.rows, rows);
+    }
+
+    #[test]
+    fn query_rule_does_not_double_count_cumulative_stats() {
+        let (mut e, edge, path, ids) = tc_engine();
+        e.run().unwrap();
+        let base = e.cumulative_stats();
+        // Dirty session: query_rule first reconciles incrementally
+        // (self-accounting), then evaluates the goal. The cumulative
+        // counters must grow by exactly this call's combined work.
+        e.fact(edge, vec![ids[4], ids[0]]).unwrap();
+        let q = e.pred("query#goal", 1);
+        let goal = plain_rule(
+            q,
+            vec![v(1)],
+            vec![BodyLit::Pos(path, vec![Pattern::Ground(ids[0]), v(1)])],
+            2,
+        );
+        let res = e.query_rule(goal).unwrap();
+        assert_eq!(res.path, QueryPath::Materialized);
+        assert_eq!(res.rows.len(), 5, "the cycle closes every pair");
+        assert_eq!(
+            e.cumulative_stats().facts_derived,
+            base.facts_derived + res.stats.facts_derived
+        );
+        assert_eq!(
+            e.cumulative_stats().iterations,
+            base.iterations + res.stats.iterations
+        );
+    }
+
+    #[test]
+    fn query_after_reset_facts_reuses_plans_on_fresh_facts() {
+        let (mut e, edge, path, ids) = tc_engine();
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.rows.len(), 4);
+        e.reset_facts();
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.stats.adornments_compiled, 0, "plan survives reset");
+        assert!(res.rows.is_empty(), "no facts, no answers");
+        e.fact(edge, vec![ids[0], ids[3]]).unwrap();
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.rows, vec![vec![ids[0], ids[3]]]);
     }
 
     #[test]

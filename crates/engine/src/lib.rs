@@ -19,6 +19,8 @@
 //! * [`builtin`] — mode-driven builtin evaluation;
 //! * [`plan`] — safety analysis, join ordering, index selection;
 //! * [`strata`] — stratification (Tarjan SCC);
+//! * [`magic`] — the demand (magic-set) rewrite behind
+//!   [`Engine::query`];
 //! * [`eval`] / [`fixpoint`] — the executor and the drivers;
 //! * [`engine`] — the public [`Engine`] session.
 
@@ -31,6 +33,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod fixpoint;
+pub mod magic;
 pub mod pattern;
 pub mod plan;
 pub mod pred;
@@ -39,8 +42,9 @@ pub mod rule;
 pub mod strata;
 
 pub use config::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
-pub use engine::{Engine, EngineState, Rows};
+pub use engine::{Engine, EngineState, QueryPath, QueryResult, Rows};
 pub use error::EngineError;
+pub use magic::{adornment_of, adornment_string, Adornment};
 pub use pred::{PredId, PredRegistry};
 pub use relation::Relation;
 pub use rule::{BodyLit, Builtin, GroupSpec, QuantGroup, Rule};

@@ -22,6 +22,7 @@ use crate::pattern::{Pattern, VarId};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::ColMask;
 use crate::rule::{BodyLit, Rule};
+use crate::strata::{stratify, Stratification};
 
 /// One evaluation action within a variant.
 #[derive(Clone, Debug, PartialEq)]
@@ -139,6 +140,113 @@ pub struct CompiledRule {
     /// set-sorted arguments). Such rules must be re-run when new sets
     /// are interned, even if no new facts arrived.
     pub uses_active_universe: bool,
+}
+
+/// A whole rule set stratified, compiled, and bucketed for evaluation:
+/// everything derivable from the rules alone, independent of any
+/// facts. The engine's batch prepare phase caches one of these for the
+/// loaded program; the demand subsystem compiles one per query
+/// adornment for the magic-rewritten program.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// Stratification of the rule set.
+    pub strat: Stratification,
+    /// Every rule compiled, in input order.
+    pub compiled: Vec<CompiledRule>,
+    /// Indices into `compiled` of ordinary rules, per stratum.
+    pub regular_by_stratum: Vec<Vec<usize>>,
+    /// Indices into `compiled` of LDL grouping rules, per stratum.
+    pub grouping_by_stratum: Vec<Vec<usize>>,
+    /// Indices into `compiled` of ground-head fact rules.
+    pub fact_rules: Vec<usize>,
+    /// Deduplicated `(pred, mask, delta)` index requests.
+    pub index_requests: Vec<(PredId, ColMask, bool)>,
+    /// Highest stratum holding a non-monotone rule (negation anywhere
+    /// in the body, or a grouping head); `None` for monotone programs.
+    pub max_nonmono_stratum: Option<usize>,
+    /// Lowest stratum holding a rule that enumerates the active set
+    /// universe.
+    pub min_universe_stratum: Option<usize>,
+}
+
+/// Stratify and compile a rule set under the given policy — the shared
+/// front half of both the batch pipeline and the per-adornment demand
+/// pipeline. See [`compile_rule`] for the meaning of `idb`.
+pub fn compile_program(
+    rules: &[Rule],
+    num_preds: usize,
+    preds: &PredRegistry,
+    names: &dyn Fn(PredId) -> String,
+    idb: &FxHashSet<PredId>,
+    policy: SetUniverse,
+) -> Result<CompiledProgram, EngineError> {
+    let strat = stratify(rules, num_preds, names)?;
+    let mut compiled: Vec<CompiledRule> = Vec::with_capacity(rules.len());
+    for rule in rules {
+        compiled.push(compile_rule(rule, preds, names, idb, policy)?);
+    }
+
+    let mut regular_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
+    let mut grouping_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
+    let mut fact_rules = Vec::new();
+    let mut index_requests = Vec::new();
+    let mut max_nonmono_stratum = None;
+    let mut min_universe_stratum = None;
+    for (i, cr) in compiled.iter().enumerate() {
+        index_requests.extend_from_slice(&cr.index_requests);
+        if cr.rule.is_fact() {
+            fact_rules.push(i);
+            continue;
+        }
+        let s = strat.stratum(cr.rule.head);
+        let nonmono = cr.rule.group.is_some()
+            || cr
+                .rule
+                .all_body_lits()
+                .any(|l| matches!(l, BodyLit::Neg(..)));
+        if nonmono {
+            max_nonmono_stratum = Some(max_nonmono_stratum.map_or(s, |m: usize| m.max(s)));
+        }
+        if cr.uses_active_universe {
+            min_universe_stratum = Some(min_universe_stratum.map_or(s, |m: usize| m.min(s)));
+        }
+        if cr.rule.group.is_some() {
+            grouping_by_stratum[s].push(i);
+        } else {
+            regular_by_stratum[s].push(i);
+        }
+    }
+    index_requests.sort_unstable();
+    index_requests.dedup();
+
+    Ok(CompiledProgram {
+        strat,
+        compiled,
+        regular_by_stratum,
+        grouping_by_stratum,
+        fact_rules,
+        index_requests,
+        max_nonmono_stratum,
+        min_universe_stratum,
+    })
+}
+
+impl CompiledProgram {
+    /// The ordinary (non-grouping) rules of stratum `s`, as references.
+    pub fn regular(&self, s: usize) -> Vec<&CompiledRule> {
+        self.regular_by_stratum[s]
+            .iter()
+            .map(|&i| &self.compiled[i])
+            .collect()
+    }
+
+    /// The grouping rules of stratum `s`, as references.
+    pub fn grouping(&self, s: usize) -> Vec<&CompiledRule> {
+        self.grouping_by_stratum[s]
+            .iter()
+            .map(|&i| &self.compiled[i])
+            .collect()
+    }
 }
 
 /// Compile `rule` under the given policy. `idb` says which predicates

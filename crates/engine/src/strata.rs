@@ -70,6 +70,66 @@ impl Stratification {
     }
 }
 
+/// Why a demand (magic-set) rewrite cannot be applied to a query: a
+/// non-monotone construct is reachable from the query predicate in the
+/// rule dependency graph. The rewritten program would interleave magic
+/// predicates with negation or grouping — in general unstratifiable,
+/// and never evaluable by the monotone demand pipeline — so the engine
+/// falls back to full materialization (the same discipline the
+/// incremental update path applies to non-monotone strata).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemandObstruction {
+    /// A reachable rule negates this predicate: stratified negation
+    /// needs the negated predicate's *complete* extension, which a
+    /// demand-restricted derivation cannot promise.
+    Negation(PredId),
+    /// A reachable rule collects this head predicate with an LDL
+    /// grouping slot, which likewise reads a completed body stratum.
+    Grouping(PredId),
+}
+
+impl DemandObstruction {
+    /// The predicate at the obstruction.
+    pub fn pred(self) -> PredId {
+        match self {
+            DemandObstruction::Negation(p) | DemandObstruction::Grouping(p) => p,
+        }
+    }
+}
+
+/// Scan the rules reachable from `roots` (following positive,
+/// negative, and quantifier-inner body atoms of every rule whose head
+/// is reachable) for a construct that blocks the magic-set rewrite.
+/// `None` means the reachable subprogram is monotone: negation-free
+/// and grouping-free, hence trivially stratifiable after the rewrite.
+pub fn demand_obstruction<I>(rules: &[Rule], roots: I) -> Option<DemandObstruction>
+where
+    I: IntoIterator<Item = PredId>,
+{
+    let mut reachable: FxHashSet<PredId> = FxHashSet::default();
+    let mut frontier: Vec<PredId> = roots.into_iter().collect();
+    reachable.extend(frontier.iter().copied());
+    while let Some(p) = frontier.pop() {
+        for rule in rules.iter().filter(|r| r.head == p) {
+            if rule.group.is_some() {
+                return Some(DemandObstruction::Grouping(rule.head));
+            }
+            for lit in rule.all_body_lits() {
+                match lit {
+                    BodyLit::Neg(q, _) => return Some(DemandObstruction::Negation(*q)),
+                    BodyLit::Pos(q, _) => {
+                        if reachable.insert(*q) {
+                            frontier.push(*q);
+                        }
+                    }
+                    BodyLit::Builtin(..) => {}
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Compute a stratification for `rules` over `num_preds` predicates,
 /// or report the offending cycle.
 pub fn stratify(
@@ -403,6 +463,60 @@ mod tests {
         });
         let s = stratify(&[r], fx.reg.len(), &fx.name_fn()).unwrap();
         assert_eq!(s.lowest_affected([ids[2]]), Some(0));
+    }
+
+    #[test]
+    fn demand_obstruction_sees_through_the_rule_graph() {
+        let (fx, ids) = Fixture::new(&["edb", "t", "iso", "grp"]);
+        // t :- edb. t :- edb, t.          (monotone closure)
+        // iso :- edb, not t.              (negation above t)
+        // grp(<X>) :- t.                  (grouping above t)
+        let closure = vec![
+            rule(ids[1], vec![pos(ids[0])]),
+            rule(ids[1], vec![pos(ids[0]), pos(ids[1])]),
+        ];
+        assert_eq!(demand_obstruction(&closure, [ids[1]]), None);
+
+        let mut with_neg = closure.clone();
+        with_neg.push(rule(ids[2], vec![pos(ids[0]), neg(ids[1])]));
+        // Querying t never reaches the negation…
+        assert_eq!(demand_obstruction(&with_neg, [ids[1]]), None);
+        // …but querying iso does.
+        assert_eq!(
+            demand_obstruction(&with_neg, [ids[2]]),
+            Some(DemandObstruction::Negation(ids[1]))
+        );
+
+        let mut with_grp = closure.clone();
+        let mut g = rule(ids[3], vec![pos(ids[1])]);
+        g.group = Some(GroupSpec {
+            arg_pos: 0,
+            var: VarId(0),
+        });
+        with_grp.push(g);
+        assert_eq!(demand_obstruction(&with_grp, [ids[1]]), None);
+        assert_eq!(
+            demand_obstruction(&with_grp, [ids[3]]),
+            Some(DemandObstruction::Grouping(ids[3]))
+        );
+        let _ = fx;
+    }
+
+    #[test]
+    fn demand_obstruction_follows_quantifier_inner_literals() {
+        let (_fx, ids) = Fixture::new(&["dom", "p", "q", "r"]);
+        // p :- dom, (∀u∈X) q(u).  q :- dom, not r.
+        let mut top = rule(ids[1], vec![pos(ids[0])]);
+        top.quant = Some(crate::rule::QuantGroup {
+            binders: vec![(VarId(1), Pattern::Var(VarId(0)))],
+            inner: vec![BodyLit::Pos(ids[2], vec![Pattern::Var(VarId(1))])],
+        });
+        let rules = vec![top, rule(ids[2], vec![pos(ids[0]), neg(ids[3])])];
+        assert_eq!(
+            demand_obstruction(&rules, [ids[1]]),
+            Some(DemandObstruction::Negation(ids[3]))
+        );
+        assert_eq!(demand_obstruction(&rules, [ids[0]]), None);
     }
 
     #[test]

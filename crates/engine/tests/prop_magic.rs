@@ -1,0 +1,320 @@
+//! Property test: demand-driven query answering is invisible. For
+//! random programs, random fact sets, and random bound/free query
+//! patterns, `Engine::query` on a fresh (never-materialized) session
+//! must return exactly the rows that full materialization plus
+//! filtering returns — on the monotone programs (where the magic-set
+//! rewrite applies and the demand path must be taken) and on programs
+//! with negation or grouping (where the engine must take the sound
+//! fallback instead). Conjunctive goals through `Engine::query_rule`
+//! are checked against a hand-rolled join of the materialized model.
+
+use proptest::prelude::*;
+
+use lps_engine::pattern::{Pattern, VarId};
+use lps_engine::rule::{BodyLit, GroupSpec, Rule};
+use lps_engine::{Engine, EvalConfig, PredId, QueryPath};
+use lps_term::TermId;
+
+fn v(i: u32) -> Pattern {
+    Pattern::Var(VarId(i))
+}
+
+fn rule(head: PredId, head_args: Vec<Pattern>, outer: Vec<BodyLit>, nv: usize) -> Rule {
+    Rule {
+        head,
+        head_args,
+        group: None,
+        outer,
+        quant: None,
+        num_vars: nv,
+        var_names: (0..nv).map(|i| format!("V{i}")).collect(),
+        var_sorts: vec![],
+    }
+}
+
+/// The predicates of the generated programs (same family as
+/// `prop_incremental`): transitive closure `t` over `e`, a join `s`,
+/// and optionally a negation stratum and an LDL grouping head.
+struct Preds {
+    e: PredId,
+    t: PredId,
+    s: PredId,
+    node: PredId,
+    iso: PredId,
+    grp: PredId,
+}
+
+fn build(with_neg: bool, with_group: bool) -> (Engine, Preds) {
+    let mut e = Engine::new(EvalConfig::default());
+    let preds = Preds {
+        e: e.pred("e", 2),
+        t: e.pred("t", 2),
+        s: e.pred("s", 2),
+        node: e.pred("node", 1),
+        iso: e.pred("iso", 1),
+        grp: e.pred("grp", 2),
+    };
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(1)],
+        vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+        2,
+    ))
+    .unwrap();
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(2)],
+        vec![
+            BodyLit::Pos(preds.e, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.t, vec![v(1), v(2)]),
+        ],
+        3,
+    ))
+    .unwrap();
+    // s(X, Z) :- t(X, Y), e(Y, Z).
+    e.rule(rule(
+        preds.s,
+        vec![v(0), v(2)],
+        vec![
+            BodyLit::Pos(preds.t, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.e, vec![v(1), v(2)]),
+        ],
+        3,
+    ))
+    .unwrap();
+    if with_neg {
+        e.rule(rule(
+            preds.node,
+            vec![v(0)],
+            vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(rule(
+            preds.iso,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(preds.node, vec![v(0)]),
+                BodyLit::Neg(preds.t, vec![v(0), v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+    }
+    if with_group {
+        let mut g = rule(
+            preds.grp,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(preds.t, vec![v(0), v(1)])],
+            2,
+        );
+        g.group = Some(GroupSpec {
+            arg_pos: 1,
+            var: VarId(1),
+        });
+        e.rule(g).unwrap();
+    }
+    (e, preds)
+}
+
+fn atoms(e: &mut Engine) -> Vec<TermId> {
+    (0..6)
+        .map(|i| e.store_mut().atom(&format!("n{i}")))
+        .collect()
+}
+
+fn load_facts(e: &mut Engine, pred: PredId, ids: &[TermId], edges: &[(u8, u8)]) {
+    for &(a, b) in edges {
+        e.fact(pred, vec![ids[a as usize], ids[b as usize]])
+            .unwrap();
+    }
+}
+
+/// Pick the query predicate and its argument list from the generated
+/// choices. Returns `(pred, args, query_reaches_nonmono)`.
+fn pick_query(
+    p: &Preds,
+    ids: &[TermId],
+    which: u8,
+    mask: u8,
+    consts: (u8, u8),
+) -> (PredId, Vec<Option<TermId>>, bool) {
+    let (pred, arity, nonmono) = match which % 6 {
+        0 => (p.e, 2, false),
+        1 => (p.t, 2, false),
+        2 => (p.s, 2, false),
+        3 => (p.node, 1, false),
+        4 => (p.iso, 1, true),
+        _ => (p.grp, 2, true),
+    };
+    let consts = [consts.0, consts.1];
+    let args: Vec<Option<TermId>> = (0..arity)
+        .map(|i| (mask & (1 << i) != 0).then(|| ids[consts[i] as usize]))
+        .collect();
+    (pred, args, nonmono)
+}
+
+/// Demand query on a fresh session vs filtered full materialization.
+fn check_query(
+    edges: &[(u8, u8)],
+    which: u8,
+    mask: u8,
+    consts: (u8, u8),
+    with_neg: bool,
+    with_group: bool,
+) {
+    // Reference: materialize everything, filter.
+    let (mut reference, rp) = build(with_neg, with_group);
+    let rids = atoms(&mut reference);
+    load_facts(&mut reference, rp.e, &rids, edges);
+    reference.run().unwrap();
+    let (pred, args, _) = pick_query(&rp, &rids, which, mask, consts);
+    let mut want: Vec<Vec<TermId>> = reference
+        .rows(pred)
+        .filter(|row| {
+            row.iter()
+                .zip(&args)
+                .all(|(t, a)| a.is_none_or(|g| g == *t))
+        })
+        .map(<[_]>::to_vec)
+        .collect();
+    want.sort();
+
+    // Demand: same store-interning order, fresh (never-run) session.
+    let (mut demand, dp) = build(with_neg, with_group);
+    let dids = atoms(&mut demand);
+    load_facts(&mut demand, dp.e, &dids, edges);
+    let (dpred, dargs, _) = pick_query(&dp, &dids, which, mask, consts);
+    let res = demand.query(dpred, &dargs).unwrap();
+    let mut got = res.rows.clone();
+    got.sort();
+    // Same atoms were interned in the same order in both engines, so
+    // the rows must agree bit for bit.
+    assert_eq!(got, want, "query {which} mask {mask:#b}");
+
+    // Path discipline: a goal that reaches negation or grouping must
+    // fall back; a purely monotone goal must take the demand path and
+    // never count a fallback. (`iso`/`grp` without their rule flags
+    // are empty EDB predicates: demand answers them trivially.)
+    let obstructed = (which % 6 == 4 && with_neg) || (which % 6 == 5 && with_group);
+    if obstructed {
+        assert_eq!(res.path, QueryPath::Fallback);
+        assert_eq!(res.stats.demand_fallbacks, 1);
+    } else {
+        assert_eq!(res.path, QueryPath::Demand, "monotone goal stays demand");
+        assert_eq!(res.stats.demand_fallbacks, 0);
+    }
+
+    // A second query on the (possibly now materialized) session must
+    // agree with itself.
+    let res2 = demand.query(dpred, &dargs).unwrap();
+    let mut got2 = res2.rows;
+    got2.sort();
+    assert_eq!(got2, got, "repeat query is stable");
+}
+
+/// Conjunctive goal `q(X, Z) :- t(c, X), e(X, Z)` (optionally with the
+/// first argument free) vs a hand-rolled join over the materialized
+/// model.
+fn check_conjunctive(edges: &[(u8, u8)], bind_first: bool, c: u8) {
+    let (mut reference, rp) = build(false, false);
+    let rids = atoms(&mut reference);
+    load_facts(&mut reference, rp.e, &rids, edges);
+    reference.run().unwrap();
+    let t_rows: Vec<Vec<TermId>> = reference.rows(rp.t).map(<[_]>::to_vec).collect();
+    let e_rows: Vec<Vec<TermId>> = reference.rows(rp.e).map(<[_]>::to_vec).collect();
+    let mut want: Vec<Vec<TermId>> = Vec::new();
+    for tr in &t_rows {
+        if bind_first && tr[0] != rids[c as usize] {
+            continue;
+        }
+        for er in &e_rows {
+            if tr[1] == er[0] {
+                let row = if bind_first {
+                    vec![tr[1], er[1]]
+                } else {
+                    vec![tr[0], tr[1], er[1]]
+                };
+                if !want.contains(&row) {
+                    want.push(row);
+                }
+            }
+        }
+    }
+    want.sort();
+
+    let (mut demand, dp) = build(false, false);
+    let dids = atoms(&mut demand);
+    load_facts(&mut demand, dp.e, &dids, edges);
+    let res = if bind_first {
+        let q = demand.pred("query#goal", 2);
+        demand
+            .query_rule(rule(
+                q,
+                vec![v(1), v(2)],
+                vec![
+                    BodyLit::Pos(dp.t, vec![Pattern::Ground(dids[c as usize]), v(1)]),
+                    BodyLit::Pos(dp.e, vec![v(1), v(2)]),
+                ],
+                3,
+            ))
+            .unwrap()
+    } else {
+        let q = demand.pred("query#goal", 3);
+        demand
+            .query_rule(rule(
+                q,
+                vec![v(0), v(1), v(2)],
+                vec![
+                    BodyLit::Pos(dp.t, vec![v(0), v(1)]),
+                    BodyLit::Pos(dp.e, vec![v(1), v(2)]),
+                ],
+                3,
+            ))
+            .unwrap()
+    };
+    assert_eq!(res.path, QueryPath::Demand);
+    let mut got = res.rows;
+    got.sort();
+    assert_eq!(got, want, "conjunctive goal bind_first={bind_first}");
+}
+
+proptest! {
+    /// Monotone programs: every bound/free pattern over every
+    /// predicate takes the demand path and agrees with the filtered
+    /// full model.
+    #[test]
+    fn demand_equals_materialization_on_monotone_programs(
+        edges in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
+        which in 0u8..4,
+        mask in 0u8..4,
+        consts in (0u8..6, 0u8..6),
+    ) {
+        check_query(&edges, which, mask, consts, false, false);
+    }
+
+    /// Programs with negation and grouping: goals that reach the
+    /// non-monotone constructs fall back to full materialization, and
+    /// the answers stay identical either way.
+    #[test]
+    fn demand_equals_materialization_under_negation_and_grouping(
+        edges in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+        which in 0u8..6,
+        mask in 0u8..4,
+        consts in (0u8..6, 0u8..6),
+        with_group in 0u8..2,
+    ) {
+        check_query(&edges, which, mask, consts, true, with_group == 1);
+    }
+
+    /// Conjunctive goals through `Engine::query_rule` match a
+    /// hand-rolled join of the materialized model.
+    #[test]
+    fn conjunctive_goals_match_reference_join(
+        edges in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+        bind_first in 0u8..2,
+        c in 0u8..6,
+    ) {
+        check_conjunctive(&edges, bind_first == 1, c);
+    }
+}

@@ -12,6 +12,7 @@
 //! :help                  this text
 //! :dialect NAME          purelps | lps | elps | stratified
 //! :universe POLICY       reject | active | subsets N
+//! :demand on|off         demand-driven (magic-set) query answering
 //! :model PRED            print a predicate's extension
 //! :program               print the accumulated program
 //! :normalized            print the Theorem-6-compiled program
@@ -22,11 +23,18 @@
 //! :quit                  exit
 //! ```
 //!
-//! The session keeps one live engine: the first query materializes the
-//! model, and ground facts entered afterwards are folded in by the
-//! engine's incremental update path (seeded semi-naive deltas) instead
-//! of recomputing the model from scratch. Rules, dialect, or universe
-//! changes rebuild the session.
+//! The session keeps one live engine. With demand mode on (the
+//! default), queries are answered *goal-directed*: the engine
+//! magic-rewrites the rules reachable from the goal for its bound/free
+//! pattern, caches the specialized plan per adornment, and derives
+//! only the tuples the goal's bindings can reach — the model is never
+//! materialized unless a command (`:model`) or a non-monotone goal
+//! forces it. Queries may be conjunctions (`?- tc(a, X), q(X, {b}).`),
+//! compiled as temporary query rules. With demand off — or once a
+//! model exists — queries read the materialized model, and ground
+//! facts entered afterwards are folded in by the engine's incremental
+//! update path (seeded semi-naive deltas) instead of recomputing from
+//! scratch. Rules, dialect, or universe changes rebuild the session.
 
 use std::io::{self, BufRead, Write};
 
@@ -37,9 +45,13 @@ struct Session {
     dialect: Dialect,
     config: EvalConfig,
     source: String,
-    /// The live engine session, materialized by the first query and
-    /// maintained incrementally; `None` until then or after anything
-    /// that invalidates the compiled program (rules, dialect/universe
+    /// Demand-driven query answering: queries compile magic-set plans
+    /// instead of materializing the model first.
+    demand: bool,
+    /// The live engine session, created by the first query (demand
+    /// mode loads it *without* materializing) and maintained
+    /// incrementally; `None` until then or after anything that
+    /// invalidates the compiled program (rules, dialect/universe
     /// changes, `:clear`).
     model: Option<Model>,
     last_stats: Option<EvalStats>,
@@ -51,6 +63,7 @@ impl Session {
             dialect: Dialect::StratifiedElps,
             config: EvalConfig::default(),
             source: String::new(),
+            demand: true,
             model: None,
             last_stats: None,
         }
@@ -67,20 +80,28 @@ impl Session {
         self.model = None;
     }
 
-    /// The up-to-date model: built on first use, then maintained by
-    /// incremental updates (a no-op when nothing is pending).
-    fn ensure_model(&mut self) -> Result<&mut Model, String> {
+    /// The live session, loaded but not necessarily materialized —
+    /// the entry point for demand-driven queries.
+    fn ensure_session(&mut self) -> Result<&mut Model, String> {
         if self.model.is_none() {
             let db = self.database().map_err(|e| e.to_string())?;
-            self.model = Some(db.evaluate().map_err(|e| e.to_string())?);
-        } else if let Some(m) = self.model.as_mut() {
-            if m.needs_update() {
-                m.update().map_err(|e| e.to_string())?;
-            }
+            self.model = Some(db.session().map_err(|e| e.to_string())?);
         }
+        Ok(self.model.as_mut().expect("just ensured"))
+    }
+
+    /// The up-to-date *materialized* model: built on first use, then
+    /// maintained by incremental updates (a no-op when nothing is
+    /// pending).
+    fn ensure_model(&mut self) -> Result<&mut Model, String> {
+        self.ensure_session()?;
         let model = self.model.as_mut().expect("just ensured");
-        self.last_stats = Some(model.stats());
-        Ok(model)
+        if model.needs_update() {
+            model.update().map_err(|e| e.to_string())?;
+        }
+        let stats = model.stats();
+        self.last_stats = Some(stats);
+        Ok(self.model.as_mut().expect("just ensured"))
     }
 
     /// Add program text (facts/rules), validating eagerly so errors
@@ -111,45 +132,107 @@ impl Session {
         Ok(())
     }
 
-    /// Run a query: a single literal with variables; prints matching
-    /// rows.
+    /// Run a query — a goal conjunction like `?- tc(a, X), q(X, {b}).`
+    /// — and print the matching rows. A single positive literal whose
+    /// arguments are distinct variables or ground terms takes the
+    /// point-query path (`Engine::query`, plan cached per bound/free
+    /// adornment); everything else compiles as a temporary query rule.
+    /// With demand mode off the model is materialized first and the
+    /// same pipeline reads it.
     fn query(&mut self, text: &str) -> Result<(), String> {
         // Parse `?- body.` as a rule body by wrapping it.
-        let wrapped = format!("query_result :- {text}");
+        let wrapped = format!("query_goal :- {text}");
         let parsed = parse_program(&wrapped).map_err(|e| e.render(&wrapped))?;
         let clause = parsed.clauses().next().ok_or("empty query")?;
         let body = clause.body.as_ref().ok_or("empty query")?;
-        // Only simple positive literals are supported as queries.
-        let Formula::Lit(Literal::Pred(name, args, _)) = body else {
-            return Err(
-                "queries must be a single predicate literal, e.g. ?- disj(X, {a}).".to_owned(),
-            );
-        };
-        let (name, args) = (name.clone(), args.clone());
 
-        let model = self.ensure_model()?;
-        let rows = model.extension_n(&name, args.len());
-        // Filter rows against any ground arguments in the query.
-        let ground: Vec<Option<lps::Value>> = args.iter().map(term_to_value).collect();
-        let mut hits = 0usize;
-        for row in &rows {
-            let matches = row
-                .iter()
-                .zip(&ground)
-                .all(|(v, g)| g.as_ref().is_none_or(|g| g == v));
-            if matches {
-                hits += 1;
-                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-                println!("  {name}({})", rendered.join(", "));
+        let point = match body {
+            Formula::Lit(Literal::Pred(name, args, _)) => {
+                point_query_args(args).map(|pa| (name.clone(), pa))
+            }
+            _ => None,
+        };
+
+        let demand = self.demand;
+        let model = if demand {
+            self.ensure_session()?
+        } else {
+            self.ensure_model()?
+        };
+        let answers = match &point {
+            Some((name, args)) => model.query(name, args),
+            None => model.query_str(text),
+        }
+        .map_err(|e| e.to_string())?;
+        let stats = model.stats();
+        self.last_stats = Some(stats);
+
+        match &point {
+            Some((name, _)) => {
+                // Point queries print in the predicate's own shape.
+                for row in &answers.rows {
+                    let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("  {name}({})", rendered.join(", "));
+                }
+            }
+            None if answers.columns.is_empty() => {
+                // Fully ground goal: a single empty row means yes.
+                println!(
+                    "  {}",
+                    if answers.rows.is_empty() {
+                        "no."
+                    } else {
+                        "yes."
+                    }
+                );
+                return Ok(());
+            }
+            None => {
+                // Conjunctive goal: print variable bindings.
+                for row in &answers.rows {
+                    let bindings: Vec<String> = answers
+                        .columns
+                        .iter()
+                        .zip(row)
+                        .map(|(c, v)| format!("{c} = {v}"))
+                        .collect();
+                    println!("  {}", bindings.join(", "));
+                }
             }
         }
-        if hits == 0 {
+        if answers.rows.is_empty() {
             println!("  no.");
         } else {
-            println!("  {hits} answer(s).");
+            println!("  {} answer(s).", answers.rows.len());
         }
         Ok(())
     }
+}
+
+/// The point-query argument vector of a literal whose arguments are
+/// all either variables or ground terms — `None` when any argument
+/// carries structure (set patterns with variables, arithmetic) or a
+/// variable repeats, in which case the goal needs the full conjunctive
+/// pipeline to join correctly. Repetition counts for `_`-named
+/// variables too: the lowering maps every occurrence of one name —
+/// `_A` included — to the same variable, so repeats co-refer.
+fn point_query_args(args: &[lps_syntax::Term]) -> Option<Vec<Option<lps::Value>>> {
+    use lps_syntax::Term;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut out = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg {
+            Term::Var(v, _) => {
+                if seen.contains(&v.as_str()) {
+                    return None; // repeated variable: a real join
+                }
+                seen.push(v);
+                out.push(None);
+            }
+            other => out.push(Some(term_to_value(other)?)),
+        }
+    }
+    Some(out)
 }
 
 /// If every item of `parsed` is a ground fact clause, return the
@@ -197,8 +280,9 @@ fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
 
 fn print_help() {
     println!(
-        "Enter facts/rules ending in `.`; `?- literal.` to query.\n\
-         :help :dialect :universe :model :program :normalized :sorts :stats :reset :clear :quit"
+        "Enter facts/rules ending in `.`; `?- goal, goal, ....` to query.\n\
+         :help :dialect :universe :demand :model :program :normalized :sorts :stats :reset \
+         :clear :quit"
     );
 }
 
@@ -274,7 +358,8 @@ fn main() -> io::Result<()> {
                     Some(s) => println!(
                         "facts={} rounds={} strata={} rule_evals={} \
                          probes={} probe_rows={} probe_allocs={} \
-                         incr_runs={} seeded={}",
+                         incr_runs={} seeded={} \
+                         adorns={} magic_seeds={} demand_fb={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
@@ -283,10 +368,28 @@ fn main() -> io::Result<()> {
                         s.probe_rows,
                         s.probe_allocs,
                         s.incremental_runs,
-                        s.delta_seed_facts
+                        s.delta_seed_facts,
+                        s.adornments_compiled,
+                        s.magic_facts_seeded,
+                        s.demand_fallbacks
                     ),
                     None => println!("no evaluation yet."),
                 },
+                ":demand" => {
+                    session.demand = match arg {
+                        "on" => true,
+                        "off" => false,
+                        "" => {
+                            println!("demand = {}", if session.demand { "on" } else { "off" });
+                            continue;
+                        }
+                        other => {
+                            println!("unknown demand mode `{other}` (on|off)");
+                            continue;
+                        }
+                    };
+                    println!("demand = {}", if session.demand { "on" } else { "off" });
+                }
                 ":dialect" => {
                     session.invalidate();
                     session.dialect = match arg {

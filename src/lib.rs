@@ -53,12 +53,13 @@ pub use lps_engine as engine;
 pub use lps_syntax as syntax;
 pub use lps_term as term;
 
-pub use lps_core::{CoreError, Database, Dialect, Model, Value};
-pub use lps_engine::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
+pub use lps_core::{CoreError, Database, Dialect, Model, QueryAnswers, Value};
+pub use lps_engine::{EvalConfig, EvalStats, FixpointStrategy, QueryPath, SetUniverse};
 
 /// Everything needed for typical use: `use lps::prelude::*;`.
 pub mod prelude {
     pub use crate::core::equiv::{assert_equivalent, compare_on};
+    pub use crate::core::transform::magic::compile_query;
     pub use crate::core::transform::positive::{compile_positive_paper, normalize_program};
     pub use crate::core::transform::setof::{setof_clauses, setof_database};
     pub use crate::core::transform::translations::{
@@ -66,7 +67,7 @@ pub mod prelude {
         horn_union_to_elps, union_via_grouping,
     };
     pub use crate::{
-        CoreError, Database, Dialect, EvalConfig, EvalStats, FixpointStrategy, Model, SetUniverse,
-        Value,
+        CoreError, Database, Dialect, EvalConfig, EvalStats, FixpointStrategy, Model, QueryAnswers,
+        QueryPath, SetUniverse, Value,
     };
 }

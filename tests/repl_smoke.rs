@@ -204,9 +204,12 @@ fn reset_drops_facts_but_keeps_rules() {
 
 #[test]
 fn facts_after_a_query_update_the_live_session_incrementally() {
+    // `:demand off` pins the materialized-model path this test is
+    // about; demand-driven answering has its own tests below.
     let (stdout, _) = run_lpsi(
         &[],
-        "e(a, b).\n\
+        ":demand off\n\
+         e(a, b).\n\
          t(X, Y) :- e(X, Y).\n\
          t(X, Z) :- e(X, Y), t(Y, Z).\n\
          ?- t(X, Y).\n\
@@ -248,5 +251,141 @@ fn bad_input_reports_error_and_keeps_session_alive() {
     assert!(
         stdout.contains("1 answer(s)."),
         "session continues:\n{stdout}"
+    );
+}
+
+#[test]
+fn demand_queries_answer_without_materializing() {
+    // A point query over a chain TC: the demand path seeds one magic
+    // fact, compiles adornments, and never runs an incremental pass.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c). e(c, d).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(b, X).\n\
+         :stats\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("t(b, c)"), "demand answers:\n{stdout}");
+    assert!(stdout.contains("t(b, d)"), "demand answers:\n{stdout}");
+    assert!(stdout.contains("2 answer(s)."), "two answers:\n{stdout}");
+    assert!(
+        stdout.contains("magic_seeds=1") && stdout.contains("demand_fb=0"),
+        "demand counters in :stats:\n{stdout}"
+    );
+}
+
+#[test]
+fn demand_toggle_switches_and_rejects_unknown() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        ":demand off\n:demand on\n:demand\n:demand maybe\n:quit\n",
+    );
+    assert!(stdout.contains("demand = off"), "off:\n{stdout}");
+    assert!(stdout.contains("demand = on"), "on:\n{stdout}");
+    assert!(
+        stdout.contains("unknown demand mode `maybe`"),
+        "bad arg:\n{stdout}"
+    );
+}
+
+#[test]
+fn conjunctive_queries_print_bindings() {
+    // The old "queries must be a single predicate literal" restriction
+    // is gone: conjunctions compile as temporary query rules.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(a, X), e(X, Y).\n\
+         :quit\n",
+    );
+    assert!(
+        stdout.contains("X = b, Y = c"),
+        "conjunctive bindings:\n{stdout}"
+    );
+    assert!(stdout.contains("1 answer(s)."), "one answer:\n{stdout}");
+}
+
+#[test]
+fn ground_queries_answer_yes_or_no() {
+    // A ground single literal echoes the matching fact (point path); a
+    // ground conjunction answers yes/no.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(a, c).\n\
+         ?- t(a, b), t(b, c).\n\
+         ?- t(c, a), t(a, b).\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("t(a, c)"), "ground point query:\n{stdout}");
+    assert!(
+        stdout.contains("yes."),
+        "ground conjunction holds:\n{stdout}"
+    );
+    assert!(stdout.contains("no."), "t(c, a) does not:\n{stdout}");
+}
+
+#[test]
+fn repeated_variable_queries_join_instead_of_wildcarding() {
+    // `?- t(X, X)` used to treat both positions as independent
+    // wildcards; it now compiles a proper join.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, a). e(c, d).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(X, X).\n\
+         :quit\n",
+    );
+    assert!(
+        stdout.contains("X = a") && stdout.contains("X = b"),
+        "the a/b cycle closes on itself:\n{stdout}"
+    );
+    assert!(stdout.contains("2 answer(s)."), "c/d is acyclic:\n{stdout}");
+}
+
+#[test]
+fn underscore_variables_corefer_like_any_other() {
+    // The lowering maps every occurrence of one name — `_A` included —
+    // to the same variable, so `?- t(_A, _A).` is the same join as
+    // `?- t(X, X).`, not a pair of wildcards.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(c, d).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         ?- t(_A, _A).\n\
+         :quit\n",
+    );
+    assert!(
+        stdout.contains("no."),
+        "acyclic graph has no self-paths, even for _-vars:\n{stdout}"
+    );
+}
+
+#[test]
+fn demand_queries_with_sets_and_negation_fall_back_soundly() {
+    // Negation reachable from the goal forces the sound fallback; the
+    // answers still come back correct, and the fallback is counted.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "node(a). node(b). e(a, b).\n\
+         reach(a).\n\
+         reach(Y) :- reach(X), e(X, Y).\n\
+         un(X) :- node(X), not reach(X).\n\
+         ?- un(X).\n\
+         :stats\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("no."), "all nodes reachable:\n{stdout}");
+    assert!(
+        stdout.contains("demand_fb=1"),
+        "fallback counted in :stats:\n{stdout}"
     );
 }
