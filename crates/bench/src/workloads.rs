@@ -242,6 +242,32 @@ pub fn point_query_sources(nodes: usize, k: usize, seed: u64) -> Vec<usize> {
     (0..k).map(|_| rng.gen_range(0..nodes)).collect()
 }
 
+/// E14: a stream of `k` point-query sources with *overlapping
+/// demand*: `distinct` sources are drawn (without replacement) from
+/// the low end of the chain — long, strongly overlapping reach
+/// cones — and the stream cycles through them in seed-shuffled order,
+/// so most queries repeat an already-demanded source. The retained
+/// demand space answers repeats as pure reads and absorbs interleaved
+/// EDB updates through the seeded continuation; the cold baseline
+/// re-derives each source's whole cone every time.
+pub fn overlapping_sources(nodes: usize, k: usize, distinct: usize, seed: u64) -> Vec<usize> {
+    assert!(
+        distinct >= 1 && distinct <= nodes / 4,
+        "sources come from the low quarter"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<usize> = Vec::with_capacity(distinct);
+    while pool.len() < distinct {
+        let s = rng.gen_range(0..nodes / 4);
+        if !pool.contains(&s) {
+            pool.push(s);
+        }
+    }
+    (0..k)
+        .map(|i| pool[(i + rng.gen_range(0..distinct)) % distinct])
+        .collect()
+}
+
 /// E10: a non-1NF relation with `rows` tuples whose set attribute has
 /// `set_size` elements, plus the unnest rule (Example 4).
 pub fn unnest(rows: usize, set_size: usize) -> String {

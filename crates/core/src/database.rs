@@ -130,10 +130,16 @@ impl Database {
     /// conjunctive queries demand-driven ([`Model::query`],
     /// [`Model::query_str`]): the engine magic-rewrites the reachable
     /// rules for the query's binding pattern and derives only what the
-    /// bindings can reach, caching the specialized plan per adornment.
-    /// Anything that needs the full model ([`Model::extension`],
-    /// [`Model::update`], a non-monotone query) materializes it on
-    /// first use, after which queries read the maintained model.
+    /// bindings can reach, caching the specialized plan per adornment
+    /// (conjunctive goals per shape). Demand spaces are *retained*
+    /// between queries: a repeated query is a pure read, and a new
+    /// constant — or facts added via [`Model::add_fact`] in between —
+    /// continues the fixpoint incrementally from the retained
+    /// relations, so a long query stream costs O(new demand) per
+    /// query, not O(reach). Anything that needs the full model
+    /// ([`Model::extension`], [`Model::update`], a non-monotone
+    /// query) materializes it on first use, after which queries read
+    /// the maintained model.
     pub fn session(&self) -> Result<Model, CoreError> {
         let normalized = self.normalized()?;
         // Re-infer sorts over the *normalized* program so auxiliary
@@ -221,8 +227,12 @@ impl Model {
     }
 
     /// Drop all facts while keeping the rules and their compiled
-    /// plans — the session returns to the prepared state, so facts
-    /// added afterwards evaluate without restratifying or recompiling.
+    /// *batch* plans — the session returns to the prepared state, so
+    /// facts added afterwards evaluate without restratifying or
+    /// recompiling. Cached demand plans are evicted (their retained
+    /// spaces are meaningless without the facts) and their relation
+    /// slots reclaimed, so sessions that alternate resets and queries
+    /// do not accumulate demand-space memory.
     pub fn reset_facts(&mut self) {
         self.engine.reset_facts();
     }

@@ -14,7 +14,14 @@
 //!   `tc(a, X), color(X, blue).` derives only from `a` onward. The
 //!   head predicate lives in the engine's `#`-namespace, which the
 //!   lexer cannot produce, so it never collides with program
-//!   predicates.
+//!   predicates. Downstream, the engine canonicalizes the rule to its
+//!   *shape* (`lps_engine::magic::lift_goal`: the rule modulo
+//!   top-level constants, constants lifted into the magic seed tuple)
+//!   and caches the compiled magic-set plan per shape — so a stream
+//!   of [`crate::Model::query_str`] calls that differ only in
+//!   constants compiles one plan, and under demand retention shares
+//!   one retained demand space, giving conjunctive goals the same
+//!   amortization point queries have.
 //! * [`QueryAnswers`] is the owned, [`Value`]-level result form used
 //!   by [`crate::Model::query`] and [`crate::Model::query_str`] (and
 //!   by `lpsi`).
@@ -190,6 +197,31 @@ mod tests {
         let res = e.query_rule(goal.rule).unwrap();
         assert_eq!(res.path, QueryPath::Demand);
         // X ∈ {b, c} with a successor: (b,c), (c,d).
+        assert_eq!(res.rows.len(), 2);
+    }
+
+    #[test]
+    fn repeated_goals_share_one_conjunctive_plan() {
+        let mut e = engine_with(
+            "e(a, b). e(b, c). e(c, d).
+             t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+        );
+        let first = compile_query(&mut e, "t(a, X), e(X, Y).").unwrap();
+        let res = e.query_rule(first.rule).unwrap();
+        assert!(res.stats.adornments_compiled >= 1, "first goal compiles");
+        assert_eq!(res.rows.len(), 2);
+        // Same goal shape, different constant: the engine's
+        // shape-keyed cache serves it without recompiling, continuing
+        // over the retained demand space.
+        let second = compile_query(&mut e, "t(b, X), e(X, Y).").unwrap();
+        let res = e.query_rule(second.rule).unwrap();
+        assert_eq!(res.stats.adornments_compiled, 0, "shape-cache hit");
+        assert_eq!(res.stats.demand_continuations, 1);
+        assert_eq!(res.rows.len(), 1, "b → c → d");
+        // Repeating the first goal is a zero-work read.
+        let again = compile_query(&mut e, "t(a, X), e(X, Y).").unwrap();
+        let res = e.query_rule(again.rule).unwrap();
+        assert_eq!(res.stats.facts_derived, 0);
         assert_eq!(res.rows.len(), 2);
     }
 

@@ -53,6 +53,23 @@ pub struct EvalConfig {
     /// `(∀x∈X)` rules to candidate sets containing newly derived
     /// elements (experiment E9). Only affects semi-naive evaluation.
     pub forall_trigger_index: bool,
+    /// Retain demand spaces across queries: each cached demand plan
+    /// keeps its adorned/magic relations alive after the fixpoint, and
+    /// a later query with the same plan — a new constant for the same
+    /// adornment, or newly arrived EDB facts — is driven through the
+    /// seeded semi-naive continuation instead of a cold batch re-run,
+    /// making repeated point queries O(new demand) instead of O(reach)
+    /// (experiment E14). `false` restores the per-query cold run
+    /// (clear the demand space, re-derive from scratch) — the E14
+    /// ablation baseline.
+    pub demand_retention: bool,
+    /// Upper bound on the per-session demand plan cache: at most this
+    /// many compiled `(predicate, adornment)` / conjunctive-shape
+    /// plans are kept, least-recently-used plans evicted beyond it
+    /// (their adorned/magic relation slots are reclaimed, and any
+    /// retained fixpoint sharing those slots goes cold). Values below
+    /// 1 are treated as 1.
+    pub demand_plan_cache: usize,
 }
 
 impl Default for EvalConfig {
@@ -62,6 +79,8 @@ impl Default for EvalConfig {
             set_universe: SetUniverse::Reject,
             max_iterations: 100_000,
             forall_trigger_index: true,
+            demand_retention: true,
+            demand_plan_cache: 64,
         }
     }
 }
@@ -110,6 +129,15 @@ pub struct EvalStats {
     /// grouping reachable from the query predicate, or an unplannable
     /// rewrite — and fell back to full materialization.
     pub demand_fallbacks: usize,
+    /// Demand queries answered from a *retained* demand space: the
+    /// plan's relations already held a completed fixpoint, and the new
+    /// seed (or newly arrived EDB facts) was driven through the seeded
+    /// semi-naive continuation instead of a cold batch re-run (E14).
+    /// Includes no-op continuations (a repeated identical query).
+    pub demand_continuations: usize,
+    /// Demand plans evicted from the bounded plan cache during this
+    /// pass (their adorned/magic relation slots were reclaimed).
+    pub plans_evicted: usize,
 }
 
 impl EvalStats {
@@ -128,6 +156,8 @@ impl EvalStats {
         self.adornments_compiled += other.adornments_compiled;
         self.magic_facts_seeded += other.magic_facts_seeded;
         self.demand_fallbacks += other.demand_fallbacks;
+        self.demand_continuations += other.demand_continuations;
+        self.plans_evicted += other.plans_evicted;
     }
 }
 
@@ -142,6 +172,8 @@ mod tests {
         assert_eq!(c.set_universe, SetUniverse::Reject);
         assert!(c.forall_trigger_index);
         assert!(c.max_iterations > 0);
+        assert!(c.demand_retention, "retained demand spaces are the default");
+        assert!(c.demand_plan_cache >= 1, "the plan cache is never empty");
     }
 
     #[test]
@@ -160,6 +192,8 @@ mod tests {
             adornments_compiled: 3,
             magic_facts_seeded: 1,
             demand_fallbacks: 0,
+            demand_continuations: 1,
+            plans_evicted: 0,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -175,6 +209,8 @@ mod tests {
             adornments_compiled: 2,
             magic_facts_seeded: 2,
             demand_fallbacks: 1,
+            demand_continuations: 2,
+            plans_evicted: 1,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -187,5 +223,7 @@ mod tests {
         assert_eq!(a.adornments_compiled, 5);
         assert_eq!(a.magic_facts_seeded, 3);
         assert_eq!(a.demand_fallbacks, 1);
+        assert_eq!(a.demand_continuations, 3);
+        assert_eq!(a.plans_evicted, 1);
     }
 }

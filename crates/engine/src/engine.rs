@@ -5,6 +5,19 @@
 //! drivers with them, re-running only from the lowest affected stratum
 //! onward over the retained relations instead of recomputing the model
 //! from scratch.
+//!
+//! Demand-driven queries get the same treatment: each cached magic-set
+//! plan keeps its adorned/magic relations *retained* across queries
+//! ([`EvalConfig::demand_retention`]), so a repeated point query is a
+//! pure read, a new constant for a known adornment seeds one magic
+//! fact and continues semi-naive from the retained fixpoint, and newly
+//! arrived EDB facts drive the same continuation — repeated queries
+//! cost O(new demand), not O(reach). The plan cache itself is LRU-
+//! bounded ([`EvalConfig::demand_plan_cache`]); evicting a plan
+//! reclaims its relation slots. Conjunctive goals join in through a
+//! goal-shape cache ([`crate::magic::lift_goal`]): rules that differ
+//! only in ground arguments share one plan, the constants arriving as
+//! magic seeds.
 
 use lps_term::{setops, FxHashMap, FxHashSet, TermId, TermStore, Value};
 
@@ -52,6 +65,11 @@ struct Prepared {
     policy: SetUniverse,
 }
 
+/// Key of the demand plan cache: the queried predicate (or the
+/// dedicated shape predicate of a conjunctive goal) and the bound-
+/// position mask.
+type PlanKey = (PredId, ColMask);
+
 /// One entry of the per-adornment demand plan cache.
 #[derive(Debug)]
 enum QueryEntry {
@@ -64,7 +82,9 @@ enum QueryEntry {
 }
 
 /// A compiled demand plan: the specialized program for one
-/// `(predicate, adornment)` query pattern.
+/// `(predicate, adornment)` query pattern, together with the state of
+/// its *retained* demand space (the adorned/magic relations kept alive
+/// across queries under [`EvalConfig::demand_retention`]).
 #[derive(Debug)]
 struct QueryPlan {
     program: CompiledProgram,
@@ -73,13 +93,42 @@ struct QueryPlan {
     magic_seed: Option<PredId>,
     /// The adorned query predicate holding the answers.
     answer: PredId,
-    /// Adorned + magic predicates — the relation space cleared before
-    /// each derivation.
+    /// Adorned + magic predicates — the relation space a cold run
+    /// clears before deriving (and a warm continuation retains).
     space: Vec<PredId>,
     /// The magic subset of `space` (demand-seed statistics).
     magic_preds: Vec<PredId>,
     /// `(pred, adornment)` pairs the rewrite compiled.
     adornments: usize,
+    /// Every predicate whose `full` relation the retained fixpoint
+    /// depends on: the rewrite's own space plus every original
+    /// predicate its rules read (EDB bridges, base literals).
+    tracked: Vec<PredId>,
+    /// Whether `space` currently holds a completed fixpoint for the
+    /// seeds accumulated in the magic relations. Goes false whenever
+    /// anything outside a plan-driven run touches those relations — a
+    /// batch rebuild, another plan's cold run or eviction clearing a
+    /// shared sub-space, a facts reset.
+    live: bool,
+    /// Per-[`QueryPlan::tracked`] `full`-relation length at the last
+    /// completed fixpoint: rows past the snapshot are the next
+    /// continuation's seed set.
+    base_lens: Vec<u32>,
+    /// Interned-set count at the last completed fixpoint (baseline for
+    /// universe-growth triggers, mirroring the incremental update
+    /// path).
+    sets_base: usize,
+}
+
+impl QueryPlan {
+    /// The retained-fixpoint baseline length for `p` (0 for untracked
+    /// predicates — only reachable when a plan was never live).
+    fn base_len(&self, p: PredId) -> u32 {
+        self.tracked
+            .iter()
+            .position(|&q| q == p)
+            .map_or(0, |i| self.base_lens[i])
+    }
 }
 
 /// How a query was answered. See [`Engine::query`].
@@ -99,13 +148,135 @@ pub enum QueryPath {
 /// Answers of an [`Engine::query`] or [`Engine::query_rule`] call.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
-    /// The matching tuples, as owned interned-term rows.
-    pub rows: Vec<Vec<TermId>>,
+    /// The matching tuples, as one flat owned row set.
+    pub rows: RowSet,
     /// Which pipeline produced them.
     pub path: QueryPath,
     /// Work this call performed (zeroed by pure model reads).
     pub stats: EvalStats,
 }
+
+/// Owned answer rows of one query, stored flat (arity-strided): one
+/// allocation for the whole answer set instead of one `Vec` per row,
+/// so reading a thousand-row answer out of a retained demand space
+/// costs a memcpy, not a thousand mallocs — the query-path counterpart
+/// of the arena-backed [`Relation`] storage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowSet {
+    arity: usize,
+    count: usize,
+    flat: Vec<TermId>,
+}
+
+impl RowSet {
+    /// Empty row set for rows of `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        RowSet {
+            arity,
+            count: 0,
+            flat: Vec::new(),
+        }
+    }
+
+    /// Append one row (length must equal the arity; zero-arity rows —
+    /// the "yes" answers of ground goals — are counted without
+    /// storage).
+    pub fn push(&mut self, row: &[TermId]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.flat.extend_from_slice(row);
+        self.count += 1;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Columns per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Row at `i`.
+    pub fn row(&self, i: usize) -> &[TermId] {
+        debug_assert!(i < self.count);
+        &self.flat[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate over the rows.
+    pub fn iter(&self) -> RowSetIter<'_> {
+        RowSetIter { set: self, next: 0 }
+    }
+
+    /// The rows as owned per-row vectors (convenient for sorting and
+    /// comparing in tests; the flat form is the cheap one).
+    pub fn to_vecs(&self) -> Vec<Vec<TermId>> {
+        self.iter().map(<[_]>::to_vec).collect()
+    }
+
+    /// [`RowSet::to_vecs`], sorted.
+    pub fn sorted(&self) -> Vec<Vec<TermId>> {
+        let mut rows = self.to_vecs();
+        rows.sort();
+        rows
+    }
+}
+
+impl std::ops::Index<usize> for RowSet {
+    type Output = [TermId];
+
+    fn index(&self, i: usize) -> &[TermId] {
+        self.row(i)
+    }
+}
+
+impl PartialEq<Vec<Vec<TermId>>> for RowSet {
+    fn eq(&self, other: &Vec<Vec<TermId>>) -> bool {
+        self.count == other.len() && self.iter().zip(other).all(|(a, b)| a == b.as_slice())
+    }
+}
+
+impl<'a> IntoIterator for &'a RowSet {
+    type Item = &'a [TermId];
+    type IntoIter = RowSetIter<'a>;
+
+    fn into_iter(self) -> RowSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Borrowing row iterator of a [`RowSet`].
+#[derive(Clone, Debug)]
+pub struct RowSetIter<'a> {
+    set: &'a RowSet,
+    next: usize,
+}
+
+impl<'a> Iterator for RowSetIter<'a> {
+    type Item = &'a [TermId];
+
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if self.next < self.set.count {
+            let row = self.set.row(self.next);
+            self.next += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.set.count - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RowSetIter<'_> {}
 
 /// An evaluation session over a program's rules and facts.
 ///
@@ -186,10 +357,23 @@ pub struct Engine {
     state: EngineState,
     prepared: Option<Prepared>,
     /// Per-adornment demand plans: the magic-rewritten, compiled
-    /// program for each `(pred, bound-mask)` query pattern seen.
-    /// Invalidated with `prepared` on rule changes, and on universe
+    /// program for each `(pred, bound-mask)` query pattern seen
+    /// (conjunctive goals enter under their dedicated shape
+    /// predicate). Bounded by [`EvalConfig::demand_plan_cache`];
+    /// invalidated with `prepared` on rule changes, and on universe
     /// policy changes.
-    query_plans: FxHashMap<(PredId, ColMask), QueryEntry>,
+    query_plans: FxHashMap<PlanKey, QueryEntry>,
+    /// LRU order over `query_plans` keys, least-recently-used first.
+    query_lru: Vec<PlanKey>,
+    /// Conjunctive goal shapes ([`magic::goal_shape_key`]) → the
+    /// dedicated `query#shape#…` head predicate registered for the
+    /// shape. Survives plan eviction (it is pure naming); the plans
+    /// themselves live in `query_plans`. Note the *relation memory* of
+    /// evicted shapes is reclaimed, but this map and the registry
+    /// entries each shape registers grow with the number of distinct
+    /// shapes ever queried — predicate ids are positional and cannot
+    /// be recycled today (registry slot recycling is a ROADMAP item).
+    conj_shapes: FxHashMap<String, PredId>,
     /// The universe policy the cached query plans were compiled under.
     query_policy: SetUniverse,
     /// Interned-set count at the last completed materialization (the
@@ -223,6 +407,8 @@ impl Engine {
             state: EngineState::Unprepared,
             prepared: None,
             query_plans: FxHashMap::default(),
+            query_lru: Vec::new(),
+            conj_shapes: FxHashMap::default(),
             query_policy: config.set_universe,
             sets_at_materialize: 0,
             config_at_materialize: config,
@@ -379,7 +565,7 @@ impl Engine {
         // The next run restratifies, recompiles, and rebuilds the
         // model from the EDB; the next query re-derives its rewrite.
         self.prepared = None;
-        self.query_plans.clear();
+        self.clear_query_plans();
         self.state = EngineState::Unprepared;
         Ok(())
     }
@@ -429,11 +615,18 @@ impl Engine {
     }
 
     /// Drop all facts — EDB, pending deltas, and the materialized
-    /// model — while keeping the rules and their compiled plans. The
-    /// session returns to [`EngineState::Prepared`] (or
+    /// model — while keeping the rules and their compiled *batch*
+    /// plans. The session returns to [`EngineState::Prepared`] (or
     /// [`EngineState::Unprepared`] if it was never prepared), so the
     /// next run skips restratification and recompilation.
+    ///
+    /// Demand plans are routed through the eviction path
+    /// ([`Engine::clear_query_plans`]): their retained fixpoints are
+    /// invalid without the facts, and dropping them reclaims the
+    /// adorned/magic relation slots — a long session alternating
+    /// `reset` and queries must not accumulate demand-space memory.
     pub fn reset_facts(&mut self) {
+        self.clear_query_plans();
         for i in 0..self.preds.len() {
             self.edb[i].clear();
             self.full[i].clear();
@@ -448,6 +641,23 @@ impl Engine {
         };
     }
 
+    /// Evict every cached demand plan, reclaiming the memory of their
+    /// adorned/magic relations (the predicate registry entries stay —
+    /// recompiling the same shape reuses the same slots). Returns the
+    /// number of plans dropped. Called by [`Engine::reset_facts`], on
+    /// rule and universe-policy changes, and available to hosts that
+    /// want to bound a long-lived session explicitly.
+    pub fn clear_query_plans(&mut self) -> usize {
+        let keys: Vec<PlanKey> = self.query_lru.drain(..).collect();
+        let n = keys.len();
+        for key in keys {
+            self.evict_plan(key);
+        }
+        debug_assert!(self.query_plans.is_empty(), "every plan is LRU-listed");
+        self.query_plans.clear();
+        n
+    }
+
     /// Answer `pred(args…)` — `Some` is a bound (ground) argument,
     /// `None` a free one — without materializing the full model when
     /// possible.
@@ -459,10 +669,17 @@ impl Engine {
     /// pipeline and cached per `(pred, adornment)` — so repeated point
     /// queries with different constants reuse the plan and pay only
     /// for seeding one magic fact and deriving the tuples their
-    /// binding can reach. When the rewrite is inapplicable (negation
-    /// or grouping reachable from the query, or an unplannable
-    /// rewrite) the engine soundly falls back to full materialization
-    /// and filters, counting [`EvalStats::demand_fallbacks`].
+    /// binding can reach. Under [`EvalConfig::demand_retention`]
+    /// (default) the plan's demand space is *retained* between
+    /// queries: a repeat is a zero-work read, and a new seed or new
+    /// EDB facts continue the semi-naive fixpoint from the retained
+    /// relations ([`EvalStats::demand_continuations`]) instead of
+    /// re-deriving. The cache is LRU-bounded by
+    /// [`EvalConfig::demand_plan_cache`]. When the rewrite is
+    /// inapplicable (negation or grouping reachable from the query, or
+    /// an unplannable rewrite) the engine soundly falls back to full
+    /// materialization and filters, counting
+    /// [`EvalStats::demand_fallbacks`].
     ///
     /// On a session that already holds a materialized model, the query
     /// answers from it directly (reconciling pending facts through the
@@ -532,36 +749,27 @@ impl Engine {
 
         self.materialize_universe()?;
         let mask = magic::adornment_of(args);
-        self.refresh_query_cache_policy();
-        let fresh = !self.query_plans.contains_key(&(pred, mask));
+        let mut evicted = self.refresh_query_cache_policy();
+        let key = (pred, mask);
+        let fresh = !self.query_plans.contains_key(&key);
         if fresh {
             let entry = self.compile_query_plan(pred, mask);
-            self.query_plans.insert((pred, mask), entry);
+            evicted += self.insert_query_plan(key, entry);
+        } else {
+            self.touch_query_plan(key);
         }
-        if matches!(self.query_plans[&(pred, mask)], QueryEntry::Fallback) {
-            return self.query_fallback(pred, args);
+        if matches!(self.query_plans[&key], QueryEntry::Fallback) {
+            return self.query_fallback(pred, args, evicted);
         }
 
         self.sync_edb_to_full();
-        let plan = match &self.query_plans[&(pred, mask)] {
-            QueryEntry::Demand(p) => p,
-            QueryEntry::Fallback => unreachable!("handled above"),
-        };
         let seed_tuple: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
-        let mut stats = run_demand_program(
-            &mut self.store,
-            &mut self.full,
-            &mut self.delta,
-            &self.config,
-            &plan.program,
-            &plan.space,
-            &plan.magic_preds,
-            plan.magic_seed.map(|m| (m, seed_tuple.as_slice())),
-        )?;
+        let (mut stats, answer, adornments) = self.run_plan(key, &seed_tuple)?;
+        stats.plans_evicted = evicted;
         if fresh {
-            stats.adornments_compiled = plan.adornments;
+            stats.adornments_compiled = adornments;
         }
-        let rows = self.filter_rows(plan.answer, args);
+        let rows = self.lookup_rows(answer, mask, &seed_tuple, 0);
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -575,15 +783,21 @@ impl Engine {
     /// conjunctive query like `?- p(X), q(X, {a}).`: the head collects
     /// the answer variables, the body is the goal conjunction. The
     /// head predicate must be dedicated to queries (not defined or
-    /// loaded by the program); its relation is cleared on every call.
+    /// loaded by the program).
     ///
-    /// Demand evaluation appends the rule to the program and rewrites
-    /// from its head with the all-free adornment: ground arguments
-    /// inside body literals become magic seed facts, so
-    /// `?- path(a, X), color(X, blue)` derives only from `a` onward.
-    /// Plans are *not* cached across calls (the rule itself varies);
-    /// the non-monotone fallback discipline of [`Engine::query`]
-    /// applies unchanged.
+    /// Demand evaluation canonicalizes the goal to its *shape* — the
+    /// rule modulo top-level ground arguments of positive literals,
+    /// which lift into bound head columns ([`magic::lift_goal`]) — and
+    /// caches the magic-set plan per shape, so `?- path(a, X)` and
+    /// `?- path(b, X)` written as conjunctive goals share one compiled
+    /// plan and differ only in the magic seed tuple, exactly like
+    /// point queries sharing a `(pred, adornment)` plan. Ground
+    /// arguments thus still root the derivation: `?- path(a, X),
+    /// color(X, blue)` derives only from `a` onward. The shared plan
+    /// participates in the LRU bound and — under
+    /// [`EvalConfig::demand_retention`] — keeps its demand space
+    /// retained across calls. The non-monotone fallback discipline of
+    /// [`Engine::query`] applies unchanged.
     pub fn query_rule(&mut self, rule: Rule) -> Result<QueryResult, EngineError> {
         if rule.head_args.len() != self.preds.info(rule.head).arity {
             return Err(EngineError::ArityMismatch {
@@ -601,13 +815,83 @@ impl Engine {
             self.last_stats = stats;
             self.cumulative_stats.absorb(extra);
             return Ok(QueryResult {
-                rows: self.rows(rule.head).map(<[_]>::to_vec).collect(),
+                rows: self.collect_rows(rule.head),
                 path: QueryPath::Materialized,
                 stats,
             });
         }
 
         self.materialize_universe()?;
+        let mut evicted = self.refresh_query_cache_policy();
+        let lifted = magic::lift_goal(&rule);
+        let k = lifted.consts.len();
+        if k + rule.head_args.len() >= ColMask::BITS as usize {
+            // Too many columns for an adornment mask: evaluate the
+            // goal one-shot through the uncached pipeline.
+            return self.query_rule_oneshot(rule);
+        }
+        let shape = match self.conj_shapes.get(&lifted.key) {
+            Some(&p) => p,
+            None => {
+                let name = format!("query#shape#{}", self.conj_shapes.len());
+                let p = self.pred(&name, k + rule.head_args.len());
+                self.conj_shapes.insert(lifted.key.clone(), p);
+                p
+            }
+        };
+        let mask: ColMask = (1u32 << k) - 1;
+        let key = (shape, mask);
+        let fresh = !self.query_plans.contains_key(&key);
+        if fresh {
+            let mut canonical = lifted.rule;
+            canonical.head = shape;
+            let entry = self.compile_conj_plan(canonical, shape, mask);
+            evicted += self.insert_query_plan(key, entry);
+        } else {
+            self.touch_query_plan(key);
+        }
+        if matches!(self.query_plans[&key], QueryEntry::Fallback) {
+            // Non-monotone goal (or unplannable rewrite): materialize
+            // (self-accounting, as above), then evaluate the original
+            // query rule over the model.
+            let mut stats = self.run_batch()?;
+            let mut extra = self.eval_single_rule(&rule)?;
+            extra.demand_fallbacks = 1;
+            extra.plans_evicted = evicted;
+            stats.absorb(extra);
+            self.last_stats = stats;
+            self.cumulative_stats.absorb(extra);
+            return Ok(QueryResult {
+                rows: self.collect_rows(rule.head),
+                path: QueryPath::Fallback,
+                stats,
+            });
+        }
+
+        self.sync_edb_to_full();
+        let (mut stats, answer, adornments) = self.run_plan(key, &lifted.consts)?;
+        stats.plans_evicted = evicted;
+        if fresh {
+            stats.adornments_compiled = adornments;
+        }
+        // The retained adorned relation accumulates every seed's
+        // answers; this call's rows are those whose seed columns match
+        // its constants (an indexed lookup), seed columns stripped.
+        let rows = self.lookup_rows(answer, mask, &lifted.consts, k);
+        self.last_stats = stats;
+        self.cumulative_stats.absorb(stats);
+        Ok(QueryResult {
+            rows,
+            path: QueryPath::Demand,
+            stats,
+        })
+    }
+
+    /// The pre-cache conjunctive pipeline: append the goal rule to the
+    /// program, rewrite from its head all-free, compile and run
+    /// one-shot. Kept for goals too wide for an adornment mask (more
+    /// seed constants plus answer columns than mask bits).
+    fn query_rule_oneshot(&mut self, rule: Rule) -> Result<QueryResult, EngineError> {
         let mut all_rules = self.rules.clone();
         let head = rule.head;
         all_rules.push(rule.clone());
@@ -620,9 +904,6 @@ impl Engine {
                     .map(|program| (mp, program)),
             };
         let Some((mp, program)) = rewritten else {
-            // Non-monotone goal (or unplannable rewrite): materialize
-            // (self-accounting, as above), then evaluate the query
-            // rule over the model.
             let mut stats = self.run_batch()?;
             let mut extra = self.eval_single_rule(&rule)?;
             extra.demand_fallbacks = 1;
@@ -630,12 +911,15 @@ impl Engine {
             self.last_stats = stats;
             self.cumulative_stats.absorb(extra);
             return Ok(QueryResult {
-                rows: self.rows(head).map(<[_]>::to_vec).collect(),
+                rows: self.collect_rows(head),
                 path: QueryPath::Fallback,
                 stats,
             });
         };
 
+        // A one-shot space is never retained: any plan whose fixpoint
+        // it clears out from under must go cold.
+        self.invalidate_overlapping(&mp.space);
         self.full[head.index()].clear();
         self.delta[head.index()].clear();
         self.sync_edb_to_full();
@@ -648,9 +932,10 @@ impl Engine {
             &mp.space,
             &mp.magic_preds,
             None,
+            true,
         )?;
         stats.adornments_compiled = mp.adornments;
-        let rows: Vec<Vec<TermId>> = self.rows(mp.answer).map(<[_]>::to_vec).collect();
+        let rows = self.collect_rows(mp.answer);
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -661,16 +946,22 @@ impl Engine {
     }
 
     /// Fallback query evaluation: materialize the full model once,
-    /// then filter the predicate's extension.
+    /// then filter the predicate's extension. `evicted` carries plan
+    /// evictions the caller's cache maintenance performed on the way
+    /// here, so they stay visible in the pass counters.
     fn query_fallback(
         &mut self,
         pred: PredId,
         args: &[Option<TermId>],
+        evicted: usize,
     ) -> Result<QueryResult, EngineError> {
         let mut stats = self.run_batch()?;
         stats.demand_fallbacks = 1;
+        stats.plans_evicted += evicted;
         self.last_stats.demand_fallbacks += 1;
+        self.last_stats.plans_evicted += evicted;
         self.cumulative_stats.demand_fallbacks += 1;
+        self.cumulative_stats.plans_evicted += evicted;
         Ok(QueryResult {
             rows: self.filter_rows(pred, args),
             path: QueryPath::Fallback,
@@ -690,15 +981,243 @@ impl Engine {
                 MagicOutcome::Rewritten(mp) => mp,
             };
         match self.compile_rewritten(&mp.rules) {
-            Ok(program) => QueryEntry::Demand(Box::new(QueryPlan {
-                program,
-                magic_seed: mp.magic_seed,
-                answer: mp.answer,
-                space: mp.space,
-                magic_preds: mp.magic_preds,
-                adornments: mp.adornments,
-            })),
+            Ok(program) => QueryEntry::Demand(Box::new(make_plan(program, mp))),
             Err(_) => QueryEntry::Fallback,
+        }
+    }
+
+    /// Compile the demand plan for one conjunctive goal shape: the
+    /// canonical rule (head grafted onto the dedicated shape
+    /// predicate) joins the program and the rewrite roots at it with
+    /// the lifted-constant columns bound.
+    fn compile_conj_plan(&mut self, canonical: Rule, shape: PredId, mask: ColMask) -> QueryEntry {
+        let mut all = self.rules.clone();
+        all.push(canonical);
+        let mp = match magic::magic_rewrite(&all, shape, mask, &mut self.store, &mut self.preds) {
+            MagicOutcome::Obstructed(_) => return QueryEntry::Fallback,
+            MagicOutcome::Rewritten(mp) => mp,
+        };
+        match self.compile_rewritten(&mp.rules) {
+            Ok(program) => QueryEntry::Demand(Box::new(make_plan(program, mp))),
+            Err(_) => QueryEntry::Fallback,
+        }
+    }
+
+    /// Run the cached demand plan under `key` — cold or as a seeded
+    /// continuation over its retained space — and return the pass
+    /// statistics plus the plan's answer predicate and adornment
+    /// count. The plan is taken out of the cache for the duration so
+    /// the engine's relation vectors stay freely borrowable.
+    fn run_plan(
+        &mut self,
+        key: PlanKey,
+        seed: &[TermId],
+    ) -> Result<(EvalStats, PredId, usize), EngineError> {
+        let Some(QueryEntry::Demand(mut plan)) = self.query_plans.remove(&key) else {
+            unreachable!("run_plan is called on a cached demand entry");
+        };
+        let result = self.drive_plan(&mut plan, seed);
+        let answer = plan.answer;
+        let adornments = plan.adornments;
+        self.query_plans.insert(key, QueryEntry::Demand(plan));
+        result.map(|stats| (stats, answer, adornments))
+    }
+
+    /// Reach the plan's fixpoint for the current seeds and EDB. Three
+    /// regimes:
+    ///
+    /// * **warm** (retention on, space live): seeded semi-naive
+    ///   continuation over the retained relations, driven by exactly
+    ///   the new tuples — O(new demand);
+    /// * **rebase** (retention on, space not live — fresh compile, or
+    ///   invalidated by a batch rebuild / eviction of a shared
+    ///   sub-space): batch evaluation over the space *without*
+    ///   clearing it. Demand-space contents are always sound (they
+    ///   were derived by the monotone rewrite from seeds and an
+    ///   append-only EDB, or reset to empty), so re-running to
+    ///   fixpoint from them is exact — and not clearing means sibling
+    ///   plans sharing a sub-adornment stay live instead of
+    ///   ping-ponging each other cold;
+    /// * **cold** (retention off): clear the space and re-derive from
+    ///   scratch — the pre-retention semantics, kept as the E14
+    ///   ablation baseline. Clearing invalidates any retained sibling.
+    ///
+    /// On success under retention the plan records the new baseline
+    /// (relation lengths and set count) and is live.
+    fn drive_plan(
+        &mut self,
+        plan: &mut QueryPlan,
+        seed: &[TermId],
+    ) -> Result<EvalStats, EngineError> {
+        let seed = plan.magic_seed.map(|m| (m, seed));
+        let retain = self.config.demand_retention;
+        let warm = retain && plan.live;
+        plan.live = false;
+        let stats = if warm {
+            self.continue_plan(plan, seed)?
+        } else {
+            if !retain {
+                self.invalidate_overlapping(&plan.space);
+            }
+            run_demand_program(
+                &mut self.store,
+                &mut self.full,
+                &mut self.delta,
+                &self.config,
+                &plan.program,
+                &plan.space,
+                &plan.magic_preds,
+                seed,
+                !retain,
+            )?
+        };
+        if retain {
+            plan.live = true;
+            plan.base_lens = plan
+                .tracked
+                .iter()
+                .map(|p| self.full[p.index()].len() as u32)
+                .collect();
+            plan.sets_base = self.store.set_ids().len();
+        }
+        Ok(stats)
+    }
+
+    /// Seeded semi-naive continuation over a retained demand space:
+    /// plant the (possibly duplicate) magic seed, find every tracked
+    /// relation that grew past the plan's baseline — the new seed plus
+    /// newly synced EDB facts — and re-run from the lowest affected
+    /// stratum with the deltas seeded from exactly those rows,
+    /// mirroring [`Engine::update_incremental`]. The rewritten program
+    /// is monotone by construction (the obstruction check excluded
+    /// negation and grouping), so the continuation is always sound.
+    fn continue_plan(
+        &mut self,
+        plan: &QueryPlan,
+        seed: Option<(PredId, &[TermId])>,
+    ) -> Result<EvalStats, EngineError> {
+        let mut stats = EvalStats {
+            demand_continuations: 1,
+            ..EvalStats::default()
+        };
+        for &(p, m, is_delta) in &plan.program.index_requests {
+            self.full[p.index()].ensure_index(m);
+            if is_delta {
+                self.delta[p.index()].ensure_index(m);
+            }
+        }
+        if let Some((magic, tuple)) = seed {
+            if self.full[magic.index()].insert(tuple) {
+                stats.facts_derived += 1;
+                stats.magic_facts_seeded += 1;
+            }
+        }
+        let changed: Vec<PredId> = plan
+            .tracked
+            .iter()
+            .copied()
+            .filter(|&p| self.full[p.index()].len() as u32 > plan.base_len(p))
+            .collect();
+        let universe_grew = self.store.set_ids().len() > plan.sets_base;
+        debug_assert!(
+            plan.program.max_nonmono_stratum.is_none(),
+            "demand rewrites are monotone"
+        );
+        if let Some(s0) = plan.program.restart_stratum(changed, universe_grew) {
+            let sets_baseline = plan.sets_base;
+            for s in s0..plan.program.strat.num_strata {
+                for d in self.delta.iter_mut() {
+                    d.clear();
+                }
+                for &p in plan.program.strat.reads(s) {
+                    let i = p.index();
+                    for r in plan.base_len(p)..self.full[i].len() as u32 {
+                        let tuple = self.full[i].row(r);
+                        self.delta[i].insert(tuple);
+                    }
+                }
+                let stratum_stats = run_stratum(
+                    &mut self.store,
+                    &mut self.full,
+                    &mut self.delta,
+                    &plan.program.regular(s),
+                    &[],
+                    &self.config,
+                    StratumStart::Seeded { sets_baseline },
+                )?;
+                stats.absorb(stratum_stats);
+            }
+            for d in self.delta.iter_mut() {
+                d.clear();
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Mark the plan cache entry most recently used.
+    fn touch_query_plan(&mut self, key: PlanKey) {
+        if let Some(pos) = self.query_lru.iter().position(|&k| k == key) {
+            let k = self.query_lru.remove(pos);
+            self.query_lru.push(k);
+        }
+    }
+
+    /// Insert a freshly compiled entry and evict least-recently-used
+    /// plans beyond [`EvalConfig::demand_plan_cache`] (clamped to ≥ 1).
+    /// Returns the number of plans evicted.
+    fn insert_query_plan(&mut self, key: PlanKey, entry: QueryEntry) -> usize {
+        self.query_plans.insert(key, entry);
+        self.query_lru.push(key);
+        let bound = self.config.demand_plan_cache.max(1);
+        let mut evicted = 0;
+        while self.query_lru.len() > bound {
+            let victim = self.query_lru.remove(0);
+            self.evict_plan(victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drop one cached plan, reclaiming the memory of its
+    /// adorned/magic relations. Any other retained fixpoint reading
+    /// one of the reclaimed relations (plans can share demanded
+    /// sub-adornments) goes cold and re-derives on its next use.
+    fn evict_plan(&mut self, key: PlanKey) {
+        let Some(entry) = self.query_plans.remove(&key) else {
+            return;
+        };
+        if let Some(pos) = self.query_lru.iter().position(|&k| k == key) {
+            self.query_lru.remove(pos);
+        }
+        if let QueryEntry::Demand(plan) = entry {
+            for &p in &plan.space {
+                let arity = self.preds.info(p).arity;
+                self.full[p.index()] = Relation::new(arity);
+                self.delta[p.index()] = Relation::new(arity);
+            }
+            self.invalidate_overlapping(&plan.space);
+        }
+    }
+
+    /// Put every retained fixpoint that reads one of `cleared`'s
+    /// relations back to cold: its next query re-derives from scratch.
+    fn invalidate_overlapping(&mut self, cleared: &[PredId]) {
+        for entry in self.query_plans.values_mut() {
+            if let QueryEntry::Demand(plan) = entry {
+                if plan.live && plan.tracked.iter().any(|p| cleared.contains(p)) {
+                    plan.live = false;
+                }
+            }
+        }
+    }
+
+    /// Put every retained demand fixpoint back to cold (a batch run
+    /// rebuilt the relation vectors out from under them).
+    fn invalidate_retained_spaces(&mut self) {
+        for entry in self.query_plans.values_mut() {
+            if let QueryEntry::Demand(plan) = entry {
+                plan.live = false;
+            }
         }
     }
 
@@ -759,12 +1278,22 @@ impl Engine {
     }
 
     /// Drop the per-adornment plan cache when the universe policy it
-    /// was compiled under changed.
-    fn refresh_query_cache_policy(&mut self) {
+    /// was compiled under changed, and enforce a shrunken cache bound.
+    /// Returns the number of bound-shrink evictions (policy-change
+    /// clears recompile everything and are not eviction-counted).
+    fn refresh_query_cache_policy(&mut self) -> usize {
         if self.query_policy != self.config.set_universe {
-            self.query_plans.clear();
+            self.clear_query_plans();
             self.query_policy = self.config.set_universe;
         }
+        let bound = self.config.demand_plan_cache.max(1);
+        let mut evicted = 0;
+        while self.query_lru.len() > bound {
+            let victim = self.query_lru.remove(0);
+            self.evict_plan(victim);
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Bring extensional facts into the shared `full` relations
@@ -802,14 +1331,44 @@ impl Engine {
         }
     }
 
-    /// The rows of `pred` matching the bound positions of `args`, as
-    /// owned tuples.
-    fn filter_rows(&self, pred: PredId, args: &[Option<TermId>]) -> Vec<Vec<TermId>> {
-        self.full[pred.index()]
-            .iter()
-            .filter(|row| row.iter().zip(args).all(|(v, a)| a.is_none_or(|g| g == *v)))
-            .map(<[_]>::to_vec)
-            .collect()
+    /// The rows of `pred` matching the bound positions, as one flat
+    /// [`RowSet`] — via an on-demand index over the bound columns, so
+    /// retrieval out of a large (retained) relation is O(matching
+    /// rows), not O(relation). `mask`/`key` are the bound positions
+    /// and values in ascending column order; the first `skip` columns
+    /// of each row are dropped (the lifted seed columns of conjunctive
+    /// answers).
+    fn lookup_rows(&mut self, pred: PredId, mask: ColMask, key: &[TermId], skip: usize) -> RowSet {
+        let mut out = RowSet::new(self.preds.info(pred).arity - skip);
+        if mask == 0 {
+            for row in self.full[pred.index()].iter() {
+                out.push(&row[skip..]);
+            }
+            return out;
+        }
+        self.full[pred.index()].ensure_index(mask);
+        let rel = &self.full[pred.index()];
+        for &r in rel.lookup(mask, key) {
+            out.push(&rel.row(r)[skip..]);
+        }
+        out
+    }
+
+    /// [`Engine::lookup_rows`] keyed by an `Option`-per-position
+    /// argument vector.
+    fn filter_rows(&mut self, pred: PredId, args: &[Option<TermId>]) -> RowSet {
+        let mask = magic::adornment_of(args);
+        let key: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
+        self.lookup_rows(pred, mask, &key, 0)
+    }
+
+    /// All rows of `pred` as an owned [`RowSet`].
+    fn collect_rows(&self, pred: PredId) -> RowSet {
+        let mut out = RowSet::new(self.preds.info(pred).arity);
+        for row in self.rows(pred) {
+            out.push(row);
+        }
+        out
     }
 
     /// Materialize the bounded powerset universe if configured. Run
@@ -878,6 +1437,9 @@ impl Engine {
     fn run_batch(&mut self) -> Result<EvalStats, EngineError> {
         self.materialize_universe()?;
         self.prepare()?;
+        // The rebuild below resets every relation — including retained
+        // demand spaces, whose plans must go cold.
+        self.invalidate_retained_spaces();
         let mut stats = EvalStats::default();
 
         // Reset the model to the EDB; loaded facts count as derived
@@ -941,15 +1503,10 @@ impl Engine {
                 .as_ref()
                 .expect("a materialized session is prepared")
                 .program;
-            let mut start = program.strat.lowest_affected(changed.iter().copied());
-            if universe_grew {
-                // New interned sets can re-fire universe-enumerating
-                // rules even below the lowest fact-affected stratum.
-                start = match (start, program.min_universe_stratum) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-            }
+            // New interned sets can re-fire universe-enumerating rules
+            // even below the lowest fact-affected stratum;
+            // `restart_stratum` folds that in.
+            let start = program.restart_stratum(changed.iter().copied(), universe_grew);
             let fallback =
                 start.is_some_and(|s0| program.max_nonmono_stratum.is_some_and(|m| m >= s0));
             (start, fallback, program.strat.num_strata)
@@ -1071,14 +1628,15 @@ impl Engine {
     }
 }
 
-/// Run one magic-rewritten program to fixpoint: clear its relation
-/// space, satisfy its index requests, plant the explicit magic seed
-/// (if any) and the ground fact rules (counting those that seed magic
-/// predicates), then drive every stratum. Shared by [`Engine::query`]
-/// (cached plans, seed from the query arguments) and
-/// [`Engine::query_rule`] (one-shot plans, seeds inside the rewrite as
-/// fact rules). A free function over the engine's disjoint fields so
-/// callers can keep a borrow on the plan itself.
+/// Run one magic-rewritten program to fixpoint: optionally clear its
+/// relation space (`clear_space` — the retention-off semantics;
+/// retained plans *rebase* over whatever sound rows the space already
+/// holds), satisfy its index requests, plant the explicit magic seed
+/// (if any) and the ground fact rules (counting the real insertions
+/// that seed magic predicates), then drive every stratum. Shared by
+/// [`Engine::query`] / [`Engine::query_rule`] (cached plans) and the
+/// one-shot conjunctive pipeline. A free function over the engine's
+/// disjoint fields so callers can keep a borrow on the plan itself.
 #[allow(clippy::too_many_arguments)]
 fn run_demand_program(
     store: &mut TermStore,
@@ -1089,11 +1647,14 @@ fn run_demand_program(
     space: &[PredId],
     magic_preds: &[PredId],
     seed: Option<(PredId, &[TermId])>,
+    clear_space: bool,
 ) -> Result<EvalStats, EngineError> {
     let mut stats = EvalStats::default();
-    for &p in space {
-        full[p.index()].clear();
-        delta[p.index()].clear();
+    if clear_space {
+        for &p in space {
+            full[p.index()].clear();
+            delta[p.index()].clear();
+        }
     }
     for &(p, m, is_delta) in &program.index_requests {
         full[p.index()].ensure_index(m);
@@ -1102,19 +1663,22 @@ fn run_demand_program(
         }
     }
     if let Some((magic, tuple)) = seed {
+        // Count only real insertions: a duplicate seed (same constant
+        // arriving through a fact rule below, or — on the retained
+        // path — a repeated query) adds no demand.
         if full[magic.index()].insert(tuple) {
             stats.facts_derived += 1;
+            stats.magic_facts_seeded += 1;
         }
-        stats.magic_facts_seeded += 1;
     }
     for &i in &program.fact_rules {
         let cr = &program.compiled[i];
         let tuple: Vec<TermId> = ground_head_tuple(&cr.rule);
         if full[cr.rule.head.index()].insert(&tuple) {
             stats.facts_derived += 1;
-        }
-        if magic_preds.contains(&cr.rule.head) {
-            stats.magic_facts_seeded += 1;
+            if magic_preds.contains(&cr.rule.head) {
+                stats.magic_facts_seeded += 1;
+            }
         }
     }
     for s in 0..program.strat.num_strata {
@@ -1134,6 +1698,33 @@ fn run_demand_program(
         stats.absorb(stratum_stats);
     }
     Ok(stats)
+}
+
+/// Assemble a [`QueryPlan`] from a compiled rewrite: derives the
+/// tracked predicate set (the rewrite's space plus every original
+/// predicate its strata read) that the retained-space baselines are
+/// recorded over. The plan starts cold (`live == false`).
+fn make_plan(program: CompiledProgram, mp: magic::MagicProgram) -> QueryPlan {
+    let mut tracked: Vec<PredId> = mp.space.clone();
+    for s in 0..program.strat.num_strata {
+        for &p in program.strat.reads(s) {
+            if !tracked.contains(&p) {
+                tracked.push(p);
+            }
+        }
+    }
+    QueryPlan {
+        program,
+        magic_seed: mp.magic_seed,
+        answer: mp.answer,
+        space: mp.space,
+        magic_preds: mp.magic_preds,
+        adornments: mp.adornments,
+        tracked,
+        live: false,
+        base_lens: Vec::new(),
+        sets_base: 0,
+    }
 }
 
 /// The ground tuple of a fact rule's head (`is_fact` guarantees it).
@@ -1765,8 +2356,7 @@ mod tests {
         let res = e.query(path, &[Some(ids[2]), None]).unwrap();
         assert_eq!(res.path, QueryPath::Demand);
         assert_ne!(e.state(), EngineState::Materialized);
-        let mut rows = res.rows.clone();
-        rows.sort();
+        let rows = res.rows.sorted();
         assert_eq!(rows, vec![vec![ids[2], ids[3]], vec![ids[2], ids[4]]]);
         // The session never materialized the model: the path relation
         // holds only demand-space tuples, and `full` for `path` is
@@ -1819,13 +2409,11 @@ mod tests {
             let bargs: Vec<Option<TermId>> = (0..2)
                 .map(|i| (args_mask & (1 << i) != 0).then(|| bids[1 + i]))
                 .collect();
-            let mut got = demand.query(dpath, &args).unwrap();
-            let mut want = batch.query(bpath, &bargs).unwrap();
+            let got = demand.query(dpath, &args).unwrap();
+            let want = batch.query(bpath, &bargs).unwrap();
             assert_eq!(got.path, QueryPath::Demand);
             assert_eq!(want.path, QueryPath::Materialized);
-            got.rows.sort();
-            want.rows.sort();
-            assert_eq!(got.rows, want.rows, "mask {args_mask:#b}");
+            assert_eq!(got.rows.sorted(), want.rows.sorted(), "mask {args_mask:#b}");
         }
     }
 
@@ -1930,8 +2518,7 @@ mod tests {
         let res = e.query_rule(goal.clone()).unwrap();
         assert_eq!(res.path, QueryPath::Demand);
         assert!(res.stats.magic_facts_seeded >= 1, "ground arg seeds demand");
-        let mut rows = res.rows.clone();
-        rows.sort();
+        let rows = res.rows.sorted();
         assert_eq!(
             rows,
             vec![
@@ -1942,10 +2529,9 @@ mod tests {
         );
         // Same goal against the materialized model agrees.
         e.run().unwrap();
-        let mut again = e.query_rule(goal).unwrap();
+        let again = e.query_rule(goal).unwrap();
         assert_eq!(again.path, QueryPath::Materialized);
-        again.rows.sort();
-        assert_eq!(again.rows, rows);
+        assert_eq!(again.rows.sorted(), rows);
     }
 
     #[test]
@@ -1978,17 +2564,385 @@ mod tests {
     }
 
     #[test]
-    fn query_after_reset_facts_reuses_plans_on_fresh_facts() {
+    fn query_after_reset_facts_evicts_plans_and_stays_correct() {
+        // `reset_facts` routes demand plans through the eviction path:
+        // their retained fixpoints are meaningless without the facts,
+        // and reclaiming the relation slots is what keeps a long
+        // reset-query-reset session from leaking demand-space memory.
         let (mut e, edge, path, ids) = tc_engine();
         let res = e.query(path, &[Some(ids[0]), None]).unwrap();
         assert_eq!(res.rows.len(), 4);
         e.reset_facts();
         let res = e.query(path, &[Some(ids[0]), None]).unwrap();
-        assert_eq!(res.stats.adornments_compiled, 0, "plan survives reset");
+        assert!(
+            res.stats.adornments_compiled >= 1,
+            "reset evicted the plan; the next query recompiles"
+        );
         assert!(res.rows.is_empty(), "no facts, no answers");
         e.fact(edge, vec![ids[0], ids[3]]).unwrap();
         let res = e.query(path, &[Some(ids[0]), None]).unwrap();
         assert_eq!(res.rows, vec![vec![ids[0], ids[3]]]);
+        assert_eq!(res.stats.adornments_compiled, 0, "plan cached again");
+    }
+
+    #[test]
+    fn retained_demand_space_makes_repeat_queries_free() {
+        let (mut e, _, path, ids) = tc_engine();
+        let first = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(first.rows.len(), 4);
+        assert_eq!(first.stats.demand_continuations, 0, "first run is cold");
+        // Identical query: the retained space already holds the
+        // fixpoint — no seed inserted, no stratum re-run, no facts.
+        let again = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(again.stats.demand_continuations, 1);
+        assert_eq!(again.stats.magic_facts_seeded, 0, "duplicate seed");
+        assert_eq!(again.stats.facts_derived, 0);
+        assert_eq!(again.stats.iterations, 0, "no stratum re-ran");
+        // tc_engine's closure is right-linear, so the first query's
+        // demand cascaded to every suffix node: a later constant in
+        // the cascade is *already* demanded and answered — its seed is
+        // a duplicate (not counted — the E13/E14 invariant) and the
+        // whole query is a no-op read over the retained space.
+        let third = e.query(path, &[Some(ids[2]), None]).unwrap();
+        assert_eq!(third.stats.demand_continuations, 1);
+        assert_eq!(third.stats.magic_facts_seeded, 0, "already demanded");
+        assert_eq!(third.stats.facts_derived, 0);
+        assert_eq!(third.stats.adornments_compiled, 0, "plan reused");
+        let rows = third.rows.sorted();
+        assert_eq!(rows, vec![vec![ids[2], ids[3]], vec![ids[2], ids[4]]]);
+        // Earlier answers are still served, filtered per seed.
+        let back = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(back.rows.len(), 4);
+        assert_eq!(back.stats.facts_derived, 0);
+    }
+
+    /// Left-linear closure engine: `t(X, Z) :- t(X, Y), e(Y, Z)` keeps
+    /// demand at the seed, so distinct constants have disjoint demand
+    /// cones — the orientation where retained spaces show their
+    /// incremental behavior (each new seed derives only its own cone).
+    fn left_linear_engine() -> (Engine, PredId, PredId, Vec<TermId>) {
+        let mut e = Engine::new(EvalConfig::default());
+        let edge = e.pred("edge", 2);
+        let t = e.pred("t", 2);
+        let ids: Vec<TermId> = (0..6)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            t,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            t,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(t, vec![v(0), v(1)]),
+                BodyLit::Pos(edge, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        (e, edge, t, ids)
+    }
+
+    #[test]
+    fn new_seed_continues_over_the_retained_space() {
+        let (mut e, edge, t, ids) = left_linear_engine();
+        let first = e.query(t, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(first.rows.len(), 2, "n3 reaches n4, n5");
+        // A new constant: one fresh seed, a seeded continuation
+        // deriving only the new cone.
+        let second = e.query(t, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(second.stats.demand_continuations, 1);
+        assert_eq!(second.stats.magic_facts_seeded, 1);
+        assert_eq!(second.stats.adornments_compiled, 0);
+        assert_eq!(second.rows.len(), 4, "n1 reaches n2..n5");
+        // The n3 cone survived the continuation: repeating the first
+        // query is still a zero-work read.
+        let repeat = e.query(t, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(repeat.stats.facts_derived, 0);
+        assert_eq!(repeat.rows, first.rows);
+        // A single-fact EDB update flows through as a continuation:
+        // both retained cones extend, nothing is re-derived cold.
+        let x = e.store_mut().atom("x");
+        e.fact(edge, vec![ids[5], x]).unwrap();
+        let updated = e.query(t, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(updated.stats.demand_continuations, 1);
+        assert_eq!(updated.rows.len(), 3, "n3 now also reaches x");
+        assert!(
+            updated.stats.facts_derived <= 4,
+            "only the extension rows derive, not the cones \
+             (got {})",
+            updated.stats.facts_derived
+        );
+        // …and the other cone saw the same extension.
+        let other = e.query(t, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(other.rows.len(), 5, "n1 reaches n2..n5 and x");
+        assert_eq!(other.stats.facts_derived, 0, "already propagated");
+    }
+
+    #[test]
+    fn retained_demand_space_absorbs_new_edb_facts() {
+        let (mut e, edge, path, ids) = tc_engine();
+        let first = e.query(path, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(first.rows, vec![vec![ids[3], ids[4]]]);
+        // A new edge arriving between queries flows through the
+        // seeded continuation, not a cold re-derivation.
+        let x = e.store_mut().atom("x");
+        e.fact(edge, vec![ids[4], x]).unwrap();
+        let again = e.query(path, &[Some(ids[3]), None]).unwrap();
+        assert_eq!(again.stats.demand_continuations, 1);
+        assert_eq!(again.stats.adornments_compiled, 0);
+        let rows = again.rows.sorted();
+        assert_eq!(rows, vec![vec![ids[3], ids[4]], vec![ids[3], x]]);
+        // And the model agrees with a from-scratch engine on the same
+        // enlarged EDB.
+        let (mut fresh, fedge, fpath, fids) = tc_engine();
+        let fx = fresh.store_mut().atom("x");
+        fresh.fact(fedge, vec![fids[4], fx]).unwrap();
+        let want = fresh
+            .query(fpath, &[Some(fids[3]), None])
+            .unwrap()
+            .rows
+            .sorted();
+        assert_eq!(rows, want);
+    }
+
+    #[test]
+    fn retention_off_restores_per_query_cold_runs() {
+        let cfg = EvalConfig {
+            demand_retention: false,
+            ..EvalConfig::default()
+        };
+        let mut e = Engine::new(cfg);
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let ids: Vec<TermId> = (0..5)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+                BodyLit::Pos(path, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        let first = e.query(path, &[Some(ids[0]), None]).unwrap();
+        let again = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(again.stats.demand_continuations, 0, "cold each time");
+        assert!(again.stats.facts_derived > 0, "re-derived from scratch");
+        assert_eq!(again.stats.magic_facts_seeded, 1, "space was cleared");
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_and_rederives_correctly() {
+        let cfg = EvalConfig {
+            demand_plan_cache: 1,
+            ..EvalConfig::default()
+        };
+        let mut e = Engine::new(cfg);
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let ids: Vec<TermId> = (0..5)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+                BodyLit::Pos(path, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        let bf = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(bf.rows.len(), 4);
+        assert_eq!(bf.stats.plans_evicted, 0, "cache holds one plan");
+        // The fb adornment evicts the bf plan (bound 1)…
+        let fb = e.query(path, &[None, Some(ids[4])]).unwrap();
+        assert_eq!(fb.rows.len(), 4);
+        assert_eq!(fb.stats.plans_evicted, 1);
+        assert!(fb.stats.adornments_compiled >= 1);
+        // …and re-querying bf recompiles and re-derives — never serves
+        // rows out of a reclaimed space.
+        let bf2 = e.query(path, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(bf2.stats.plans_evicted, 1);
+        assert!(bf2.stats.adornments_compiled >= 1, "recompiled after evict");
+        let rows = bf2.rows.sorted();
+        assert_eq!(
+            rows,
+            vec![
+                vec![ids[1], ids[2]],
+                vec![ids[1], ids[3]],
+                vec![ids[1], ids[4]],
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_plan_spaces_stay_consistent() {
+        // Querying `s` demands `(path, bf)` too, so the two plans
+        // share the `path#bf` / `m#path#bf` relations. A fresh plan
+        // *rebases* over the shared rows instead of clearing them, so
+        // the sibling stays live — and answers stay exact throughout.
+        let (mut e, edge, path, ids) = tc_engine();
+        let s = e.pred("s", 2);
+        e.rule(plain_rule(
+            s,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(path, vec![v(0), v(1)]),
+                BodyLit::Pos(edge, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        let p1 = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(p1.rows.len(), 4);
+        // Compiling the s-plan rebases over the shared sub-space.
+        let s1 = e.query(s, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(s1.rows.len(), 3, "n0 → {{n1..n3}} → successor");
+        // The path plan stayed live: a zero-work repeat, exact rows.
+        let p2 = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(p2.stats.demand_continuations, 1, "sibling stayed live");
+        assert_eq!(p2.stats.facts_derived, 0);
+        let got = p2.rows.sorted();
+        let want = p1.rows.sorted();
+        assert_eq!(got, want);
+        // And so did the s plan.
+        let s2 = e.query(s, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(s2.rows.len(), 3);
+        assert_eq!(s2.stats.facts_derived, 0);
+        // Evicting one (cache shrunk to a single slot) reclaims its
+        // relations and puts the survivor back to cold — which must
+        // re-derive, never serve rows out of a reclaimed space.
+        e.config_mut().demand_plan_cache = 1;
+        let s3 = e.query(s, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(s3.rows.len(), 2, "n1 → {{n2, n3}} → successor");
+        let p3 = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert!(p3.stats.plans_evicted >= 1, "bound 1 evicts the s plan");
+        let got = p3.rows.sorted();
+        assert_eq!(got, want, "exact rows after eviction churn");
+    }
+
+    #[test]
+    fn conjunctive_plans_are_cached_by_goal_shape() {
+        let (mut e, edge, path, ids) = tc_engine();
+        let q = e.pred("query#goal", 2);
+        let goal = |c: TermId| {
+            plain_rule(
+                q,
+                vec![v(0), v(1)],
+                vec![
+                    BodyLit::Pos(path, vec![Pattern::Ground(c), v(0)]),
+                    BodyLit::Pos(edge, vec![v(0), v(1)]),
+                ],
+                2,
+            )
+        };
+        let first = e.query_rule(goal(ids[0])).unwrap();
+        assert_eq!(first.path, QueryPath::Demand);
+        assert!(first.stats.adornments_compiled >= 1);
+        assert_eq!(first.stats.magic_facts_seeded, 1, "the lifted constant");
+        assert_eq!(first.rows.len(), 3);
+        // Same shape, new constant: the plan (and under retention the
+        // whole demand space) is reused; only the new seed derives.
+        let second = e.query_rule(goal(ids[2])).unwrap();
+        assert_eq!(second.stats.adornments_compiled, 0, "shape-cache hit");
+        assert_eq!(second.stats.demand_continuations, 1);
+        assert_eq!(second.stats.magic_facts_seeded, 1);
+        assert_eq!(second.rows, vec![vec![ids[3], ids[4]]]);
+        // Repeating the first goal is a no-op read.
+        let again = e.query_rule(goal(ids[0])).unwrap();
+        assert_eq!(again.stats.facts_derived, 0);
+        let rows = again.rows.sorted();
+        let want = first.rows.sorted();
+        assert_eq!(rows, want);
+        // A structurally different goal compiles its own plan.
+        let q1 = e.pred("query#goal1", 1);
+        let other = plain_rule(
+            q1,
+            vec![v(0)],
+            vec![BodyLit::Pos(path, vec![Pattern::Ground(ids[0]), v(0)])],
+            1,
+        );
+        let res = e.query_rule(other).unwrap();
+        assert!(res.stats.adornments_compiled >= 1, "new shape compiles");
+        assert_eq!(res.rows.len(), 4);
+    }
+
+    #[test]
+    fn query_rule_paths_interleave_cleanly_on_one_head() {
+        // Regression (demand ↔ materialized interleaving on one goal
+        // head): both paths must clear the head's relations
+        // symmetrically, so switching pipelines can never surface
+        // stale rows from the other path's previous answer.
+        let (mut e, _, path, ids) = tc_engine();
+        let q = e.pred("query#goal", 1);
+        let goal = |c: TermId| {
+            plain_rule(
+                q,
+                vec![v(1)],
+                vec![BodyLit::Pos(path, vec![Pattern::Ground(c), v(1)])],
+                2,
+            )
+        };
+        // Demand path first: answers from n0.
+        let demand = e.query_rule(goal(ids[0])).unwrap();
+        assert_eq!(demand.path, QueryPath::Demand);
+        assert_eq!(demand.rows.len(), 4);
+        // Materialize, then run the *same head* with a different
+        // constant through the materialized path: only n2's rows.
+        e.run().unwrap();
+        let mat = e.query_rule(goal(ids[2])).unwrap();
+        assert_eq!(mat.path, QueryPath::Materialized);
+        let rows = mat.rows.sorted();
+        assert_eq!(rows, vec![vec![ids[3]], vec![ids[4]]], "no stale n0 rows");
+        // Back again with the first constant — full and delta of the
+        // head were both cleared, so the join restarts clean.
+        let mat2 = e.query_rule(goal(ids[0])).unwrap();
+        let rows = mat2.rows.sorted();
+        assert_eq!(
+            rows,
+            vec![vec![ids[1]], vec![ids[2]], vec![ids[3]], vec![ids[4]]]
+        );
+        // And after dropping the facts, the demand path on the same
+        // head sees none of the materialized-path leftovers.
+        e.reset_facts();
+        let empty = e.query_rule(goal(ids[0])).unwrap();
+        assert_eq!(empty.path, QueryPath::Demand);
+        assert!(empty.rows.is_empty(), "no facts, no stale answers");
     }
 
     #[test]

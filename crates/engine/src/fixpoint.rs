@@ -75,6 +75,9 @@ pub enum StratumStart {
     /// driver drains the seeded deltas to the new fixpoint. Sound only
     /// for monotone rules — the engine falls back to a batch run when
     /// negation or grouping sits at or above the restart stratum.
+    /// Driven both by `Engine::update` (E12) and by the retained
+    /// demand spaces, whose magic-rewritten programs are monotone by
+    /// construction (E14).
     Seeded {
         /// Interned-set count at the last completed materialization,
         /// so universe-enumerating rules re-fire when the update

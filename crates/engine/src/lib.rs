@@ -42,7 +42,7 @@ pub mod rule;
 pub mod strata;
 
 pub use config::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
-pub use engine::{Engine, EngineState, QueryPath, QueryResult, Rows};
+pub use engine::{Engine, EngineState, QueryPath, QueryResult, RowSet, Rows};
 pub use error::EngineError;
 pub use magic::{adornment_of, adornment_string, Adornment};
 pub use pred::{PredId, PredRegistry};

@@ -349,6 +349,159 @@ fn masked_args(args: &[Pattern], mask: Adornment) -> Vec<Pattern> {
         .collect()
 }
 
+/// A conjunctive goal lifted to its *shape*: every top-level ground
+/// argument of a positive outer literal is replaced by a fresh
+/// variable, and those variables are prepended to the head as bound
+/// answer columns — so two goals that differ only in such constants
+/// share one canonical rule, one magic-set rewrite, and one compiled
+/// plan. The lifted constants become the magic seed tuple of the
+/// shared plan: `?- t(a, X), e(X, Y)` and `?- t(b, X), e(X, Y)` both
+/// canonicalize to `shape(C, X, Y) :- t(C, X), e(X, Y)` queried with
+/// the first column bound, seeded by `(a)` resp. `(b)`.
+///
+/// Only top-level `Ground` arguments of positive outer literals are
+/// lifted: constants nested inside set/function patterns, inside
+/// builtins or negation, or under the quantifier group stay in place
+/// and remain part of the shape key (lifting them would not improve
+/// demand propagation — the textual SIPS counts a nested ground
+/// pattern as bound either way only at the top level).
+#[derive(Debug)]
+pub struct LiftedGoal {
+    /// The canonical rule. Its `head` is still the original goal-head
+    /// predicate — the caller grafts the dedicated shape predicate
+    /// (whose arity is `consts.len() + original head arity`) before
+    /// compiling.
+    pub rule: Rule,
+    /// The lifted constants in lift order: the bound values of the
+    /// prepended head columns, i.e. the magic seed tuple.
+    pub consts: Vec<TermId>,
+    /// Structural shape key: two goals get equal keys iff their
+    /// canonical rules are identical (same predicates, same literal
+    /// sequence, same variable topology, same *non-lifted* ground
+    /// terms) — the cache key of the conjunctive plan cache.
+    pub key: String,
+}
+
+/// Canonicalize a conjunctive goal rule for the shape-keyed plan
+/// cache. See [`LiftedGoal`].
+pub fn lift_goal(rule: &Rule) -> LiftedGoal {
+    let mut canonical = rule.clone();
+    let mut consts: Vec<TermId> = Vec::new();
+    let base = rule.num_vars as u32;
+    for lit in &mut canonical.outer {
+        if let BodyLit::Pos(_, args) = lit {
+            for a in args.iter_mut() {
+                if let Pattern::Ground(id) = a {
+                    consts.push(*id);
+                    *a = Pattern::Var(VarId(base + consts.len() as u32 - 1));
+                }
+            }
+        }
+    }
+    let mut head_args: Vec<Pattern> = (0..consts.len())
+        .map(|i| Pattern::Var(VarId(base + i as u32)))
+        .collect();
+    head_args.extend(canonical.head_args.iter().cloned());
+    canonical.head_args = head_args;
+    canonical.num_vars = rule.num_vars + consts.len();
+    canonical
+        .var_names
+        .extend((0..consts.len()).map(|i| format!("$c{i}")));
+    if !canonical.var_sorts.is_empty() {
+        canonical.var_sorts.extend((0..consts.len()).map(|_| None));
+    }
+    let key = goal_shape_key(&canonical);
+    LiftedGoal {
+        rule: canonical,
+        consts,
+        key,
+    }
+}
+
+/// Serialize the structure of a canonical goal rule into a stable
+/// cache key. Variables appear by slot index, predicates and symbols
+/// by registry index, residual ground terms by interned id — all
+/// stable for the lifetime of one engine session, which is exactly the
+/// lifetime of the cache.
+pub fn goal_shape_key(rule: &Rule) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::new();
+    push_patterns(&mut key, &rule.head_args);
+    for lit in &rule.outer {
+        match lit {
+            BodyLit::Pos(p, args) => {
+                let _ = write!(key, "+{}", p.index());
+                push_patterns(&mut key, args);
+            }
+            BodyLit::Neg(p, args) => {
+                let _ = write!(key, "-{}", p.index());
+                push_patterns(&mut key, args);
+            }
+            BodyLit::Builtin(b, args) => {
+                let _ = write!(key, "%{}", b.name());
+                push_patterns(&mut key, args);
+            }
+        }
+    }
+    if let Some(g) = &rule.group {
+        let _ = write!(key, "<{}:{}>", g.arg_pos, g.var.0);
+    }
+    if let Some(q) = &rule.quant {
+        key.push('A');
+        for (v, dom) in &q.binders {
+            let _ = write!(key, "{}@", v.0);
+            push_pattern(&mut key, dom);
+        }
+        key.push(':');
+        for lit in &q.inner {
+            match lit {
+                BodyLit::Pos(p, args) => {
+                    let _ = write!(key, "+{}", p.index());
+                    push_patterns(&mut key, args);
+                }
+                BodyLit::Neg(p, args) => {
+                    let _ = write!(key, "-{}", p.index());
+                    push_patterns(&mut key, args);
+                }
+                BodyLit::Builtin(b, args) => {
+                    let _ = write!(key, "%{}", b.name());
+                    push_patterns(&mut key, args);
+                }
+            }
+        }
+    }
+    key
+}
+
+fn push_patterns(key: &mut String, args: &[Pattern]) {
+    key.push('(');
+    for a in args {
+        push_pattern(key, a);
+        key.push(',');
+    }
+    key.push(')');
+}
+
+fn push_pattern(key: &mut String, p: &Pattern) {
+    use std::fmt::Write as _;
+    match p {
+        Pattern::Var(v) => {
+            let _ = write!(key, "v{}", v.0);
+        }
+        Pattern::Ground(id) => {
+            let _ = write!(key, "g{}", id.index());
+        }
+        Pattern::App(f, ps) => {
+            let _ = write!(key, "f{}", f.index());
+            push_patterns(key, ps);
+        }
+        Pattern::Set(ps) => {
+            key.push('s');
+            push_patterns(key, ps);
+        }
+    }
+}
+
 /// Positions whose pattern is fully bound given `bound_vars`.
 fn bound_positions(args: &[Pattern], bound_vars: &[VarId]) -> Adornment {
     let mut mask = 0;
@@ -475,6 +628,51 @@ mod tests {
         // Per adornment: bridge + 2 rule copies; plus 2 magic rules
         // (demand from the ff rule body and from the bf recursion).
         assert_eq!(mp.rules.len(), 8);
+    }
+
+    #[test]
+    fn lift_goal_shares_shape_across_constants() {
+        let (mut fx, _rules) = tc_fixture();
+        let a = fx.store.atom("a");
+        let b = fx.store.atom("b");
+        let mk_goal = |c: TermId| Rule {
+            head: fx.t, // placeholder head; the engine grafts the shape pred
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(fx.t, vec![Pattern::Ground(c), v(0)]),
+                BodyLit::Pos(fx.e, vec![v(0), v(1)]),
+            ],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let la = lift_goal(&mk_goal(a));
+        let lb = lift_goal(&mk_goal(b));
+        // Same shape, different seeds.
+        assert_eq!(la.key, lb.key);
+        assert_eq!(la.consts, vec![a]);
+        assert_eq!(lb.consts, vec![b]);
+        // The constant became a fresh variable prepended to the head.
+        assert_eq!(la.rule.num_vars, 3);
+        assert_eq!(la.rule.head_args.len(), 3);
+        assert_eq!(la.rule.head_args[0], v(2));
+        assert!(matches!(&la.rule.outer[0],
+            BodyLit::Pos(p, args) if *p == fx.t && args[0] == v(2)));
+        // A structurally different goal gets a different key.
+        let mut swapped = mk_goal(a);
+        swapped.outer.swap(0, 1);
+        assert_ne!(lift_goal(&swapped).key, la.key);
+        // A constant in a *set pattern* is part of the shape, not a seed.
+        let mut nested = mk_goal(a);
+        nested.outer.push(BodyLit::Builtin(
+            crate::rule::Builtin::In,
+            vec![v(1), Pattern::Set(Box::new([Pattern::Ground(b)]))],
+        ));
+        let ln = lift_goal(&nested);
+        assert_eq!(ln.consts, vec![a], "nested ground stays in place");
+        assert_ne!(ln.key, la.key);
     }
 
     #[test]

@@ -247,6 +247,29 @@ impl CompiledProgram {
             .map(|&i| &self.compiled[i])
             .collect()
     }
+
+    /// The stratum a seeded semi-naive continuation must restart from,
+    /// given the predicates that gained facts since the last completed
+    /// fixpoint and whether the interned-set universe grew since then
+    /// (new sets can re-fire universe-enumerating rules even below the
+    /// lowest fact-affected stratum). `None` means the retained
+    /// fixpoint is already the least model of the enlarged database.
+    /// Shared by the incremental update path (E12) and the retained
+    /// demand spaces (E14).
+    pub fn restart_stratum<I>(&self, changed: I, universe_grew: bool) -> Option<usize>
+    where
+        I: IntoIterator<Item = PredId>,
+    {
+        let start = self.strat.lowest_affected(changed);
+        if universe_grew {
+            match (start, self.min_universe_stratum) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        } else {
+            start
+        }
+    }
 }
 
 /// Compile `rule` under the given policy. `idb` says which predicates

@@ -54,9 +54,10 @@ impl Stratification {
     }
 
     /// The lowest stratum whose rules read any of `changed` — the
-    /// point from which an incremental update must re-run the fixpoint
-    /// when those predicates gain facts. `None` means no rule reads
-    /// any changed predicate, so the materialized model is already the
+    /// point from which an incremental update (or a retained demand
+    /// space's seeded continuation) must re-run the fixpoint when
+    /// those predicates gain facts. `None` means no rule reads any
+    /// changed predicate, so the materialized model is already the
     /// least model of the enlarged database.
     pub fn lowest_affected<I>(&self, changed: I) -> Option<usize>
     where

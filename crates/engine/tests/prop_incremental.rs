@@ -203,6 +203,57 @@ fn check_interleaving(
     }
 }
 
+/// The E12 machinery meets the demand pipeline: a session maintained
+/// through incremental updates and a never-materialized session
+/// answering point queries over *retained demand spaces* (the same
+/// seeded-continuation machinery applied to the magic-rewritten
+/// program, E14) must agree on every queried extension, bit for bit.
+fn check_demand_agrees_with_maintained_model(
+    initial: &[(u8, u8)],
+    updates: &[(u8, u8)],
+    queries: &[(u8, (u8, u8))],
+) {
+    let (mut inc, ip) = build(true, false, false);
+    let ids = atoms(&mut inc);
+    for &(a, b) in initial {
+        inc.fact(ip.e, vec![ids[a as usize], ids[b as usize]])
+            .unwrap();
+    }
+    inc.run().unwrap();
+    for &(a, b) in updates {
+        inc.fact(ip.e, vec![ids[a as usize], ids[b as usize]])
+            .unwrap();
+        inc.update().unwrap();
+    }
+
+    let (mut demand, dp) = build(true, false, false);
+    let dids = atoms(&mut demand);
+    for &(a, b) in initial.iter().chain(updates) {
+        demand
+            .fact(dp.e, vec![dids[a as usize], dids[b as usize]])
+            .unwrap();
+    }
+    for &(mask, consts) in queries {
+        let consts = [consts.0, consts.1];
+        let args: Vec<Option<TermId>> = (0..2)
+            .map(|i| (mask & (1 << i) != 0).then(|| dids[consts[i] as usize]))
+            .collect();
+        let res = demand.query(dp.t, &args).unwrap();
+        let got = res.rows.sorted();
+        let mut want: Vec<Vec<TermId>> = inc
+            .rows(ip.t)
+            .filter(|row| {
+                row.iter()
+                    .zip(&args)
+                    .all(|(t, a)| a.is_none_or(|g| g == *t))
+            })
+            .map(<[_]>::to_vec)
+            .collect();
+        want.sort();
+        assert_eq!(got, want, "mask {mask:#b}");
+    }
+}
+
 proptest! {
     /// Positive programs (monotone): every update takes the seeded
     /// incremental path, and the final model is bit-identical to the
@@ -226,5 +277,17 @@ proptest! {
         with_group in 0u8..2,
     ) {
         check_interleaving(&initial, &updates, true, with_neg == 1, with_group == 1);
+    }
+
+    /// Incrementally maintained models and retained-demand-space
+    /// queries are two faces of the same seeded continuation: they
+    /// must agree on every queried extension.
+    #[test]
+    fn demand_queries_agree_with_maintained_model(
+        initial in proptest::collection::vec((0u8..6, 0u8..6), 0..10),
+        updates in proptest::collection::vec((0u8..6, 0u8..6), 0..8),
+        queries in proptest::collection::vec((0u8..4, (0u8..6, 0u8..6)), 1..6),
+    ) {
+        check_demand_agrees_with_maintained_model(&initial, &updates, &queries);
     }
 }

@@ -186,8 +186,7 @@ fn check_query(
     load_facts(&mut demand, dp.e, &dids, edges);
     let (dpred, dargs, _) = pick_query(&dp, &dids, which, mask, consts);
     let res = demand.query(dpred, &dargs).unwrap();
-    let mut got = res.rows.clone();
-    got.sort();
+    let got = res.rows.sorted();
     // Same atoms were interned in the same order in both engines, so
     // the rows must agree bit for bit.
     assert_eq!(got, want, "query {which} mask {mask:#b}");
@@ -208,8 +207,7 @@ fn check_query(
     // A second query on the (possibly now materialized) session must
     // agree with itself.
     let res2 = demand.query(dpred, &dargs).unwrap();
-    let mut got2 = res2.rows;
-    got2.sort();
+    let got2 = res2.rows.sorted();
     assert_eq!(got2, got, "repeat query is stable");
 }
 
@@ -274,9 +272,172 @@ fn check_conjunctive(edges: &[(u8, u8)], bind_first: bool, c: u8) {
             .unwrap()
     };
     assert_eq!(res.path, QueryPath::Demand);
-    let mut got = res.rows;
-    got.sort();
+    let got = res.rows.sorted();
     assert_eq!(got, want, "conjunctive goal bind_first={bind_first}");
+}
+
+/// One step of a random live-session interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `Engine::fact` on the EDB predicate (pre- or post-query).
+    Fact(u8, u8),
+    /// `Engine::run` — materializes (batch or incremental), after
+    /// which queries must read the maintained model.
+    Update,
+    /// `Engine::query` with a random predicate/adornment/constants.
+    Query {
+        which: u8,
+        mask: u8,
+        consts: (u8, u8),
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u8..6), (0u8..6)).prop_map(|(a, b)| Op::Fact(a, b)),
+        Just(Op::Update),
+        ((0u8..6), (0u8..4), ((0u8..6), (0u8..6))).prop_map(|(which, mask, consts)| Op::Query {
+            which,
+            mask,
+            consts
+        }),
+    ]
+}
+
+/// Drive one live session through a random interleaving of `fact()`,
+/// `update()` and repeated `query()` calls, checking every query
+/// against a fresh engine that materializes the same fact set and
+/// filters — the incremental-demand ≡ filtered-full-materialization
+/// invariant of the retained demand spaces (E14), across plan-cache
+/// eviction (`cache_bound` as low as 1), the retention ablation, and
+/// the non-monotone fallback paths.
+fn check_interleaving(
+    ops: &[Op],
+    with_neg: bool,
+    with_group: bool,
+    cache_bound: usize,
+    retention: bool,
+) {
+    let (mut live, lp) = build(with_neg, with_group);
+    live.config_mut().demand_plan_cache = cache_bound;
+    live.config_mut().demand_retention = retention;
+    let lids = atoms(&mut live);
+    let mut facts: Vec<(u8, u8)> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Fact(a, b) => {
+                live.fact(lp.e, vec![lids[a as usize], lids[b as usize]])
+                    .unwrap();
+                facts.push((a, b));
+            }
+            Op::Update => {
+                live.run().unwrap();
+            }
+            Op::Query {
+                which,
+                mask,
+                consts,
+            } => {
+                let (pred, args, _) = pick_query(&lp, &lids, which, mask, consts);
+                let res = live.query(pred, &args).unwrap();
+                // Compare as owned values: the live session's store may
+                // have interned intermediate *sets* (grouping results
+                // of earlier materializations) the fresh reference
+                // never sees, so raw TermIds can diverge while the
+                // denoted rows agree.
+                let mut got: Vec<Vec<lps_term::Value>> = res
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&id| lps_term::Value::from_store(live.store(), id))
+                            .collect()
+                    })
+                    .collect();
+                got.sort();
+
+                let (mut reference, rp) = build(with_neg, with_group);
+                let rids = atoms(&mut reference);
+                load_facts(&mut reference, rp.e, &rids, &facts);
+                reference.run().unwrap();
+                let (rpred, rargs, _) = pick_query(&rp, &rids, which, mask, consts);
+                let mut want: Vec<Vec<lps_term::Value>> = reference
+                    .rows(rpred)
+                    .filter(|row| {
+                        row.iter()
+                            .zip(&rargs)
+                            .all(|(t, a)| a.is_none_or(|g| g == *t))
+                    })
+                    .map(|row| {
+                        row.iter()
+                            .map(|&id| lps_term::Value::from_store(reference.store(), id))
+                            .collect()
+                    })
+                    .collect();
+                want.sort();
+                assert_eq!(
+                    got, want,
+                    "step {step}: query {which} mask {mask:#b} \
+                     (neg={with_neg} group={with_group} bound={cache_bound} \
+                     retention={retention})"
+                );
+            }
+        }
+    }
+}
+
+/// Conjunctive goals through the shape-keyed plan cache: a stream of
+/// `q(Y, Z) :- t(cᵢ, Y), e(Y, Z)` goals with varying constants,
+/// interleaved with fact arrivals, each checked against a hand-rolled
+/// join over a freshly materialized model.
+fn check_conjunctive_stream(fact_stream: &[(u8, u8)], consts: &[u8], cache_bound: usize) {
+    let (mut live, lp) = build(false, false);
+    live.config_mut().demand_plan_cache = cache_bound;
+    let lids = atoms(&mut live);
+    let q = live.pred("query#goal", 2);
+    let mut facts: Vec<(u8, u8)> = Vec::new();
+    for (i, &c) in consts.iter().enumerate() {
+        if let Some(&(a, b)) = fact_stream.get(i) {
+            live.fact(lp.e, vec![lids[a as usize], lids[b as usize]])
+                .unwrap();
+            facts.push((a, b));
+        }
+        let res = live
+            .query_rule(rule(
+                q,
+                vec![v(1), v(2)],
+                vec![
+                    BodyLit::Pos(lp.t, vec![Pattern::Ground(lids[c as usize]), v(1)]),
+                    BodyLit::Pos(lp.e, vec![v(1), v(2)]),
+                ],
+                3,
+            ))
+            .unwrap();
+        let got = res.rows.sorted();
+
+        let (mut reference, rp) = build(false, false);
+        let rids = atoms(&mut reference);
+        load_facts(&mut reference, rp.e, &rids, &facts);
+        reference.run().unwrap();
+        let t_rows: Vec<Vec<TermId>> = reference.rows(rp.t).map(<[_]>::to_vec).collect();
+        let e_rows: Vec<Vec<TermId>> = reference.rows(rp.e).map(<[_]>::to_vec).collect();
+        let mut want: Vec<Vec<TermId>> = Vec::new();
+        for tr in &t_rows {
+            if tr[0] != rids[c as usize] {
+                continue;
+            }
+            for er in &e_rows {
+                if tr[1] == er[0] {
+                    let row = vec![tr[1], er[1]];
+                    if !want.contains(&row) {
+                        want.push(row);
+                    }
+                }
+            }
+        }
+        want.sort();
+        assert_eq!(got, want, "goal {i} const {c} bound {cache_bound}");
+    }
 }
 
 proptest! {
@@ -316,5 +477,44 @@ proptest! {
         c in 0u8..6,
     ) {
         check_conjunctive(&edges, bind_first == 1, c);
+    }
+
+    /// Random interleavings of `fact()` / `update()` / repeated
+    /// `query()` on one live session — incremental demand over
+    /// retained spaces must be indistinguishable from filtered full
+    /// materialization, including across the materialization boundary
+    /// an `update()` forces.
+    #[test]
+    fn interleaved_sessions_match_materialization(
+        ops in proptest::collection::vec(op_strategy(), 1..14),
+        with_neg in any::<bool>(),
+        with_group in any::<bool>(),
+    ) {
+        check_interleaving(&ops, with_neg, with_group, 64, true);
+    }
+
+    /// The same interleavings with the plan cache bound at 1 (every
+    /// new shape evicts the previous plan and reclaims its space) and
+    /// with retention ablated — eviction churn and cold re-derivation
+    /// must never surface stale or missing rows.
+    #[test]
+    fn interleaved_sessions_survive_eviction_and_ablation(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        with_neg in any::<bool>(),
+        retention in any::<bool>(),
+    ) {
+        check_interleaving(&ops, with_neg, false, 1, retention);
+    }
+
+    /// Conjunctive goal streams hit the shape-keyed plan cache
+    /// (constants vary, shape fixed) interleaved with fact arrivals,
+    /// with and without eviction pressure.
+    #[test]
+    fn conjunctive_streams_match_reference_join(
+        fact_stream in proptest::collection::vec((0u8..6, 0u8..6), 0..8),
+        consts in proptest::collection::vec(0u8..6, 1..6),
+        bound_one in any::<bool>(),
+    ) {
+        check_conjunctive_stream(&fact_stream, &consts, if bound_one { 1 } else { 64 });
     }
 }

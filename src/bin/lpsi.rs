@@ -12,7 +12,9 @@
 //! :help                  this text
 //! :dialect NAME          purelps | lps | elps | stratified
 //! :universe POLICY       reject | active | subsets N
-//! :demand on|off         demand-driven (magic-set) query answering
+//! :demand on|cold|off    demand-driven (magic-set) query answering
+//!                        (on = retained demand spaces, cold = re-derive
+//!                        per query)
 //! :model PRED            print a predicate's extension
 //! :program               print the accumulated program
 //! :normalized            print the Theorem-6-compiled program
@@ -26,15 +28,22 @@
 //! The session keeps one live engine. With demand mode on (the
 //! default), queries are answered *goal-directed*: the engine
 //! magic-rewrites the rules reachable from the goal for its bound/free
-//! pattern, caches the specialized plan per adornment, and derives
+//! pattern, caches the specialized plan per adornment (conjunctions
+//! per goal shape, constants lifted into magic seeds), and derives
 //! only the tuples the goal's bindings can reach — the model is never
 //! materialized unless a command (`:model`) or a non-monotone goal
-//! forces it. Queries may be conjunctions (`?- tc(a, X), q(X, {b}).`),
-//! compiled as temporary query rules. With demand off — or once a
-//! model exists — queries read the materialized model, and ground
-//! facts entered afterwards are folded in by the engine's incremental
+//! forces it. Demand spaces are *retained*: repeated queries are pure
+//! reads, new constants and ground facts entered between queries
+//! continue the fixpoint incrementally (`:stats` shows `demand_cont`),
+//! and `:demand cold` ablates the retention (re-derive per query).
+//! Queries may be conjunctions (`?- tc(a, X), q(X, {b}).`), compiled
+//! as temporary query rules. With demand off — or once a model
+//! exists — queries read the materialized model, and ground facts
+//! entered afterwards are folded in by the engine's incremental
 //! update path (seeded semi-naive deltas) instead of recomputing from
-//! scratch. Rules, dialect, or universe changes rebuild the session.
+//! scratch. Rules, dialect, or universe changes rebuild the session;
+//! `:reset` keeps rules and batch plans but evicts demand plans,
+//! reclaiming their relation space.
 
 use std::io::{self, BufRead, Write};
 
@@ -338,7 +347,10 @@ fn main() -> io::Result<()> {
                 ":reset" => {
                     // Drop fact clauses from the source; rules (and
                     // declarations) survive, and so do the live
-                    // session's compiled plans.
+                    // session's compiled batch plans. Demand plans are
+                    // evicted — their retained spaces are meaningless
+                    // without the facts — reclaiming their relation
+                    // memory.
                     let parsed = parse_program(&session.source).expect("accumulated source parses");
                     let (facts, kept): (Vec<Item>, Vec<Item>) = parsed
                         .items
@@ -349,7 +361,8 @@ fn main() -> io::Result<()> {
                         m.reset_facts();
                     }
                     println!(
-                        "reset: dropped {} fact(s); rules and compiled plans kept.",
+                        "reset: dropped {} fact(s); rules and batch plans kept; \
+                         demand plans evicted.",
                         facts.len()
                     );
                 }
@@ -359,7 +372,8 @@ fn main() -> io::Result<()> {
                         "facts={} rounds={} strata={} rule_evals={} \
                          probes={} probe_rows={} probe_allocs={} \
                          incr_runs={} seeded={} \
-                         adorns={} magic_seeds={} demand_fb={}",
+                         adorns={} magic_seeds={} demand_fb={} \
+                         demand_cont={} evicted={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
@@ -371,24 +385,45 @@ fn main() -> io::Result<()> {
                         s.delta_seed_facts,
                         s.adornments_compiled,
                         s.magic_facts_seeded,
-                        s.demand_fallbacks
+                        s.demand_fallbacks,
+                        s.demand_continuations,
+                        s.plans_evicted
                     ),
                     None => println!("no evaluation yet."),
                 },
                 ":demand" => {
-                    session.demand = match arg {
-                        "on" => true,
-                        "off" => false,
+                    let mode_str = |demand: bool, retain: bool| match (demand, retain) {
+                        (false, _) => "off",
+                        (true, true) => "on",
+                        (true, false) => "cold",
+                    };
+                    let (demand, retain) = match arg {
+                        "on" => (true, true),
+                        "cold" => (true, false),
+                        "off" => (false, session.config.demand_retention),
                         "" => {
-                            println!("demand = {}", if session.demand { "on" } else { "off" });
+                            println!(
+                                "demand = {}",
+                                mode_str(session.demand, session.config.demand_retention)
+                            );
                             continue;
                         }
                         other => {
-                            println!("unknown demand mode `{other}` (on|off)");
+                            println!("unknown demand mode `{other}` (on|cold|off)");
                             continue;
                         }
                     };
-                    println!("demand = {}", if session.demand { "on" } else { "off" });
+                    if retain != session.config.demand_retention {
+                        // The retention toggle is an engine config
+                        // change: rebuild the live session under it.
+                        session.config.demand_retention = retain;
+                        session.invalidate();
+                    }
+                    session.demand = demand;
+                    println!(
+                        "demand = {}",
+                        mode_str(session.demand, session.config.demand_retention)
+                    );
                 }
                 ":dialect" => {
                     session.invalidate();

@@ -182,7 +182,9 @@ fn reset_drops_facts_but_keeps_rules() {
     );
     assert!(stdout.contains("3 answer(s)."), "before reset:\n{stdout}");
     assert!(
-        stdout.contains("reset: dropped 2 fact(s); rules and compiled plans kept."),
+        stdout.contains(
+            "reset: dropped 2 fact(s); rules and batch plans kept; demand plans evicted."
+        ),
         "reset notice:\n{stdout}"
     );
     assert!(stdout.contains("no."), "model empty after reset:\n{stdout}");
@@ -280,13 +282,108 @@ fn demand_queries_answer_without_materializing() {
 fn demand_toggle_switches_and_rejects_unknown() {
     let (stdout, _) = run_lpsi(
         &[],
-        ":demand off\n:demand on\n:demand\n:demand maybe\n:quit\n",
+        ":demand off\n:demand on\n:demand cold\n:demand\n:demand maybe\n:quit\n",
     );
     assert!(stdout.contains("demand = off"), "off:\n{stdout}");
     assert!(stdout.contains("demand = on"), "on:\n{stdout}");
+    assert!(stdout.contains("demand = cold"), "cold:\n{stdout}");
     assert!(
         stdout.contains("unknown demand mode `maybe`"),
         "bad arg:\n{stdout}"
+    );
+}
+
+#[test]
+fn retained_demand_spaces_continue_across_queries_and_facts() {
+    // Query, repeat, add a fact, query again: the second and third
+    // queries continue over the retained demand space (`demand_cont`)
+    // instead of re-deriving, and the new edge shows up.
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- t(X, Y), e(Y, Z).\n\
+         ?- t(a, X).\n\
+         ?- t(a, X).\n\
+         :stats\n\
+         e(c, d).\n\
+         ?- t(a, X).\n\
+         :stats\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("2 answer(s)."), "first answers:\n{stdout}");
+    assert!(
+        stdout.contains("demand_cont=1"),
+        "repeat query continues over the retained space:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("magic_seeds=1"),
+        "the repeated constant is a duplicate seed, not re-counted:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("3 answer(s)."),
+        "the new edge extends the retained cone:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("incr_runs=0"),
+        "never materialized — the continuation is demand-side:\n{stdout}"
+    );
+}
+
+#[test]
+fn reset_evicts_demand_plans_and_recompiles_on_next_query() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- t(X, Y), e(Y, Z).\n\
+         ?- t(a, X).\n\
+         :reset\n\
+         ?- t(a, X).\n\
+         :stats\n\
+         e(a, c).\n\
+         ?- t(a, X).\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("2 answer(s)."), "before reset:\n{stdout}");
+    assert!(
+        stdout.contains("demand plans evicted."),
+        "reset notice:\n{stdout}"
+    );
+    assert!(stdout.contains("no."), "no facts, no answers:\n{stdout}");
+    // `:stats` shows cumulative counters: 1 adornment from the first
+    // query plus 1 from the recompile the eviction forced.
+    assert!(
+        stdout.contains("adorns=2"),
+        "the evicted plan recompiled on the post-reset query:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("1 answer(s)."),
+        "fresh fact answers under the recompiled plan:\n{stdout}"
+    );
+}
+
+#[test]
+fn demand_cold_mode_rederives_per_query() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        ":demand cold\n\
+         e(a, b). e(b, c).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- t(X, Y), e(Y, Z).\n\
+         ?- t(a, X).\n\
+         ?- t(a, X).\n\
+         :stats\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("demand = cold"), "mode:\n{stdout}");
+    assert!(stdout.contains("2 answer(s)."), "answers:\n{stdout}");
+    // Cumulative: each of the two queries cleared the space and
+    // re-planted its seed — unlike retained mode, where the repeat
+    // would be a duplicate.
+    assert!(
+        stdout.contains("demand_cont=0") && stdout.contains("magic_seeds=2"),
+        "cold mode re-seeds and re-derives each query:\n{stdout}"
     );
 }
 
