@@ -70,6 +70,15 @@ pub struct EvalConfig {
     /// retained fixpoint sharing those slots goes cold). Values below
     /// 1 are treated as 1.
     pub demand_plan_cache: usize,
+    /// Worker threads for the parallel semi-naive join phase (E15).
+    /// `1` is the exact legacy sequential path; `0` means auto (all
+    /// available cores). Values above 1 fan each round's delta-variant
+    /// join probes across a scoped worker pool, with a deterministic
+    /// merge so the model is identical to a sequential run (DESIGN.md
+    /// §"Parallel evaluation"). The default honours the `LPS_THREADS`
+    /// environment variable (unset or unparsable = 1), so a whole test
+    /// suite can be swept across thread counts without code changes.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -81,8 +90,20 @@ impl Default for EvalConfig {
             forall_trigger_index: true,
             demand_retention: true,
             demand_plan_cache: 64,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// The `LPS_THREADS` default: parse the variable if set (`0` = auto),
+/// else 1 (sequential). Read once per `EvalConfig::default()` call —
+/// cheap, and it keeps a long-lived process honest if the harness
+/// mutates the environment between engine constructions.
+fn threads_from_env() -> usize {
+    std::env::var("LPS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
 }
 
 /// Counters describing one evaluation run. `T_P` round counts are the
@@ -138,6 +159,20 @@ pub struct EvalStats {
     /// Demand plans evicted from the bounded plan cache during this
     /// pass (their adorned/magic relation slots were reclaimed).
     pub plans_evicted: usize,
+    /// Semi-naive rounds in which at least one delta-variant join ran
+    /// on the worker pool (E15). 0 on sequential runs (`threads = 1`)
+    /// and on rounds whose deltas were below the dispatch cutoff.
+    pub parallel_rounds: usize,
+    /// Candidate tuples folded from worker arenas into the shared
+    /// relations by parallel merge passes (after the workers' own
+    /// duplicate pre-filter against the full relation).
+    pub merge_rows: usize,
+    /// Peak partition skew over all parallel join passes, as a
+    /// percentage of a perfectly balanced split: `max partition size ×
+    /// workers × 100 / total rows`. 100 ≈ balanced; `workers × 100`
+    /// means one worker owned every row. [`EvalStats::absorb`] keeps
+    /// the maximum (a peak, unlike the additive counters).
+    pub worker_imbalance: usize,
 }
 
 impl EvalStats {
@@ -158,6 +193,9 @@ impl EvalStats {
         self.demand_fallbacks += other.demand_fallbacks;
         self.demand_continuations += other.demand_continuations;
         self.plans_evicted += other.plans_evicted;
+        self.parallel_rounds += other.parallel_rounds;
+        self.merge_rows += other.merge_rows;
+        self.worker_imbalance = self.worker_imbalance.max(other.worker_imbalance);
     }
 }
 
@@ -174,6 +212,14 @@ mod tests {
         assert!(c.max_iterations > 0);
         assert!(c.demand_retention, "retained demand spaces are the default");
         assert!(c.demand_plan_cache >= 1, "the plan cache is never empty");
+        let expected_threads = std::env::var("LPS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        assert_eq!(
+            c.threads, expected_threads,
+            "thread default follows LPS_THREADS (unset = sequential)"
+        );
     }
 
     #[test]
@@ -194,6 +240,9 @@ mod tests {
             demand_fallbacks: 0,
             demand_continuations: 1,
             plans_evicted: 0,
+            parallel_rounds: 2,
+            merge_rows: 40,
+            worker_imbalance: 150,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -211,6 +260,9 @@ mod tests {
             demand_fallbacks: 1,
             demand_continuations: 2,
             plans_evicted: 1,
+            parallel_rounds: 3,
+            merge_rows: 16,
+            worker_imbalance: 120,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -225,5 +277,8 @@ mod tests {
         assert_eq!(a.demand_fallbacks, 1);
         assert_eq!(a.demand_continuations, 3);
         assert_eq!(a.plans_evicted, 1);
+        assert_eq!(a.parallel_rounds, 5);
+        assert_eq!(a.merge_rows, 56);
+        assert_eq!(a.worker_imbalance, 150, "imbalance is a peak, not a sum");
     }
 }

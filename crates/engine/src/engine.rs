@@ -25,6 +25,7 @@ use crate::config::{EvalConfig, EvalStats, SetUniverse};
 use crate::error::EngineError;
 use crate::fixpoint::{run_stratum, StratumStart};
 use crate::magic::{self, MagicOutcome};
+use crate::parallel::ParExec;
 use crate::plan::{compile_program, compile_rule, CompiledProgram};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::{ColMask, Relation};
@@ -367,12 +368,11 @@ pub struct Engine {
     query_lru: Vec<PlanKey>,
     /// Conjunctive goal shapes ([`magic::goal_shape_key`]) → the
     /// dedicated `query#shape#…` head predicate registered for the
-    /// shape. Survives plan eviction (it is pure naming); the plans
-    /// themselves live in `query_plans`. Note the *relation memory* of
-    /// evicted shapes is reclaimed, but this map and the registry
-    /// entries each shape registers grow with the number of distinct
-    /// shapes ever queried — predicate ids are positional and cannot
-    /// be recycled today (registry slot recycling is a ROADMAP item).
+    /// shape. An entry lives exactly as long as the shape's cached
+    /// plan: evicting the plan drops the entry and releases the shape
+    /// predicate's registry slot ([`PredRegistry::release`]) for reuse,
+    /// so neither this map nor the registry grows with the number of
+    /// distinct shapes ever queried — only with the live plan cache.
     conj_shapes: FxHashMap<String, PredId>,
     /// The universe policy the cached query plans were compiled under.
     query_policy: SetUniverse,
@@ -385,6 +385,11 @@ pub struct Engine {
     config_at_materialize: EvalConfig,
     last_stats: EvalStats,
     cumulative_stats: EvalStats,
+    /// The parallel join executor (worker pool + per-worker arenas,
+    /// E15). Lives on the session so pool threads and arena capacity
+    /// persist across runs, updates, and demand continuations; rebuilt
+    /// by [`Engine::sync_exec`] when [`EvalConfig::threads`] changes.
+    exec: ParExec,
 }
 
 /// Hard cap on the atom-domain size for the `ActiveSubsets` powerset
@@ -414,6 +419,7 @@ impl Engine {
             config_at_materialize: config,
             last_stats: EvalStats::default(),
             cumulative_stats: EvalStats::default(),
+            exec: ParExec::new(config.threads),
         }
     }
 
@@ -441,6 +447,33 @@ impl Engine {
     /// [`Engine::run`]).
     pub fn config_mut(&mut self) -> &mut EvalConfig {
         &mut self.config
+    }
+
+    /// Set the worker-thread count for subsequent evaluation (`0` =
+    /// auto, `1` = sequential; see [`EvalConfig::threads`]). The pool
+    /// is (re)built lazily on the next run.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
+    /// The resolved worker count evaluation currently uses (≥ 1; auto
+    /// already resolved to the core count).
+    pub fn threads(&self) -> usize {
+        if self.exec.requested() == self.config.threads {
+            self.exec.threads()
+        } else {
+            ParExec::new(self.config.threads).threads()
+        }
+    }
+
+    /// Rebuild the parallel executor if [`EvalConfig::threads`] changed
+    /// since it was built (via [`Engine::set_threads`] or
+    /// [`Engine::config_mut`]). No-op when unchanged, so pool threads
+    /// and arena capacity persist across evaluation passes.
+    fn sync_exec(&mut self) {
+        if self.exec.requested() != self.config.threads {
+            self.exec = ParExec::new(self.config.threads);
+        }
     }
 
     /// Statistics from the most recent evaluation pass (batch run or
@@ -585,6 +618,7 @@ impl Engine {
     /// materialization voids the short-circuits: the model is rebuilt
     /// under the new settings.
     pub fn run(&mut self) -> Result<EvalStats, EngineError> {
+        self.sync_exec();
         if matches!(self.state, EngineState::Materialized | EngineState::Dirty)
             && self.config != self.config_at_materialize
         {
@@ -642,11 +676,12 @@ impl Engine {
     }
 
     /// Evict every cached demand plan, reclaiming the memory of their
-    /// adorned/magic relations (the predicate registry entries stay —
-    /// recompiling the same shape reuses the same slots). Returns the
-    /// number of plans dropped. Called by [`Engine::reset_facts`], on
-    /// rule and universe-policy changes, and available to hosts that
-    /// want to bound a long-lived session explicitly.
+    /// adorned/magic relations and recycling their registry slots
+    /// (recompiling a shape later re-registers it, typically into the
+    /// freed slots). Returns the number of plans dropped. Called by
+    /// [`Engine::reset_facts`], on rule and universe-policy changes,
+    /// and available to hosts that want to bound a long-lived session
+    /// explicitly.
     pub fn clear_query_plans(&mut self) -> usize {
         let keys: Vec<PlanKey> = self.query_lru.drain(..).collect();
         let n = keys.len();
@@ -727,6 +762,7 @@ impl Engine {
         pred: PredId,
         args: &[Option<TermId>],
     ) -> Result<QueryResult, EngineError> {
+        self.sync_exec();
         let arity = self.preds.info(pred).arity;
         if args.len() != arity {
             return Err(EngineError::ArityMismatch {
@@ -799,6 +835,7 @@ impl Engine {
     /// retained across calls. The non-monotone fallback discipline of
     /// [`Engine::query`] applies unchanged.
     pub fn query_rule(&mut self, rule: Rule) -> Result<QueryResult, EngineError> {
+        self.sync_exec();
         if rule.head_args.len() != self.preds.info(rule.head).arity {
             return Err(EngineError::ArityMismatch {
                 pred: self.pred_name(rule.head),
@@ -933,6 +970,7 @@ impl Engine {
             &mp.magic_preds,
             None,
             true,
+            &mut self.exec,
         )?;
         stats.adornments_compiled = mp.adornments;
         let rows = self.collect_rows(mp.answer);
@@ -1069,6 +1107,7 @@ impl Engine {
                 &plan.magic_preds,
                 seed,
                 !retain,
+                &mut self.exec,
             )?
         };
         if retain {
@@ -1144,6 +1183,7 @@ impl Engine {
                     &[],
                     &self.config,
                     StratumStart::Seeded { sets_baseline },
+                    &mut self.exec,
                 )?;
                 stats.absorb(stratum_stats);
             }
@@ -1196,6 +1236,50 @@ impl Engine {
                 self.delta[p.index()] = Relation::new(arity);
             }
             self.invalidate_overlapping(&plan.space);
+            self.release_plan_preds(&plan.space, key.0);
+        } else {
+            self.release_plan_preds(&[], key.0);
+        }
+    }
+
+    /// Recycle the registry slots an evicted plan no longer needs: its
+    /// demand-space predicates, plus — when `key_pred` is a dedicated
+    /// conjunctive shape head — the shape predicate itself (its
+    /// [`Engine::conj_shapes`] naming entry is dropped along with it).
+    /// A slot is released only when no surviving cached plan references
+    /// it (plans can share demanded sub-adornments), so recycling never
+    /// pulls a relation out from under a retained fixpoint.
+    fn release_plan_preds(&mut self, space: &[PredId], key_pred: PredId) {
+        let mut candidates: Vec<PredId> = space.to_vec();
+        let shape_name = self
+            .conj_shapes
+            .iter()
+            .find(|(_, &p)| p == key_pred)
+            .map(|(name, _)| name.clone());
+        if let Some(name) = shape_name {
+            self.conj_shapes.remove(&name);
+            candidates.push(key_pred);
+        }
+        for p in candidates {
+            let referenced = self.query_plans.values().any(|e| match e {
+                QueryEntry::Demand(pl) => pl.space.contains(&p) || pl.tracked.contains(&p),
+                QueryEntry::Fallback => false,
+            });
+            if !referenced {
+                // Leave the slot's relations empty so a re-register at
+                // a different arity can swap them cleanly
+                // ([`Engine::sync_relation_slots`]).
+                let i = p.index();
+                if i < self.full.len() {
+                    let arity = self.preds.info(p).arity;
+                    self.edb[i] = Relation::new(arity);
+                    self.full[i] = Relation::new(arity);
+                    self.delta[i] = Relation::new(arity);
+                    self.pending[i] = Relation::new(arity);
+                    self.edb_synced[i] = 0;
+                }
+                self.preds.release(p);
+            }
         }
     }
 
@@ -1274,6 +1358,7 @@ impl Engine {
             &[],
             &self.config,
             StratumStart::Batch,
+            &mut self.exec,
         )
     }
 
@@ -1321,6 +1406,20 @@ impl Engine {
     /// needed after the magic rewrite registers adorned predicates
     /// directly in the registry.
     fn sync_relation_slots(&mut self) {
+        // Recycled registry slots (plan eviction) may have been
+        // re-registered at a different arity; refresh their relations.
+        // Eviction already emptied them, so nothing can be lost — the
+        // `is_empty` guard is belt and braces.
+        for i in 0..self.full.len() {
+            let arity = self.preds.info(PredId::from_index(i)).arity;
+            if self.full[i].arity() != arity && self.full[i].is_empty() {
+                self.edb[i] = Relation::new(arity);
+                self.full[i] = Relation::new(arity);
+                self.delta[i] = Relation::new(arity);
+                self.pending[i] = Relation::new(arity);
+                self.edb_synced[i] = 0;
+            }
+        }
         for i in self.full.len()..self.preds.len() {
             let arity = self.preds.info(PredId::from_index(i)).arity;
             self.edb.push(Relation::new(arity));
@@ -1478,6 +1577,7 @@ impl Engine {
                 &program.grouping(s),
                 &self.config,
                 StratumStart::Batch,
+                &mut self.exec,
             )?;
             stats.absorb(stratum_stats);
         }
@@ -1562,6 +1662,7 @@ impl Engine {
                     &[],
                     &self.config,
                     StratumStart::Seeded { sets_baseline },
+                    &mut self.exec,
                 )?;
                 stats.absorb(stratum_stats);
             }
@@ -1648,6 +1749,7 @@ fn run_demand_program(
     magic_preds: &[PredId],
     seed: Option<(PredId, &[TermId])>,
     clear_space: bool,
+    exec: &mut ParExec,
 ) -> Result<EvalStats, EngineError> {
     let mut stats = EvalStats::default();
     if clear_space {
@@ -1694,6 +1796,7 @@ fn run_demand_program(
             &[],
             config,
             StratumStart::Batch,
+            exec,
         )?;
         stats.absorb(stratum_stats);
     }
@@ -2807,6 +2910,101 @@ mod tests {
                 vec![ids[1], ids[3]],
                 vec![ids[1], ids[4]],
             ]
+        );
+    }
+
+    #[test]
+    fn evicted_plans_recycle_registry_slots() {
+        // With a one-slot plan cache, alternating adornments evict each
+        // other forever — but the registry (and the positional relation
+        // vectors sized from it) must stay bounded: each eviction
+        // releases the dead plan's demand-space slots and recompilation
+        // reuses them.
+        let cfg = EvalConfig {
+            demand_plan_cache: 1,
+            ..EvalConfig::default()
+        };
+        let mut e = Engine::new(cfg);
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let ids: Vec<TermId> = (0..5)
+            .map(|i| e.store_mut().atom(&format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            e.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(plain_rule(
+            path,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(edge, vec![v(0), v(1)]),
+                BodyLit::Pos(path, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+        // Prime both adornments once so every demand predicate either
+        // has a slot or a matching free slot to claim.
+        let bf = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(bf.rows.len(), 4);
+        let fb = e.query(path, &[None, Some(ids[4])]).unwrap();
+        assert_eq!(fb.rows.len(), 4);
+        let bound = e.preds().len();
+        for round in 0..6 {
+            let bf = e.query(path, &[Some(ids[0]), None]).unwrap();
+            assert_eq!(bf.rows.len(), 4, "round {round}");
+            let fb = e.query(path, &[None, Some(ids[4])]).unwrap();
+            assert_eq!(fb.rows.len(), 4, "round {round}");
+            assert_eq!(
+                e.preds().len(),
+                bound,
+                "registry stays bounded under eviction churn (round {round})"
+            );
+        }
+        assert!(
+            e.preds().free_slots() > 0,
+            "evicted slots are on the free list"
+        );
+    }
+
+    #[test]
+    fn conj_shape_eviction_releases_the_shape_slot() {
+        // Distinct conjunctive goal shapes each register a dedicated
+        // `query#shape#…` head; evicting a shape's plan must release
+        // that slot too, so a stream of one-off shapes cannot grow the
+        // registry without bound.
+        let (mut e, edge, path, ids) = tc_engine();
+        e.config_mut().demand_plan_cache = 1;
+        let mut sizes = Vec::new();
+        for round in 0..4 {
+            // A fresh shape every round: the join chain gets one literal
+            // longer, so the goal-shape key differs.
+            let mut body = vec![BodyLit::Pos(path, vec![Pattern::Ground(ids[0]), v(0)])];
+            for k in 0..round {
+                body.push(BodyLit::Pos(edge, vec![v(k), v(k + 1)]));
+            }
+            let goal = plain_rule(
+                e.pred("query#goal", 2),
+                vec![v(0), v(round)],
+                body,
+                round as usize + 1,
+            );
+            let res = e.query_rule(goal).unwrap();
+            assert!(!res.rows.is_empty(), "round {round}");
+            sizes.push(e.preds().len());
+        }
+        // The first round pays for the shape machinery; later rounds
+        // recycle the evicted shape's slots instead of growing.
+        assert_eq!(
+            sizes[2], sizes[3],
+            "registry growth stops once eviction recycles shape slots: {sizes:?}"
         );
     }
 

@@ -14,6 +14,7 @@ use lps_term::{FxHashSet, TermId, TermStore};
 use crate::config::{EvalConfig, EvalStats, FixpointStrategy};
 use crate::error::EngineError;
 use crate::eval::{eval_rule_variant, ProbeCounters, QuantTrigger, RelViews};
+use crate::parallel::{self, ParExec};
 use crate::pattern::Pattern;
 use crate::plan::CompiledRule;
 use crate::pred::PredId;
@@ -89,7 +90,11 @@ pub enum StratumStart {
 /// Run one stratum to fixpoint. `regular` are ordinary rules whose
 /// heads live in this stratum; `grouping` are LDL grouping rules
 /// (evaluated once, first — their bodies are complete lower strata;
-/// must be empty for a [`StratumStart::Seeded`] run).
+/// must be empty for a [`StratumStart::Seeded`] run). `exec` carries
+/// the session's worker pool for the parallel semi-naive join phase
+/// (E15); with `exec.threads() == 1` every path below is the exact
+/// sequential legacy code.
+#[allow(clippy::too_many_arguments)]
 pub fn run_stratum(
     store: &mut TermStore,
     full: &mut [Relation],
@@ -98,6 +103,7 @@ pub fn run_stratum(
     grouping: &[&CompiledRule],
     config: &EvalConfig,
     start: StratumStart,
+    exec: &mut ParExec,
 ) -> Result<EvalStats, EngineError> {
     let mut stats = EvalStats {
         strata: 1,
@@ -132,7 +138,7 @@ pub fn run_stratum(
             naive(store, full, delta, regular, config, &counters, &mut stats)?
         }
         FixpointStrategy::SemiNaive => seminaive(
-            store, full, delta, regular, config, start, &counters, &mut stats,
+            store, full, delta, regular, config, start, &counters, &mut stats, exec,
         )?,
     }
     stats.index_probes = counters.probes.get() as usize;
@@ -324,6 +330,7 @@ fn seminaive(
     start: StratumStart,
     counters: &ProbeCounters,
     stats: &mut EvalStats,
+    exec: &mut ParExec,
 ) -> Result<(), EngineError> {
     // Round-persistent buffers: the derivation buffer and the
     // ∀-trigger candidate set are cleared per round, not reallocated.
@@ -401,84 +408,87 @@ fn seminaive(
         }
 
         derived.clear();
-        for cr in regular {
-            // Universe-growth trigger: rules that enumerate the active
-            // set universe must re-run against the enlarged universe.
-            if universe_grew && cr.uses_active_universe {
-                collect_variant(
-                    cr,
-                    0,
-                    store,
-                    full,
-                    delta,
-                    config,
-                    None,
-                    counters,
-                    &mut derived,
-                )?;
-                stats.rule_evaluations += 1;
-            }
-            // Delta variants: re-join from each recursive literal.
-            for (vi, variant) in cr.variants.iter().enumerate().skip(1) {
-                let dlit = variant.delta_lit.expect("non-full variants have a delta");
-                let BodyLit::Pos(p, _) = &cr.rule.outer[dlit] else {
-                    unreachable!("delta literal is positive");
-                };
-                if delta[p.index()].is_empty() {
-                    continue;
-                }
-                collect_variant(
-                    cr,
-                    vi,
-                    store,
-                    full,
-                    delta,
-                    config,
-                    None,
-                    counters,
-                    &mut derived,
-                )?;
-                stats.rule_evaluations += 1;
-            }
-            // Quantifier trigger: inner predicates grew.
-            if !cr.inner_preds.is_empty()
-                && cr.inner_preds.iter().any(|p| !delta[p.index()].is_empty())
-            {
-                let trig = QuantTrigger {
-                    candidate_sets: &candidate_sets,
-                };
-                let trigger = if config.forall_trigger_index && quant_trigger_safe(cr) {
-                    Some(&trig)
-                } else {
-                    None
-                };
-                collect_variant(
-                    cr,
-                    0,
-                    store,
-                    full,
-                    delta,
-                    config,
-                    trigger,
-                    counters,
-                    &mut derived,
-                )?;
-                stats.rule_evaluations += 1;
-            }
-        }
-
-        stats.iterations += 1;
-        stats.tuples_considered += derived.len();
-        for d in delta.iter_mut() {
-            d.clear();
-        }
+        let par_tasks = if exec.threads() > 1 {
+            parallel::collect_tasks(regular, delta)
+        } else {
+            Vec::new()
+        };
         let mut changed = false;
-        for (pred, tuple) in derived.iter() {
-            if full[pred.index()].insert(tuple) {
-                stats.facts_derived += 1;
-                delta[pred.index()].insert(tuple);
-                changed = true;
+        if par_tasks.is_empty() {
+            // Sequential round — the exact legacy path.
+            round_passes(
+                regular,
+                &par_tasks,
+                universe_grew,
+                store,
+                full,
+                delta,
+                config,
+                &candidate_sets,
+                counters,
+                &mut derived,
+                stats,
+            )?;
+            stats.iterations += 1;
+            stats.tuples_considered += derived.len();
+            for d in delta.iter_mut() {
+                d.clear();
             }
+            for (pred, tuple) in derived.iter() {
+                if full[pred.index()].insert(tuple) {
+                    stats.facts_derived += 1;
+                    delta[pred.index()].insert(tuple);
+                    changed = true;
+                }
+            }
+        } else {
+            // Parallel round: the pool-eligible delta joins fan out
+            // across the workers while the remaining passes run on the
+            // main thread inside the same scope; relations stay frozen
+            // until everyone is done.
+            let (seq, outcome) = exec.join_round(
+                &par_tasks,
+                regular,
+                full,
+                delta,
+                counters,
+                |full_s, delta_s| {
+                    round_passes(
+                        regular,
+                        &par_tasks,
+                        universe_grew,
+                        store,
+                        full_s,
+                        delta_s,
+                        config,
+                        &candidate_sets,
+                        counters,
+                        &mut derived,
+                        stats,
+                    )
+                },
+            );
+            seq?;
+            stats.parallel_rounds += 1;
+            stats.worker_imbalance = stats.worker_imbalance.max(outcome.imbalance);
+            stats.iterations += 1;
+            stats.tuples_considered += derived.len() + outcome.produced;
+            for d in delta.iter_mut() {
+                d.clear();
+            }
+            // Sequentially derived tuples first (the legacy loop), then
+            // the worker arenas in deterministic (task, worker, row)
+            // order. Parallel-safe rules intern nothing, so insertion
+            // order only affects row order within a relation — the
+            // model and every TermId match the sequential run.
+            for (pred, tuple) in derived.iter() {
+                if full[pred.index()].insert(tuple) {
+                    stats.facts_derived += 1;
+                    delta[pred.index()].insert(tuple);
+                    changed = true;
+                }
+            }
+            changed |= exec.merge(&par_tasks, regular, full, delta, stats);
         }
         // No new facts: done — unless this round interned new sets, in
         // which case the top-of-loop universe trigger must get a look
@@ -487,4 +497,64 @@ fn seminaive(
             return Ok(());
         }
     }
+}
+
+/// One round's sequential rule passes: the universe-growth pass, the
+/// delta variants — minus any in `par_tasks`, which are running on the
+/// worker pool concurrently — and the quantifier-trigger pass.
+/// `par_tasks` holds ascending `(rule, variant)` index pairs.
+#[allow(clippy::too_many_arguments)]
+fn round_passes(
+    regular: &[&CompiledRule],
+    par_tasks: &[(usize, usize)],
+    universe_grew: bool,
+    store: &mut TermStore,
+    full: &[Relation],
+    delta: &[Relation],
+    config: &EvalConfig,
+    candidate_sets: &FxHashSet<TermId>,
+    counters: &ProbeCounters,
+    derived: &mut DerivedBuf,
+    stats: &mut EvalStats,
+) -> Result<(), EngineError> {
+    for (ri, cr) in regular.iter().enumerate() {
+        // Universe-growth trigger: rules that enumerate the active
+        // set universe must re-run against the enlarged universe.
+        if universe_grew && cr.uses_active_universe {
+            collect_variant(cr, 0, store, full, delta, config, None, counters, derived)?;
+            stats.rule_evaluations += 1;
+        }
+        // Delta variants: re-join from each recursive literal.
+        for (vi, variant) in cr.variants.iter().enumerate().skip(1) {
+            if par_tasks.binary_search(&(ri, vi)).is_ok() {
+                // Running on the pool right now.
+                stats.rule_evaluations += 1;
+                continue;
+            }
+            let dlit = variant.delta_lit.expect("non-full variants have a delta");
+            let BodyLit::Pos(p, _) = &cr.rule.outer[dlit] else {
+                unreachable!("delta literal is positive");
+            };
+            if delta[p.index()].is_empty() {
+                continue;
+            }
+            collect_variant(cr, vi, store, full, delta, config, None, counters, derived)?;
+            stats.rule_evaluations += 1;
+        }
+        // Quantifier trigger: inner predicates grew.
+        if !cr.inner_preds.is_empty() && cr.inner_preds.iter().any(|p| !delta[p.index()].is_empty())
+        {
+            let trig = QuantTrigger { candidate_sets };
+            let trigger = if config.forall_trigger_index && quant_trigger_safe(cr) {
+                Some(&trig)
+            } else {
+                None
+            };
+            collect_variant(
+                cr, 0, store, full, delta, config, trigger, counters, derived,
+            )?;
+            stats.rule_evaluations += 1;
+        }
+    }
+    Ok(())
 }

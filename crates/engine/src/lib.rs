@@ -22,6 +22,7 @@
 //! * [`magic`] — the demand (magic-set) rewrite behind
 //!   [`Engine::query`];
 //! * [`eval`] / [`fixpoint`] — the executor and the drivers;
+//! * [`parallel`] — the scoped-pool join fan-out (E15);
 //! * [`engine`] — the public [`Engine`] session.
 
 #![warn(missing_docs)]
@@ -34,6 +35,7 @@ pub mod error;
 pub mod eval;
 pub mod fixpoint;
 pub mod magic;
+pub mod parallel;
 pub mod pattern;
 pub mod plan;
 pub mod pred;
@@ -45,6 +47,7 @@ pub use config::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
 pub use engine::{Engine, EngineState, QueryPath, QueryResult, RowSet, Rows};
 pub use error::EngineError;
 pub use magic::{adornment_of, adornment_string, Adornment};
+pub use parallel::ParExec;
 pub use pred::{PredId, PredRegistry};
 pub use relation::Relation;
 pub use rule::{BodyLit, Builtin, GroupSpec, QuantGroup, Rule};

@@ -1,0 +1,331 @@
+//! The parallel semi-naive join phase (experiment E15).
+//!
+//! Each fixpoint round's delta-variant joins for *parallel-safe* rules
+//! ([`CompiledRule::parallel_safe`]: the flat fragment whose evaluation
+//! never interns a term) are fanned across a scoped worker pool
+//! (`lps_pool`, the vendored offline stand-in for a rayon-style
+//! scoped-threads crate):
+//!
+//! 1. **Partition.** Worker *w* of *W* scans the variant's delta
+//!    relation and keeps the rows whose [`Variant::part_mask`] columns
+//!    hash to *w* mod *W* — rows sharing a probe key stay on one
+//!    worker, and skew becomes observable as
+//!    [`EvalStats::worker_imbalance`].
+//! 2. **Join.** Each worker runs the store-free flat executor
+//!    (`eval::eval_flat_partition`) over its share, deriving
+//!    head tuples into a thread-local `WorkerBuf` arena. The worker
+//!    precomputes each tuple's dedup hash and pre-filters against the
+//!    frozen full relation, so the big cache misses happen off the
+//!    sequential merge path.
+//! 3. **Merge.** After the scope joins, the main thread folds worker
+//!    arenas into the shared relations in deterministic (task,
+//!    worker-index, row) order via [`Relation::insert_hashed`].
+//!
+//! Determinism: parallel-safe rules intern nothing, so the term store
+//! is untouched by the fan-out and every `TermId` a parallel run
+//! assigns is assigned by the sequential run too — the resulting model
+//! is bit-identical (`prop_parallel.rs` asserts this at 2/4/8
+//! workers). `threads = 1` bypasses this module entirely and takes the
+//! exact legacy sequential path.
+//!
+//! [`Variant::part_mask`]: crate::plan::Variant::part_mask
+//! [`EvalStats::worker_imbalance`]: crate::config::EvalStats::worker_imbalance
+
+use lps_term::TermId;
+
+use crate::config::EvalStats;
+use crate::eval::{eval_flat_partition, flat_head_tuple, FlatCounters, ProbeCounters};
+use crate::plan::CompiledRule;
+use crate::relation::Relation;
+use crate::rule::BodyLit;
+
+/// Minimum delta-relation size before a variant's join is dispatched to
+/// the pool: below this, partitioning overhead dwarfs the join. Small
+/// on purpose so the property tests exercise the parallel path on
+/// modest random programs.
+pub(crate) const PAR_CUTOFF: usize = 16;
+
+/// One worker's round-local derivation arena: a flat tuple pool plus
+/// the per-tuple dedup hashes, segmented per task so the merge pass can
+/// walk `(task, worker, row)` in deterministic order. Cleared (capacity
+/// retained) between rounds.
+#[derive(Debug, Default)]
+struct WorkerBuf {
+    /// Derived head tuples, task-major, arity-strided per task.
+    pool: Vec<TermId>,
+    /// `Relation::hash_tuple` of each buffered tuple, precomputed on
+    /// the worker so the merge pass never rehashes.
+    hashes: Vec<u64>,
+    /// Per-task cumulative `(tuple count, pool length)` watermarks.
+    task_ends: Vec<(u32, u32)>,
+    /// Store-free probe counters, folded into the shared
+    /// [`ProbeCounters`] after the scope joins.
+    counters: FlatCounters,
+    /// Sink invocations before the full-relation pre-filter
+    /// (`tuples_considered` parity with the sequential path).
+    produced: u64,
+    /// Delta rows this worker owned across all tasks this round (the
+    /// imbalance statistic).
+    owned: u64,
+}
+
+impl WorkerBuf {
+    fn clear(&mut self) {
+        self.pool.clear();
+        self.hashes.clear();
+        self.task_ends.clear();
+        self.counters = FlatCounters::default();
+        self.produced = 0;
+        self.owned = 0;
+    }
+
+    /// The `(tuple, pool)` range of task `t`, as
+    /// `(tuple_lo, pool_lo, tuple_hi)`.
+    fn task_range(&self, t: usize) -> (u32, u32, u32) {
+        let (tup_lo, pool_lo) = if t == 0 {
+            (0, 0)
+        } else {
+            self.task_ends[t - 1]
+        };
+        (tup_lo, pool_lo, self.task_ends[t].0)
+    }
+}
+
+/// Aggregate outcome of one parallel join pass, folded into
+/// [`EvalStats`] by the driver.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JoinOutcome {
+    /// Partition skew this round: `max worker share × workers × 100 /
+    /// total rows` (100 ≈ balanced). 0 when no rows were owned.
+    pub imbalance: usize,
+    /// Head tuples produced by the workers before any filtering.
+    pub produced: usize,
+}
+
+/// The session's parallel executor: the resolved worker count, the
+/// lazily started pool, and the reusable per-worker arenas. Owned by
+/// the [`Engine`](crate::engine::Engine) so pool threads and arena
+/// capacity persist across rounds, strata, and update/demand
+/// continuations.
+#[derive(Debug)]
+pub struct ParExec {
+    requested: usize,
+    threads: usize,
+    pool: Option<lps_pool::Pool>,
+    bufs: Vec<WorkerBuf>,
+}
+
+impl ParExec {
+    /// Build an executor for `threads` workers: `1` means sequential
+    /// (the pool is never started), `0` means auto — one worker per
+    /// available core. The pool itself starts lazily on the first
+    /// parallel round, so sequential sessions never spawn a thread.
+    pub fn new(threads: usize) -> Self {
+        let resolved = match threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        ParExec {
+            requested: threads,
+            threads: resolved,
+            pool: None,
+            bufs: Vec::new(),
+        }
+    }
+
+    /// The thread count this executor was built for, unresolved (`0` =
+    /// auto) — lets the engine detect configuration changes.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Resolved worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the parallel join for `tasks` (pairs of indices `(rule,
+    /// variant)` into `regular`) while executing `seq` — the round's
+    /// sequential passes — on the main thread inside the same scope.
+    /// Worker 0 is the main thread, workers `1..threads` run on the
+    /// pool; the relations stay frozen (shared borrows) until both the
+    /// fan-out and `seq` complete. Worker probe counters are folded
+    /// into `shared` before returning.
+    pub(crate) fn join_round<R>(
+        &mut self,
+        tasks: &[(usize, usize)],
+        regular: &[&CompiledRule],
+        full: &[Relation],
+        delta: &[Relation],
+        shared: &ProbeCounters,
+        seq: impl FnOnce(&[Relation], &[Relation]) -> R,
+    ) -> (R, JoinOutcome) {
+        let w = self.threads;
+        debug_assert!(w > 1, "the driver dispatches only when threads > 1");
+        self.bufs.resize_with(w, WorkerBuf::default);
+        for buf in &mut self.bufs {
+            buf.clear();
+        }
+        let pool = self.pool.get_or_insert_with(|| lps_pool::Pool::new(w - 1));
+        let (buf0, rest) = self
+            .bufs
+            .split_first_mut()
+            .expect("threads > 1 implies at least one buffer");
+        let result = pool.scoped(|scope| {
+            for (i, buf) in rest.iter_mut().enumerate() {
+                let wi = i + 1;
+                scope.execute(move || run_worker(buf, tasks, regular, full, delta, wi, w));
+            }
+            run_worker(buf0, tasks, regular, full, delta, 0, w);
+            seq(full, delta)
+        });
+        let mut produced = 0u64;
+        let mut total = 0u64;
+        let mut peak = 0u64;
+        for buf in &self.bufs {
+            shared.probes.set(shared.probes.get() + buf.counters.probes);
+            shared.rows.set(shared.rows.get() + buf.counters.rows);
+            produced += buf.produced;
+            total += buf.owned;
+            peak = peak.max(buf.owned);
+        }
+        let imbalance = (peak * w as u64 * 100).checked_div(total).unwrap_or(0) as usize;
+        (
+            result,
+            JoinOutcome {
+                imbalance,
+                produced: produced as usize,
+            },
+        )
+    }
+
+    /// Fold the worker arenas of the last [`ParExec::join_round`] into
+    /// the shared relations, in deterministic `(task, worker, row)`
+    /// order: for each task, worker segments are applied in worker
+    /// index order. Pre-reserves each head relation for the task's
+    /// candidate count (the reserve/commit pattern — no mid-merge
+    /// rehash). Returns whether any genuinely new tuple was inserted;
+    /// `stats.merge_rows` and `stats.facts_derived` are bumped per
+    /// candidate / per new row.
+    pub(crate) fn merge(
+        &self,
+        tasks: &[(usize, usize)],
+        regular: &[&CompiledRule],
+        full: &mut [Relation],
+        delta: &mut [Relation],
+        stats: &mut EvalStats,
+    ) -> bool {
+        let mut changed = false;
+        for (t, &(ri, _vi)) in tasks.iter().enumerate() {
+            let rule = &regular[ri].rule;
+            let head = rule.head.index();
+            let arity = rule.head_args.len();
+            let candidates: usize = self
+                .bufs
+                .iter()
+                .map(|buf| {
+                    let (lo, _, hi) = buf.task_range(t);
+                    (hi - lo) as usize
+                })
+                .sum();
+            if candidates == 0 {
+                continue;
+            }
+            full[head].reserve(candidates);
+            delta[head].reserve(candidates);
+            for buf in &self.bufs {
+                let (tup_lo, pool_lo, tup_hi) = buf.task_range(t);
+                let mut off = pool_lo as usize;
+                for i in tup_lo..tup_hi {
+                    let tuple = &buf.pool[off..off + arity];
+                    off += arity;
+                    stats.merge_rows += 1;
+                    if full[head].insert_hashed(buf.hashes[i as usize], tuple) {
+                        stats.facts_derived += 1;
+                        delta[head].insert(tuple);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// The pool-eligible delta variants of this round: parallel-safe rules
+/// whose delta relation is at least [`PAR_CUTOFF`] rows. Returned in
+/// ascending `(rule, variant)` order (the merge order, and sorted for
+/// the driver's skip check).
+pub(crate) fn collect_tasks(regular: &[&CompiledRule], delta: &[Relation]) -> Vec<(usize, usize)> {
+    let mut tasks = Vec::new();
+    for (ri, cr) in regular.iter().enumerate() {
+        if !cr.parallel_safe {
+            continue;
+        }
+        for (vi, variant) in cr.variants.iter().enumerate().skip(1) {
+            let d = variant.delta_lit.expect("non-full variants have a delta");
+            let BodyLit::Pos(p, _) = &cr.rule.outer[d] else {
+                unreachable!("delta literal is positive");
+            };
+            if delta[p.index()].len() >= PAR_CUTOFF {
+                tasks.push((ri, vi));
+            }
+        }
+    }
+    tasks
+}
+
+/// One worker's round: run every task's join over this worker's
+/// partition, deriving (pre-hashed, pre-filtered) head tuples into
+/// `buf` and recording the per-task segment watermarks.
+fn run_worker(
+    buf: &mut WorkerBuf,
+    tasks: &[(usize, usize)],
+    regular: &[&CompiledRule],
+    full: &[Relation],
+    delta: &[Relation],
+    worker: usize,
+    nworkers: usize,
+) {
+    for &(ri, vi) in tasks {
+        let cr = regular[ri];
+        let rule = &cr.rule;
+        let head_full = &full[rule.head.index()];
+        let WorkerBuf {
+            pool,
+            hashes,
+            counters,
+            produced,
+            ..
+        } = buf;
+        let owned = eval_flat_partition(
+            rule,
+            &cr.variants[vi],
+            full,
+            delta,
+            worker,
+            nworkers,
+            counters,
+            &mut |env| {
+                *produced += 1;
+                let start = pool.len();
+                flat_head_tuple(&rule.head_args, env, pool);
+                let tuple = &pool[start..];
+                let h = Relation::hash_tuple(tuple);
+                // Pre-filter against the frozen full relation: known
+                // tuples die here, on the worker, instead of costing
+                // the merge pass a cache miss each.
+                if head_full.contains_hashed(h, tuple) {
+                    pool.truncate(start);
+                } else {
+                    hashes.push(h);
+                }
+            },
+        );
+        buf.owned += owned;
+        buf.task_ends
+            .push((buf.hashes.len() as u32, buf.pool.len() as u32));
+    }
+}

@@ -95,6 +95,14 @@ pub struct Variant {
     /// group's coverage analysis (e.g. `¬C(X)` in the §4.2 set
     /// construction, where `X` is the quantifier domain).
     pub post_steps: Vec<Step>,
+    /// Delta-literal columns to partition on when this variant's join
+    /// is fanned across the worker pool (E15): the columns whose
+    /// variables feed later join steps, so rows sharing a probe key
+    /// land on one worker (locality, and skew becomes observable as
+    /// `worker_imbalance`). Falls back to every column (whole-row
+    /// hash) when the delta literal shares no variable with the rest
+    /// of the body. `0` for the full variant, which never partitions.
+    pub part_mask: ColMask,
 }
 
 /// Static plan for the quantifier group.
@@ -140,6 +148,13 @@ pub struct CompiledRule {
     /// set-sorted arguments). Such rules must be re-run when new sets
     /// are interned, even if no new facts arrived.
     pub uses_active_universe: bool,
+    /// Whether this rule's delta variants may run on the worker pool:
+    /// no quantifier group, no grouping head, every step a flat
+    /// (`Var`/`Ground`-only) positive join or negation check, and a
+    /// flat head — exactly the fragment whose evaluation never interns
+    /// a term, so workers need no access to the term store and
+    /// parallel runs stay bit-identical to sequential ones (E15).
+    pub parallel_safe: bool,
 }
 
 /// A whole rule set stratified, compiled, and bucketed for evaluation:
@@ -525,6 +540,26 @@ pub fn compile_rule(
 
     let _ = preds; // registry currently only needed by callers; kept for signature stability
 
+    // Parallel safety: the flat, store-free fragment (see the field
+    // docs on [`CompiledRule::parallel_safe`]). `post_steps` are
+    // provably empty here when the rule has no quantifier group
+    // (deferral only triggers under `defer_ok`), but the check is kept
+    // explicit rather than relied on.
+    let parallel_safe = rule.quant.is_none()
+        && rule.group.is_none()
+        && rule
+            .head_args
+            .iter()
+            .all(|a| matches!(a, Pattern::Var(_) | Pattern::Ground(_)))
+        && variants.iter().all(|v| {
+            v.post_steps.is_empty()
+                && v.steps.iter().all(|s| match s {
+                    Step::Pos { flat, .. } => *flat,
+                    Step::NegStep { lit } => lit_flat(&rule.outer[*lit]),
+                    Step::BuiltinStep { .. } | Step::EnumUniverse { .. } => false,
+                })
+        });
+
     Ok(CompiledRule {
         rule: rule.clone(),
         variants,
@@ -532,6 +567,7 @@ pub fn compile_rule(
         inner_preds,
         index_requests,
         uses_active_universe,
+        parallel_safe,
     })
 }
 
@@ -587,7 +623,7 @@ fn order_steps(
             }
         }
     }
-    let post_steps = deferred
+    let post_steps: Vec<Step> = deferred
         .into_iter()
         .map(|d| match &rule.outer[d] {
             BodyLit::Neg(..) => Step::NegStep { lit: d },
@@ -598,11 +634,44 @@ fn order_steps(
             BodyLit::Pos(..) => unreachable!("positive literals are never deferred"),
         })
         .collect();
+    let part_mask = match delta_lit {
+        Some(d) => partition_mask(rule, &steps, &post_steps, d),
+        None => 0,
+    };
     Ok(Variant {
         delta_lit,
         steps,
         post_steps,
+        part_mask,
     })
+}
+
+/// The partition mask of a delta variant (see [`Variant::part_mask`]):
+/// delta-literal columns whose variables appear in some *other* step's
+/// literal — the probe keys the rest of the join will be driven by.
+fn partition_mask(rule: &Rule, steps: &[Step], post_steps: &[Step], d: usize) -> ColMask {
+    let args = match &rule.outer[d] {
+        BodyLit::Pos(_, a) => a,
+        other => unreachable!("delta literal must be positive, got {other:?}"),
+    };
+    let mut later: FxHashSet<VarId> = FxHashSet::default();
+    for step in steps.iter().chain(post_steps) {
+        match step.lit() {
+            Some(l) if l != d => later.extend(rule.outer[l].vars()),
+            _ => {}
+        }
+    }
+    let mut mask: ColMask = 0;
+    for (i, p) in args.iter().enumerate() {
+        if matches!(p, Pattern::Var(v) if later.contains(v)) {
+            mask |= 1 << i;
+        }
+    }
+    if mask == 0 && !args.is_empty() {
+        // No shared variable: partition on the whole row for balance.
+        mask = ((1u64 << args.len()) - 1) as ColMask;
+    }
+    mask
 }
 
 /// Greedy literal ordering. Scores (descending):
@@ -843,6 +912,38 @@ mod tests {
         }
         // Index requests include the join column.
         assert!(!compiled.index_requests.is_empty());
+        // The flat recursive join is parallel-eligible, and its delta
+        // variant partitions on the probe key: `p(Y, Z)`'s first
+        // column, which drives the later `e(X, Y)` probe.
+        assert!(compiled.parallel_safe);
+        let delta = &compiled.variants[1];
+        assert_eq!(delta.delta_lit, Some(1));
+        assert_eq!(delta.part_mask, 0b01);
+        assert_eq!(
+            compiled.variants[0].part_mask, 0,
+            "full variant never partitions"
+        );
+    }
+
+    #[test]
+    fn partition_mask_falls_back_to_whole_row() {
+        // head(X, Y) :- e(X, Y).  — single literal, no join key.
+        let (reg, pe, pp, _) = setup();
+        let rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(pe, vec![v(0), v(1)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let mut idb = FxHashSet::default();
+        idb.insert(pe);
+        let compiled = compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
+        assert!(compiled.parallel_safe);
+        assert_eq!(compiled.variants[1].part_mask, 0b11, "whole-row hash");
     }
 
     #[test]
@@ -960,6 +1061,58 @@ mod tests {
         assert!(qp.unbound_free.is_empty());
         assert!(qp.inner_steps.is_none());
         assert!(!qp.unbound_domain);
+    }
+
+    #[test]
+    fn quantified_and_nonflat_rules_are_not_parallel_safe() {
+        // Quantifier group → sequential only.
+        let (reg, pe, pp, _) = setup();
+        let quant_rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(pe, vec![v(0), v(1)])],
+            quant: Some(QuantGroup {
+                binders: vec![(VarId(2), v(0))],
+                inner: vec![BodyLit::Builtin(Builtin::In, vec![v(2), v(1)])],
+            }),
+            num_vars: 3,
+            var_names: vec!["X".into(), "Y".into(), "U".into()],
+            var_sorts: vec![],
+        };
+        let compiled = compile_rule(
+            &quant_rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .expect("plans");
+        assert!(!compiled.parallel_safe);
+
+        // Builtin step → sequential only (builtins may intern terms).
+        let builtin_rule = Rule {
+            head: pp,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(pe, vec![v(0), v(1)]),
+                BodyLit::Builtin(Builtin::Ne, vec![v(0), v(1)]),
+            ],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        };
+        let compiled = compile_rule(
+            &builtin_rule,
+            &reg,
+            &names,
+            &FxHashSet::default(),
+            SetUniverse::Reject,
+        )
+        .expect("plans");
+        assert!(!compiled.parallel_safe);
     }
 
     #[test]

@@ -31,14 +31,24 @@ pub struct PredInfo {
     pub arity: usize,
 }
 
-/// Append-only registry mapping `(name, arity)` to [`PredId`].
+/// Registry mapping `(name, arity)` to [`PredId`].
 ///
 /// Predicates are identified by name *and* arity, so `p/1` and `p/2`
 /// are distinct — matching standard logic-programming convention.
+///
+/// Slots are recyclable: [`PredRegistry::release`] returns an id's
+/// slot to a free list, and the next [`PredRegistry::register`] of a
+/// *new* key reuses it instead of growing the table. The engine
+/// releases the demand-internal (adorned/magic/shape) predicates of
+/// evicted query plans this way, so a long-lived session's registry —
+/// and the positional relation vectors sized from it — stay bounded
+/// by the live plans rather than by every adornment ever queried.
 #[derive(Default, Debug, Clone)]
 pub struct PredRegistry {
     preds: Vec<PredInfo>,
     by_key: FxHashMap<(Symbol, usize), PredId>,
+    /// Released slot indices, reused LIFO by [`PredRegistry::register`].
+    free: Vec<u32>,
 }
 
 impl PredRegistry {
@@ -47,15 +57,44 @@ impl PredRegistry {
         Self::default()
     }
 
-    /// Register (or look up) a predicate.
+    /// Register (or look up) a predicate. New keys fill a released
+    /// slot when one is available.
     pub fn register(&mut self, name: Symbol, arity: usize) -> PredId {
         if let Some(&id) = self.by_key.get(&(name, arity)) {
             return id;
         }
-        let id = PredId::from_index(self.preds.len());
-        self.preds.push(PredInfo { name, arity });
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.preds[slot as usize] = PredInfo { name, arity };
+                PredId(slot)
+            }
+            None => {
+                let id = PredId::from_index(self.preds.len());
+                self.preds.push(PredInfo { name, arity });
+                id
+            }
+        };
         self.by_key.insert((name, arity), id);
         id
+    }
+
+    /// Return `id`'s slot to the free list and forget its `(name,
+    /// arity)` mapping, so a later [`PredRegistry::register`] of a new
+    /// key may reuse the slot (and with it the positional relation
+    /// storage the caller keyed by [`PredId::index`]). The caller must
+    /// ensure nothing still refers to `id`; releasing twice is a bug.
+    pub fn release(&mut self, id: PredId) {
+        debug_assert!(!self.free.contains(&id.0), "predicate slot released twice");
+        let info = &self.preds[id.index()];
+        if self.by_key.get(&(info.name, info.arity)) == Some(&id) {
+            self.by_key.remove(&(info.name, info.arity));
+        }
+        self.free.push(id.0);
+    }
+
+    /// Number of currently released (reusable) slots.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Look up a predicate without registering it.
@@ -68,7 +107,8 @@ impl PredRegistry {
         &self.preds[id.index()]
     }
 
-    /// Number of registered predicates.
+    /// Number of predicate slots (including released ones — this is
+    /// the bound for positional storage indexed by [`PredId::index`]).
     pub fn len(&self) -> usize {
         self.preds.len()
     }
@@ -118,5 +158,36 @@ mod tests {
         let p = syms.intern("p");
         let reg = PredRegistry::new();
         assert_eq!(reg.get(p, 1), None);
+    }
+
+    #[test]
+    fn release_recycles_the_slot() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let r = syms.intern("r");
+        let mut reg = PredRegistry::new();
+        let pid = reg.register(p, 1);
+        let qid = reg.register(q, 2);
+        assert_eq!(reg.len(), 2);
+
+        reg.release(qid);
+        assert_eq!(reg.get(q, 2), None, "released key is forgotten");
+        assert_eq!(reg.free_slots(), 1);
+        assert_eq!(reg.len(), 2, "positional storage bound is unchanged");
+
+        // A new key reuses the released slot instead of growing.
+        let rid = reg.register(r, 3);
+        assert_eq!(rid.index(), qid.index(), "slot is recycled");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.free_slots(), 0);
+        assert_eq!(reg.info(rid).arity, 3);
+
+        // Existing keys are untouched, and re-registering the released
+        // key allocates afresh (append, nothing free).
+        assert_eq!(reg.get(p, 1), Some(pid));
+        let qid2 = reg.register(q, 2);
+        assert_ne!(qid2.index(), qid.index());
+        assert_eq!(reg.len(), 3);
     }
 }

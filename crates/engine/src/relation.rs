@@ -52,6 +52,14 @@ fn hash_masked_row(arena: &[TermId], base: usize, mask: ColMask) -> u64 {
     h
 }
 
+/// Hash the `mask`-selected columns of a standalone tuple (the
+/// parallel evaluator's partition hash: rows sharing their probe-key
+/// columns map to the same worker).
+#[inline]
+pub(crate) fn hash_masked_tuple(tuple: &[TermId], mask: ColMask) -> u64 {
+    hash_masked_row(tuple, 0, mask)
+}
+
 /// Do the `mask`-selected columns of the row starting at `base` equal
 /// `key` (ascending column order)?
 #[inline]
@@ -272,11 +280,27 @@ impl Relation {
     /// is a hard check even in release builds (one compare per insert,
     /// off the per-column hot loop).
     pub fn insert(&mut self, tuple: &[TermId]) -> bool {
+        self.insert_hashed(hash_ids(tuple), tuple)
+    }
+
+    /// The dedup hash of a tuple, exposed so parallel workers can
+    /// compute it off-thread and the merge pass can reuse it for
+    /// [`Relation::insert_hashed`] / [`Relation::contains_hashed`] on
+    /// every relation (all relations share one hash function).
+    #[inline]
+    pub fn hash_tuple(tuple: &[TermId]) -> u64 {
+        hash_ids(tuple)
+    }
+
+    /// [`Relation::insert`] with a precomputed [`Relation::hash_tuple`]
+    /// hash — the parallel merge path, where workers hash their derived
+    /// tuples while the join is still running elsewhere.
+    pub fn insert_hashed(&mut self, hash: u64, tuple: &[TermId]) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        debug_assert_eq!(hash, hash_ids(tuple), "stale precomputed hash");
         self.dedup.reserve_one(&self.arena, self.arity);
-        let h = hash_ids(tuple);
         let (arena, arity) = (&self.arena, self.arity);
-        let slot = find_slot(&self.dedup.slots, h, |r| {
+        let slot = find_slot(&self.dedup.slots, hash, |r| {
             let base = r as usize * arity;
             &arena[base..base + arity] == tuple
         });
@@ -298,17 +322,50 @@ impl Relation {
 
     /// Membership test (in-place hash and compare; no allocation).
     pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.contains_hashed(hash_ids(tuple), tuple)
+    }
+
+    /// [`Relation::contains`] with a precomputed hash (see
+    /// [`Relation::hash_tuple`]): parallel workers pre-filter their
+    /// derived tuples against the frozen full relation so the
+    /// sequential merge pass mostly sees genuinely new rows.
+    pub fn contains_hashed(&self, hash: u64, tuple: &[TermId]) -> bool {
         debug_assert_eq!(tuple.len(), self.arity);
+        debug_assert_eq!(hash, hash_ids(tuple), "stale precomputed hash");
         if self.dedup.slots.is_empty() {
             return false;
         }
-        let h = hash_ids(tuple);
         let (arena, arity) = (&self.arena, self.arity);
-        let slot = find_slot(&self.dedup.slots, h, |r| {
+        let slot = find_slot(&self.dedup.slots, hash, |r| {
             let base = r as usize * arity;
             &arena[base..base + arity] == tuple
         });
         self.dedup.slots[slot] != EMPTY_SLOT
+    }
+
+    /// Pre-grow the arena and dedup table for `additional` upcoming
+    /// inserts (a reserve/commit pattern): the merge pass reserves once
+    /// per fold instead of paying repeated doublings mid-loop. Inserts
+    /// beyond the reservation stay correct — growth simply resumes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.arena.reserve(additional * self.arity);
+        let needed = self.rows as usize + additional;
+        if (needed + 1) * 8 > self.dedup.slots.len() * 7 {
+            let mut cap = self.dedup.slots.len().max(INITIAL_CAP);
+            while (needed + 1) * 8 > cap * 7 {
+                cap *= 2;
+            }
+            let mut slots = vec![EMPTY_SLOT; cap].into_boxed_slice();
+            for row in 0..self.rows {
+                let base = row as usize * self.arity;
+                let h = hash_ids(&self.arena[base..base + self.arity]);
+                // All stored rows are distinct: only an empty slot
+                // matches.
+                let i = find_slot(&slots, h, |_| false);
+                slots[i] = row;
+            }
+            self.dedup.slots = slots;
+        }
     }
 
     /// All tuples in insertion order.
@@ -487,6 +544,51 @@ mod tests {
         for &x in &ids {
             assert_eq!(r.lookup(0b10, &[x]).len(), 1);
         }
+    }
+
+    #[test]
+    fn hashed_api_agrees_with_plain_inserts() {
+        let mut st = TermStore::new();
+        let ids: Vec<_> = (0..64).map(|i| st.int(i)).collect();
+        let mut r = Relation::new(2);
+        r.ensure_index(0b01);
+        for (i, &x) in ids.iter().enumerate() {
+            let tuple = [ids[i % 8], x];
+            let h = Relation::hash_tuple(&tuple);
+            assert!(!r.contains_hashed(h, &tuple));
+            assert!(r.insert_hashed(h, &tuple));
+            assert!(!r.insert_hashed(h, &tuple), "duplicate must be seen");
+            assert!(r.contains_hashed(h, &tuple));
+            assert!(r.contains(&tuple), "plain and hashed views agree");
+        }
+        assert_eq!(r.len(), 64);
+        for key in ids.iter().take(8) {
+            assert_eq!(r.lookup(0b01, &[*key]).len(), 8);
+        }
+    }
+
+    #[test]
+    fn reserve_then_insert_preserves_lookup() {
+        let mut st = TermStore::new();
+        let ids: Vec<_> = (0..200).map(|i| st.int(i)).collect();
+        let mut r = Relation::new(1);
+        for &x in ids.iter().take(10) {
+            r.insert(&[x]);
+        }
+        // Reserve well past several doubling thresholds, then fill.
+        r.reserve(190);
+        for &x in &ids {
+            r.insert(&[x]);
+        }
+        assert_eq!(r.len(), 200);
+        for &x in &ids {
+            assert!(r.contains(&[x]));
+        }
+        // Reserving on an empty relation also works.
+        let mut fresh = Relation::new(2);
+        fresh.reserve(100);
+        assert!(fresh.insert(&[ids[0], ids[1]]));
+        assert!(fresh.contains(&[ids[0], ids[1]]));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Property test: the parallel join phase is invisible. Random
+//! programs driven through random interleavings of `fact()` /
+//! `update()` / `run()` / `query()` at 2, 4, and 8 worker threads must
+//! end on a model identical to the sequential (`threads = 1`) run —
+//! same `Value` extensions always, and for programs that intern no
+//! terms during evaluation (set-free), the same interned `TermId`
+//! tuples bit for bit. A deterministic stress test drives a skewed
+//! workload (one hot probe key owning > 90 % of a round's delta) and
+//! checks that `EvalStats::worker_imbalance` reports the skew.
+
+use proptest::prelude::*;
+
+use lps_engine::pattern::{Pattern, VarId};
+use lps_engine::rule::{BodyLit, GroupSpec, Rule};
+use lps_engine::{Engine, EvalConfig, PredId};
+use lps_term::{TermId, Value};
+
+fn v(i: u32) -> Pattern {
+    Pattern::Var(VarId(i))
+}
+
+fn rule(head: PredId, head_args: Vec<Pattern>, outer: Vec<BodyLit>, nv: usize) -> Rule {
+    Rule {
+        head,
+        head_args,
+        group: None,
+        outer,
+        quant: None,
+        num_vars: nv,
+        var_names: (0..nv).map(|i| format!("V{i}")).collect(),
+        var_sorts: vec![],
+    }
+}
+
+/// The predicates of the generated programs.
+struct Preds {
+    e: PredId,
+    t: PredId,
+    s: PredId,
+    node: PredId,
+    iso: PredId,
+    grp: PredId,
+}
+
+/// Build an engine with `threads` workers and the rule family selected
+/// by the flags — the same family as `prop_incremental.rs`: transitive
+/// closure `t` over `e`, optionally a join `s`, optionally a negation
+/// stratum, optionally an LDL grouping head. The `t`/`s` rules are
+/// parallel-safe (flat positive joins); negation and grouping rules
+/// stay on the sequential passes inside the same rounds, so the mixed
+/// programs exercise the fan-out and the merge interleaving both.
+fn build(threads: usize, with_join: bool, with_neg: bool, with_group: bool) -> (Engine, Preds) {
+    let cfg = EvalConfig {
+        threads,
+        ..EvalConfig::default()
+    };
+    let mut e = Engine::new(cfg);
+    let preds = Preds {
+        e: e.pred("e", 2),
+        t: e.pred("t", 2),
+        s: e.pred("s", 2),
+        node: e.pred("node", 1),
+        iso: e.pred("iso", 1),
+        grp: e.pred("grp", 2),
+    };
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(1)],
+        vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+        2,
+    ))
+    .unwrap();
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(2)],
+        vec![
+            BodyLit::Pos(preds.e, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.t, vec![v(1), v(2)]),
+        ],
+        3,
+    ))
+    .unwrap();
+    if with_join {
+        e.rule(rule(
+            preds.s,
+            vec![v(0), v(2)],
+            vec![
+                BodyLit::Pos(preds.t, vec![v(0), v(1)]),
+                BodyLit::Pos(preds.e, vec![v(1), v(2)]),
+            ],
+            3,
+        ))
+        .unwrap();
+    }
+    if with_neg {
+        e.rule(rule(
+            preds.node,
+            vec![v(0)],
+            vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(rule(
+            preds.iso,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(preds.node, vec![v(0)]),
+                BodyLit::Neg(preds.t, vec![v(0), v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+    }
+    if with_group {
+        let mut g = rule(
+            preds.grp,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(preds.t, vec![v(0), v(1)])],
+            2,
+        );
+        g.group = Some(GroupSpec {
+            arg_pos: 1,
+            var: VarId(1),
+        });
+        e.rule(g).unwrap();
+    }
+    (e, preds)
+}
+
+/// Intern node atoms in a fixed order so all engines agree on ids.
+/// Uses 12 nodes (vs. 6 in the incremental suite) so random edge sets
+/// routinely push a round's delta past the parallel cutoff.
+fn atoms(e: &mut Engine) -> Vec<TermId> {
+    (0..12)
+        .map(|i| e.store_mut().atom(&format!("n{i}")))
+        .collect()
+}
+
+fn sorted_value_rows(e: &Engine, p: PredId) -> Vec<Vec<Value>> {
+    e.extension(p)
+}
+
+fn sorted_id_rows(e: &Engine, p: PredId) -> Vec<Vec<TermId>> {
+    let mut rows: Vec<Vec<TermId>> = e.rows(p).map(<[_]>::to_vec).collect();
+    rows.sort();
+    rows
+}
+
+/// Drive one engine per thread count through the *same* interleaving
+/// and compare every predicate against the sequential run.
+fn check_parallel_invisible(
+    threads: &[usize],
+    initial: &[(u8, u8)],
+    updates: &[((u8, u8), u8)],
+    with_join: bool,
+    with_neg: bool,
+    with_group: bool,
+) {
+    let drive = |threads: usize| {
+        let (mut eng, p) = build(threads, with_join, with_neg, with_group);
+        let ids = atoms(&mut eng);
+        for &(a, b) in initial {
+            eng.fact(p.e, vec![ids[a as usize % 12], ids[b as usize % 12]])
+                .unwrap();
+        }
+        eng.run().unwrap();
+        for &((a, b), action) in updates {
+            eng.fact(p.e, vec![ids[a as usize % 12], ids[b as usize % 12]])
+                .unwrap();
+            match action % 3 {
+                1 => {
+                    eng.update().unwrap();
+                }
+                2 => {
+                    eng.run().unwrap();
+                }
+                _ => {}
+            }
+        }
+        eng.update().unwrap();
+        (eng, p)
+    };
+    let (seq, sp) = drive(1);
+    for &w in threads {
+        let (par, pp) = drive(w);
+        for (a, b) in [
+            (sp.e, pp.e),
+            (sp.t, pp.t),
+            (sp.s, pp.s),
+            (sp.node, pp.node),
+            (sp.iso, pp.iso),
+            (sp.grp, pp.grp),
+        ] {
+            assert_eq!(
+                sorted_value_rows(&seq, a),
+                sorted_value_rows(&par, b),
+                "{w} workers diverge from sequential"
+            );
+            if !with_group {
+                // Set-free program: evaluation interns nothing, so the
+                // stores agree and the models must be bit-identical.
+                assert_eq!(
+                    sorted_id_rows(&seq, a),
+                    sorted_id_rows(&par, b),
+                    "{w} workers: TermIds diverge from sequential"
+                );
+            }
+        }
+    }
+}
+
+/// Retained demand spaces on the parallel path: a never-materialized
+/// parallel session answering point queries (magic-set rewrite, seeded
+/// continuations) must return bit-identical rows to the sequential
+/// demand session across a fact/update/query interleaving.
+fn check_parallel_demand(
+    threads: &[usize],
+    initial: &[(u8, u8)],
+    updates: &[(u8, u8)],
+    queries: &[(u8, (u8, u8))],
+) {
+    let drive = |threads: usize| -> Vec<Vec<Vec<TermId>>> {
+        let (mut eng, p) = build(threads, true, false, false);
+        let ids = atoms(&mut eng);
+        for &(a, b) in initial {
+            eng.fact(p.e, vec![ids[a as usize % 12], ids[b as usize % 12]])
+                .unwrap();
+        }
+        let mut answers = Vec::new();
+        // Interleave: one update batch, then the query list, repeated.
+        let mut run_queries = |eng: &mut Engine| {
+            for &(mask, consts) in queries {
+                let consts = [consts.0, consts.1];
+                let args: Vec<Option<TermId>> = (0..2)
+                    .map(|i| (mask & (1 << i) != 0).then(|| ids[consts[i] as usize % 12]))
+                    .collect();
+                answers.push(eng.query(p.t, &args).unwrap().rows.sorted());
+            }
+        };
+        run_queries(&mut eng);
+        for &(a, b) in updates {
+            eng.fact(p.e, vec![ids[a as usize % 12], ids[b as usize % 12]])
+                .unwrap();
+            eng.update().unwrap();
+            run_queries(&mut eng);
+        }
+        answers
+    };
+    let seq = drive(1);
+    for &w in threads {
+        let par = drive(w);
+        assert_eq!(seq, par, "{w}-worker demand answers diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Positive programs: parallel runs at 2/4/8 workers are
+    /// bit-identical to the sequential run across random
+    /// fact/update/run interleavings.
+    #[test]
+    fn parallel_equals_sequential_on_positive_programs(
+        initial in proptest::collection::vec((0u8..12, 0u8..12), 0..40),
+        updates in proptest::collection::vec(((0u8..12, 0u8..12), 0u8..3), 0..12),
+        with_join in 0u8..2,
+    ) {
+        check_parallel_invisible(&[2, 4, 8], &initial, &updates, with_join == 1, false, false);
+    }
+
+    /// Mixed programs (negation strata, grouping heads): the
+    /// parallel-safe rules fan out while the rest run sequentially in
+    /// the same rounds; the merged model must still match.
+    #[test]
+    fn parallel_equals_sequential_under_negation_and_grouping(
+        initial in proptest::collection::vec((0u8..12, 0u8..12), 0..32),
+        updates in proptest::collection::vec(((0u8..12, 0u8..12), 0u8..3), 0..10),
+        with_neg in 0u8..2,
+        with_group in 0u8..2,
+    ) {
+        check_parallel_invisible(&[2, 4], &initial, &updates, true, with_neg == 1, with_group == 1);
+    }
+
+    /// Demand queries (magic rewrite, retained spaces, incremental
+    /// re-seeding) answered on the parallel path match the sequential
+    /// answers bit for bit.
+    #[test]
+    fn parallel_demand_queries_match_sequential(
+        initial in proptest::collection::vec((0u8..12, 0u8..12), 0..28),
+        updates in proptest::collection::vec((0u8..12, 0u8..12), 0..6),
+        queries in proptest::collection::vec((0u8..4, (0u8..12, 0u8..12)), 1..5),
+    ) {
+        check_parallel_demand(&[2, 4], &initial, &updates, &queries);
+    }
+}
+
+/// A deterministic dense workload that is guaranteed past the parallel
+/// cutoff: the 2/4/8-worker models are bit-identical to sequential and
+/// the parallel rounds actually ran.
+#[test]
+fn dense_chain_tc_is_bit_identical_and_parallel() {
+    let n = 48usize;
+    let drive = |threads: usize| {
+        let (mut eng, p) = build(threads, true, false, false);
+        let ids: Vec<TermId> = (0..n)
+            .map(|i| eng.store_mut().atom(&format!("c{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            eng.fact(p.e, vec![w[0], w[1]]).unwrap();
+        }
+        eng.run().unwrap();
+        (eng, p)
+    };
+    let (seq, sp) = drive(1);
+    assert_eq!(seq.stats().parallel_rounds, 0, "threads=1 stays sequential");
+    assert_eq!(seq.rows(sp.t).count(), n * (n - 1) / 2);
+    for w in [2, 4, 8] {
+        let (par, pp) = drive(w);
+        assert!(
+            par.stats().parallel_rounds > 0,
+            "{w} workers: the fan-out must engage on a {n}-node chain"
+        );
+        assert!(par.stats().merge_rows > 0);
+        assert_eq!(
+            sorted_id_rows(&seq, sp.t),
+            sorted_id_rows(&par, pp.t),
+            "{w} workers: TermIds diverge"
+        );
+        assert_eq!(
+            sorted_id_rows(&seq, sp.s),
+            sorted_id_rows(&par, pp.s),
+            "{w} workers: join TermIds diverge"
+        );
+    }
+}
+
+/// Skewed-partition stress: a hub node owns > 90 % of the delta rows
+/// of the recursive round (every `t(hub, spoke)` tuple shares the hub
+/// as probe key, so partitioning assigns them all to one worker). The
+/// model must stay exact and `worker_imbalance` must report the skew
+/// well above the balanced baseline of ~100.
+#[test]
+fn skewed_partition_is_correct_and_reported() {
+    let spokes = 24usize;
+    let drive = |threads: usize| {
+        let (mut eng, p) = build(threads, false, false, false);
+        let hub = eng.store_mut().atom("hub");
+        let pre = eng.store_mut().atom("pre");
+        let spoke_ids: Vec<TermId> = (0..spokes)
+            .map(|i| eng.store_mut().atom(&format!("s{i}")))
+            .collect();
+        // pre → hub → every spoke: round 1 seeds t with all edges,
+        // round 2 scans that delta — 24 of its 25 rows keyed on `hub`.
+        eng.fact(p.e, vec![pre, hub]).unwrap();
+        for &s in &spoke_ids {
+            eng.fact(p.e, vec![hub, s]).unwrap();
+        }
+        eng.run().unwrap();
+        (eng, p)
+    };
+    let (seq, sp) = drive(1);
+    // pre→hub, hub→s_i, pre→s_i.
+    assert_eq!(seq.rows(sp.t).count(), 1 + 2 * spokes);
+    for w in [2, 4] {
+        let (par, pp) = drive(w);
+        assert_eq!(
+            sorted_id_rows(&seq, sp.t),
+            sorted_id_rows(&par, pp.t),
+            "{w} workers: skewed model diverges"
+        );
+        let stats = par.stats();
+        assert!(stats.parallel_rounds > 0, "{w} workers: fan-out engaged");
+        assert!(
+            stats.worker_imbalance >= 150,
+            "{w} workers: a >90% hot key must show up as imbalance, got {}",
+            stats.worker_imbalance
+        );
+    }
+}

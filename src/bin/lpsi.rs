@@ -12,6 +12,9 @@
 //! :help                  this text
 //! :dialect NAME          purelps | lps | elps | stratified
 //! :universe POLICY       reject | active | subsets N
+//! :threads N|auto        worker threads for the join phase (1 =
+//!                        sequential, auto = one per core); models are
+//!                        bit-identical at any setting
 //! :demand on|cold|off    demand-driven (magic-set) query answering
 //!                        (on = retained demand spaces, cold = re-derive
 //!                        per query)
@@ -290,8 +293,8 @@ fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
 fn print_help() {
     println!(
         "Enter facts/rules ending in `.`; `?- goal, goal, ....` to query.\n\
-         :help :dialect :universe :demand :model :program :normalized :sorts :stats :reset \
-         :clear :quit"
+         :help :dialect :universe :threads :demand :model :program :normalized :sorts :stats \
+         :reset :clear :quit"
     );
 }
 
@@ -373,7 +376,8 @@ fn main() -> io::Result<()> {
                          probes={} probe_rows={} probe_allocs={} \
                          incr_runs={} seeded={} \
                          adorns={} magic_seeds={} demand_fb={} \
-                         demand_cont={} evicted={}",
+                         demand_cont={} evicted={} \
+                         par_rounds={} merge_rows={} imbalance={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
@@ -387,7 +391,10 @@ fn main() -> io::Result<()> {
                         s.magic_facts_seeded,
                         s.demand_fallbacks,
                         s.demand_continuations,
-                        s.plans_evicted
+                        s.plans_evicted,
+                        s.parallel_rounds,
+                        s.merge_rows,
+                        s.worker_imbalance
                     ),
                     None => println!("no evaluation yet."),
                 },
@@ -438,6 +445,33 @@ fn main() -> io::Result<()> {
                         }
                     };
                     println!("dialect = {:?}", session.dialect);
+                }
+                ":threads" => {
+                    let show = |threads: usize| match threads {
+                        0 => "auto".to_string(),
+                        n => n.to_string(),
+                    };
+                    match arg {
+                        "" => {
+                            println!("threads = {}", show(session.config.threads));
+                            continue;
+                        }
+                        "auto" => session.config.threads = 0,
+                        n => match n.parse::<usize>() {
+                            Ok(n) if n >= 1 => session.config.threads = n,
+                            _ => {
+                                println!("usage: :threads N | auto (N >= 1)");
+                                continue;
+                            }
+                        },
+                    }
+                    // The join fan-out is invisible (bit-identical
+                    // models), so the live session — retained demand
+                    // spaces included — survives the change.
+                    if let Some(m) = session.model.as_mut() {
+                        m.engine_mut().set_threads(session.config.threads);
+                    }
+                    println!("threads = {}", show(session.config.threads));
                 }
                 ":universe" => {
                     session.invalidate();

@@ -1,0 +1,385 @@
+//! A minimal scoped worker pool: persistent threads, borrowed closures.
+//!
+//! Offline stand-in for the rayon/scoped-threadpool dependency this
+//! workspace would normally pull from crates.io (see `vendor/README.md`
+//! for the vendoring discipline). The API is the small fragment the
+//! `lps-engine` parallel evaluator needs:
+//!
+//! ```
+//! let pool = lps_pool::Pool::new(4);
+//! let mut parts = vec![0u64; 4];
+//! pool.scoped(|scope| {
+//!     for (i, p) in parts.iter_mut().enumerate() {
+//!         scope.execute(move || *p = i as u64 * 10);
+//!     }
+//! });
+//! assert_eq!(parts, [0, 10, 20, 30]);
+//! ```
+//!
+//! Design points, driven by the semi-naive fixpoint's usage pattern
+//! (hundreds to thousands of small fork-join rounds per evaluation):
+//!
+//! * **Persistent workers.** Threads are spawned once in [`Pool::new`]
+//!   and reused across scopes; a round pays a queue push and a wake,
+//!   not a `thread::spawn`.
+//! * **Bounded spin before parking.** Workers spin briefly between
+//!   rounds so back-to-back scopes usually skip the condvar round-trip,
+//!   then park. The spin is short enough to stay civil on machines
+//!   with fewer cores than workers.
+//! * **Scoped borrows.** [`Scope::execute`] accepts closures that
+//!   borrow from the caller's stack frame; [`Pool::scoped`] joins every
+//!   submitted job before returning (even on panic), which is what
+//!   makes the lifetime erasure below sound.
+//! * **Panic propagation.** A panicking job poisons its scope; the
+//!   scope re-panics on exit after all sibling jobs finish.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job as stored in the queue: lifetime-erased (see [`Scope::execute`]
+/// for the soundness argument) and paired with the state of the scope
+/// that submitted it.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    scope: Arc<ScopeState>,
+}
+
+/// Shared pool state: the job queue and shutdown flag.
+struct Inner {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+    /// Fast-path job counter so idle workers can spin without taking
+    /// the queue lock.
+    jobs: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Per-scope completion state.
+struct ScopeState {
+    /// Jobs submitted and not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// Set when any job of this scope panicked.
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job submitted to this scope has finished.
+    fn join(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Iterations of `spin_loop` before an idle worker parks on the
+/// condvar. Back-to-back fixpoint rounds are typically closer together
+/// than this; the value is small enough that oversubscribed machines
+/// (more workers than cores) don't burn a scheduling quantum spinning.
+const SPIN_LIMIT: u32 = 4096;
+
+/// A fixed-size pool of persistent worker threads.
+pub struct Pool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawn a pool of `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Pool {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            jobs: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lps-pool-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run a fork-join region: `f` may submit borrowing jobs through
+    /// the [`Scope`]; every job completes before `scoped` returns.
+    ///
+    /// # Panics
+    /// Panics after joining the region if any submitted job panicked
+    /// (the worker thread itself survives).
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _marker: PhantomData,
+        };
+        // The guard joins the scope even when `f` itself panics —
+        // without this, borrowed jobs could outlive the caller's frame.
+        struct JoinGuard<'a>(&'a ScopeState);
+        impl Drop for JoinGuard<'_> {
+            fn drop(&mut self) {
+                self.0.join();
+            }
+        }
+        let result = {
+            let _guard = JoinGuard(&scope.state);
+            f(&scope)
+        };
+        if scope.state.panicked.load(Ordering::Acquire) {
+            panic!("lps_pool: a scoped job panicked");
+        }
+        result
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside catch_unwind (impossible
+            // for jobs, which are caught) would surface here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Handle for submitting borrowing jobs inside [`Pool::scoped`].
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope`: closures must not be allowed to
+    /// borrow for longer than the region they were submitted in.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Submit a job. It may borrow anything that outlives `'scope`;
+    /// the enclosing [`Pool::scoped`] call joins it before returning.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        {
+            let mut pending = self.state.pending.lock().unwrap();
+            *pending += 1;
+        }
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the only thing erased here is the `'scope` lifetime.
+        // The job is joined before `Pool::scoped` returns (the
+        // `JoinGuard` runs even on panic), so the closure and its
+        // borrows never outlive the `'scope` region. The queue treats
+        // the box as opaque and never clones it.
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        let job = Job {
+            run,
+            scope: Arc::clone(&self.state),
+        };
+        {
+            let mut queue = self.pool.inner.queue.lock().unwrap();
+            queue.push_back(job);
+        }
+        self.pool.inner.jobs.fetch_add(1, Ordering::Release);
+        self.pool.inner.available.notify_one();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut spins: u32 = 0;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if inner.jobs.load(Ordering::Acquire) == 0 {
+            // Idle: spin briefly (cheap wake for back-to-back rounds),
+            // then park on the condvar.
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let queue = inner.queue.lock().unwrap();
+            let _unused = inner
+                .available
+                .wait_timeout_while(queue, std::time::Duration::from_millis(50), |q| {
+                    q.is_empty() && !inner.shutdown.load(Ordering::Acquire)
+                })
+                .unwrap();
+            spins = 0;
+            continue;
+        }
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            queue.pop_front()
+        };
+        let Some(job) = job else {
+            continue;
+        };
+        inner.jobs.fetch_sub(1, Ordering::AcqRel);
+        spins = 0;
+        if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
+            job.scope.panicked.store(true, Ordering::Release);
+        }
+        job.scope.finish_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn jobs_run_and_results_are_visible() {
+        let pool = Pool::new(4);
+        let mut parts = vec![0u64; 16];
+        pool.scoped(|scope| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                scope.execute(move || *p = (i as u64 + 1) * 3);
+            }
+        });
+        let want: Vec<u64> = (0..16).map(|i| (i + 1) * 3).collect();
+        assert_eq!(parts, want);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = Pool::new(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.scoped(|scope| {
+                for _ in 0..4 {
+                    scope.execute(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn empty_scope_is_a_cheap_noop() {
+        let pool = Pool::new(2);
+        let out = pool.scoped(|_| 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn scoped_joins_before_returning() {
+        let pool = Pool::new(2);
+        let flag = AtomicBool::new(false);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.store(true, Ordering::Release);
+            });
+        });
+        assert!(flag.load(Ordering::Acquire), "jobs outlived the scope");
+    }
+
+    #[test]
+    fn panicking_job_poisons_the_scope_not_the_pool() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err(), "scope must re-panic");
+        // The pool still works afterwards.
+        let counter = AtomicU64::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..8 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn sibling_jobs_finish_even_when_one_panics() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                for i in 0..8 {
+                    let counter = Arc::clone(&counter);
+                    scope.execute(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn many_concurrent_borrowing_jobs() {
+        let pool = Pool::new(8);
+        let mut rows = vec![0u32; 256];
+        pool.scoped(|scope| {
+            for chunk in rows.chunks_mut(16) {
+                scope.execute(move || {
+                    for (i, r) in chunk.iter_mut().enumerate() {
+                        *r = i as u32;
+                    }
+                });
+            }
+        });
+        for chunk in rows.chunks(16) {
+            for (i, r) in chunk.iter().enumerate() {
+                assert_eq!(*r, i as u32);
+            }
+        }
+    }
+}
