@@ -268,6 +268,51 @@ pub fn overlapping_sources(nodes: usize, k: usize, distinct: usize, seed: u64) -
         .collect()
 }
 
+/// E16: a cyclic three-way join whose *textual* body order is
+/// adversarial — the rule lists the two big bipartite layers first
+/// and the tiny corner-closing relation last:
+///
+/// ```text
+/// out(X, Z) :- big_a(X, Y), big_b(Y, Z), small_c(Z, X).
+/// ```
+///
+/// `big_a` is the complete `srcs × fanout` layer `s_i → m_j`, `big_b`
+/// the complete `fanout × srcs` layer `m_j → t_k`, and `small_c`
+/// closes only `keep` random `(t, s)` corners. No literal becomes
+/// fully bound until two are placed, so the textual order enumerates
+/// the whole `big_a ⋈ big_b` cross-section — `srcs · fanout · srcs`
+/// pairs — before `small_c` prunes it; a cost-based plan starts at
+/// `small_c` (binding both corners at `keep` rows) and touches only
+/// `keep · fanout` candidates. Deterministic in `seed` (which corners
+/// `small_c` closes).
+pub fn triangle_like(srcs: usize, fanout: usize, keep: usize, seed: u64) -> String {
+    assert!(keep <= srcs * srcs, "more corners than (t, s) pairs");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for i in 0..srcs {
+        for j in 0..fanout {
+            let _ = writeln!(src, "big_a(s{i}, m{j}).");
+        }
+    }
+    for j in 0..fanout {
+        for k in 0..srcs {
+            let _ = writeln!(src, "big_b(m{j}, t{k}).");
+        }
+    }
+    let mut kept: Vec<(usize, usize)> = Vec::with_capacity(keep);
+    while kept.len() < keep {
+        let corner = (rng.gen_range(0..srcs), rng.gen_range(0..srcs));
+        if !kept.contains(&corner) {
+            kept.push(corner);
+        }
+    }
+    for (t, s) in kept {
+        let _ = writeln!(src, "small_c(t{t}, s{s}).");
+    }
+    src.push_str("out(X, Z) :- big_a(X, Y), big_b(Y, Z), small_c(Z, X).\n");
+    src
+}
+
 /// E10: a non-1NF relation with `rows` tuples whose set attribute has
 /// `set_size` elements, plus the unnest rule (Example 4).
 pub fn unnest(rows: usize, set_size: usize) -> String {
@@ -301,6 +346,7 @@ mod tests {
             strata_chain(4, 6),
             unnest(10, 4),
             chain_tc(8),
+            triangle_like(6, 3, 2, 1),
         ] {
             lps_syntax::parse_program(&src)
                 .unwrap_or_else(|e| panic!("{}\n---\n{src}", e.render(&src)));

@@ -8,7 +8,7 @@ use crate::dialect::Dialect;
 use crate::error::CoreError;
 use crate::lower::load_program_sorted;
 use crate::sorts::{infer_sorts, SortTable};
-use crate::transform::magic::QueryAnswers;
+use crate::transform::magic::{QueryAnswers, QueryAnswersRef};
 use crate::transform::positive::normalize_program;
 use crate::validate::validate_program;
 
@@ -261,13 +261,31 @@ impl Model {
     /// assert_eq!(ans.rows, vec![vec![Value::atom("b"), Value::atom("c")]]);
     /// ```
     pub fn query(&mut self, pred: &str, args: &[Option<Value>]) -> Result<QueryAnswers, CoreError> {
+        Ok(self.query_view(pred, args)?.to_owned())
+    }
+
+    /// [`Model::query`] returning the borrowed, interned-row
+    /// [`QueryAnswersRef`] view: rows stay as engine term ids next to
+    /// the session's store, so callers that only count rows, test
+    /// membership, or render selectively skip the per-atom `Value`
+    /// (and `String`) construction of the owned form. The owned API is
+    /// a [`QueryAnswersRef::to_owned`] wrapper over this one.
+    pub fn query_view(
+        &mut self,
+        pred: &str,
+        args: &[Option<Value>],
+    ) -> Result<QueryAnswersRef<'_>, CoreError> {
         let id = self.engine.pred(pred, args.len());
         let interned: Vec<Option<lps_term::TermId>> = args
             .iter()
             .map(|a| a.as_ref().map(|v| v.intern(self.engine.store_mut())))
             .collect();
         let res = self.engine.query(id, &interned)?;
-        Ok(QueryAnswers::from_result(&self.engine, Vec::new(), res))
+        Ok(QueryAnswersRef::from_result(
+            self.engine.store(),
+            Vec::new(),
+            res,
+        ))
     }
 
     /// Demand-driven conjunctive query from surface syntax: the goal
@@ -277,9 +295,19 @@ impl Model {
     /// the goal's free variables in first-appearance order; a fully
     /// ground goal answers with one empty row ("yes") or none ("no").
     pub fn query_str(&mut self, body: &str) -> Result<QueryAnswers, CoreError> {
+        Ok(self.query_str_view(body)?.to_owned())
+    }
+
+    /// [`Model::query_str`] returning the borrowed, interned-row
+    /// [`QueryAnswersRef`] view (see [`Model::query_view`]).
+    pub fn query_str_view(&mut self, body: &str) -> Result<QueryAnswersRef<'_>, CoreError> {
         let goal = crate::transform::magic::compile_query(&mut self.engine, body)?;
         let res = self.engine.query_rule(goal.rule)?;
-        Ok(QueryAnswers::from_result(&self.engine, goal.columns, res))
+        Ok(QueryAnswersRef::from_result(
+            self.engine.store(),
+            goal.columns,
+            res,
+        ))
     }
 
     /// Does `pred(args…)` hold in the least model?
@@ -433,6 +461,28 @@ mod tests {
         assert!(m.stats().facts_derived >= 5);
         assert!(m.stats().iterations >= 2);
         assert_eq!(m.count("t", 2), 3);
+    }
+
+    #[test]
+    fn query_view_matches_owned_answers() {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str("e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+            .unwrap();
+        let mut session = db.session().unwrap();
+        let owned = session.query("t", &[Some(Value::atom("a")), None]).unwrap();
+        let view = session
+            .query_view("t", &[Some(Value::atom("a")), None])
+            .unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.to_owned().rows, owned.rows);
+        // Rows stay interned: lifting one on demand round-trips.
+        let lifted: Vec<Vec<Value>> = view.iter().map(|r| view.value_row(r)).collect();
+        assert!(lifted.contains(&vec![Value::atom("a"), Value::atom("c")]));
+
+        let owned = session.query_str("t(a, X), e(X, Y).").unwrap();
+        let view = session.query_str_view("t(a, X), e(X, Y).").unwrap();
+        assert_eq!(view.columns, vec!["X", "Y"]);
+        assert_eq!(view.to_owned().rows, owned.rows);
     }
 
     #[test]

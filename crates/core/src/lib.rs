@@ -52,4 +52,4 @@ pub use dialect::Dialect;
 pub use error::CoreError;
 pub use lps_engine::QueryPath;
 pub use lps_term::Value;
-pub use transform::magic::QueryAnswers;
+pub use transform::magic::{QueryAnswers, QueryAnswersRef};

@@ -22,9 +22,13 @@
 //!   constants compiles one plan, and under demand retention shares
 //!   one retained demand space, giving conjunctive goals the same
 //!   amortization point queries have.
+//! * [`QueryAnswersRef`] is the borrowed, *interned-row* result view:
+//!   answer rows stay as engine `TermId`s next to the store that owns
+//!   them, so counting, membership tests, and benchmark loops pay no
+//!   per-atom `String` allocation.
 //! * [`QueryAnswers`] is the owned, [`Value`]-level result form used
 //!   by [`crate::Model::query`] and [`crate::Model::query_str`] (and
-//!   by `lpsi`).
+//!   by `lpsi`) — a [`QueryAnswersRef::to_owned`] wrapper.
 //!
 //! Goals may use everything a normalized rule body may: positive and
 //! negated literals, comparisons, arithmetic, and a restricted
@@ -34,9 +38,9 @@
 //! `DESIGN.md` §3 for the fallback discipline.
 
 use lps_engine::pattern::{Pattern, VarId};
-use lps_engine::{Engine, EvalStats, QueryPath, QueryResult, Rule};
+use lps_engine::{Engine, EvalStats, QueryPath, QueryResult, RowSet, Rule};
 use lps_syntax::{parse_program, Span};
-use lps_term::Value;
+use lps_term::{TermId, TermStore, Value};
 
 use crate::error::CoreError;
 use crate::lower::lower_clause;
@@ -70,21 +74,82 @@ pub struct QueryAnswers {
 impl QueryAnswers {
     /// Lift an engine-level result into owned values.
     pub fn from_result(engine: &Engine, columns: Vec<String>, res: QueryResult) -> Self {
-        let mut rows: Vec<Vec<Value>> = res
-            .rows
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&id| Value::from_store(engine.store(), id))
-                    .collect()
-            })
-            .collect();
-        rows.sort();
-        QueryAnswers {
+        QueryAnswersRef::from_result(engine.store(), columns, res).to_owned()
+    }
+}
+
+/// Borrowed, interned-row view of a query's answers: the rows stay in
+/// the engine's flat [`RowSet`] (one allocation per answer set, rows
+/// are `TermId` slices), paired with the [`TermStore`] that interns
+/// them. The hot path — row counts, existence checks, streaming rows
+/// through a benchmark — never builds a [`Value`] (and so never
+/// allocates a `String` per atom); [`QueryAnswersRef::value_row`]
+/// lifts single rows and [`QueryAnswersRef::to_owned`] the whole set
+/// on demand.
+#[derive(Debug)]
+pub struct QueryAnswersRef<'a> {
+    store: &'a TermStore,
+    /// Column names for conjunctive goals (empty for single-predicate
+    /// queries, whose rows follow the predicate's argument order).
+    pub columns: Vec<String>,
+    /// The matching rows, interned, in derivation order (unsorted —
+    /// sorting happens at the `Value` level in
+    /// [`QueryAnswersRef::to_owned`]).
+    pub rows: RowSet,
+    /// Which engine pipeline answered (demand, model, or fallback).
+    pub path: QueryPath,
+    /// Work the query performed.
+    pub stats: EvalStats,
+}
+
+impl<'a> QueryAnswersRef<'a> {
+    /// Wrap an engine-level result without marshalling any row.
+    pub fn from_result(store: &'a TermStore, columns: Vec<String>, res: QueryResult) -> Self {
+        QueryAnswersRef {
+            store,
             columns,
-            rows,
+            rows: res.rows,
             path: res.path,
             stats: res.stats,
+        }
+    }
+
+    /// Number of answer rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the query had no answers ("no" for ground goals).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over the interned rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[TermId]> {
+        self.rows.iter()
+    }
+
+    /// The store the rows are interned in (for custom rendering).
+    pub fn store(&self) -> &'a TermStore {
+        self.store
+    }
+
+    /// Lift one interned row to owned [`Value`]s.
+    pub fn value_row(&self, row: &[TermId]) -> Vec<Value> {
+        row.iter()
+            .map(|&id| Value::from_store(self.store, id))
+            .collect()
+    }
+
+    /// Lift every row to the owned, sorted [`Value`]-level form.
+    pub fn to_owned(&self) -> QueryAnswers {
+        let mut rows: Vec<Vec<Value>> = self.iter().map(|row| self.value_row(row)).collect();
+        rows.sort();
+        QueryAnswers {
+            columns: self.columns.clone(),
+            rows,
+            path: self.path,
+            stats: self.stats,
         }
     }
 }

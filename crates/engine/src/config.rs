@@ -79,6 +79,16 @@ pub struct EvalConfig {
     /// environment variable (unset or unparsable = 1), so a whole test
     /// suite can be swept across thread counts without code changes.
     pub threads: usize,
+    /// Use per-predicate cardinality statistics ([`crate::stats`]) to
+    /// reorder positive body literals at compile time and to score the
+    /// sideways-information-passing order of the magic-set rewrite
+    /// (E16). `false` restores the textual planner — body literals are
+    /// joined in written order (modulo safety) and demand propagates
+    /// left-to-right — which is the ablation baseline and never changes
+    /// answers, only work. The default honours the `LPS_PLANNER`
+    /// environment variable (`off`/`0`/`false` = textual; unset or
+    /// anything else = cost-based), mirroring `LPS_THREADS`.
+    pub cost_planner: bool,
 }
 
 impl Default for EvalConfig {
@@ -91,6 +101,7 @@ impl Default for EvalConfig {
             demand_retention: true,
             demand_plan_cache: 64,
             threads: threads_from_env(),
+            cost_planner: planner_from_env(),
         }
     }
 }
@@ -104,6 +115,18 @@ fn threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(1)
+}
+
+/// The `LPS_PLANNER` default: `off`, `0`, or `false` (case-insensitive)
+/// disables the cost-based planner; unset or any other value keeps it
+/// on. Read per `EvalConfig::default()` call, like `LPS_THREADS`.
+fn planner_from_env() -> bool {
+    !std::env::var("LPS_PLANNER")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "off" || v == "0" || v == "false"
+        })
+        .unwrap_or(false)
 }
 
 /// Counters describing one evaluation run. `T_P` round counts are the
@@ -173,6 +196,21 @@ pub struct EvalStats {
     /// means one worker owned every row. [`EvalStats::absorb`] keeps
     /// the maximum (a peak, unlike the additive counters).
     pub worker_imbalance: usize,
+    /// Rule variants whose join order the cost planner changed away
+    /// from the textual order (plus SIPS choices in the magic rewrite
+    /// that differ from textual sideways passing). 0 with
+    /// `cost_planner = false`, and 0 when the statistics agreed with
+    /// the written order everywhere (E16).
+    pub reorders_applied: usize,
+    /// Sum of the planner's estimated intermediate-result rows over the
+    /// join orders it chose — the quantity the greedy ordering
+    /// minimizes. A relative signal only: compare between planner
+    /// configurations on the same program, not across programs.
+    pub estimated_rows: usize,
+    /// Lazy statistics-snapshot passes ([`crate::stats::StatsCache`])
+    /// taken during this pass: how often fact movement actually forced
+    /// a re-read of the relation cardinalities before a compile.
+    pub stats_refreshes: usize,
 }
 
 impl EvalStats {
@@ -196,6 +234,9 @@ impl EvalStats {
         self.parallel_rounds += other.parallel_rounds;
         self.merge_rows += other.merge_rows;
         self.worker_imbalance = self.worker_imbalance.max(other.worker_imbalance);
+        self.reorders_applied += other.reorders_applied;
+        self.estimated_rows = self.estimated_rows.saturating_add(other.estimated_rows);
+        self.stats_refreshes += other.stats_refreshes;
     }
 }
 
@@ -220,6 +261,16 @@ mod tests {
             c.threads, expected_threads,
             "thread default follows LPS_THREADS (unset = sequential)"
         );
+        let expected_planner = !std::env::var("LPS_PLANNER")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "off" || v == "0" || v == "false"
+            })
+            .unwrap_or(false);
+        assert_eq!(
+            c.cost_planner, expected_planner,
+            "planner default follows LPS_PLANNER (unset = cost-based)"
+        );
     }
 
     #[test]
@@ -243,6 +294,9 @@ mod tests {
             parallel_rounds: 2,
             merge_rows: 40,
             worker_imbalance: 150,
+            reorders_applied: 1,
+            estimated_rows: 100,
+            stats_refreshes: 1,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -263,6 +317,9 @@ mod tests {
             parallel_rounds: 3,
             merge_rows: 16,
             worker_imbalance: 120,
+            reorders_applied: 2,
+            estimated_rows: 50,
+            stats_refreshes: 2,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -280,5 +337,8 @@ mod tests {
         assert_eq!(a.parallel_rounds, 5);
         assert_eq!(a.merge_rows, 56);
         assert_eq!(a.worker_imbalance, 150, "imbalance is a peak, not a sum");
+        assert_eq!(a.reorders_applied, 3);
+        assert_eq!(a.estimated_rows, 150);
+        assert_eq!(a.stats_refreshes, 3);
     }
 }

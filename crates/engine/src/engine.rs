@@ -30,6 +30,7 @@ use crate::plan::{compile_program, compile_rule, CompiledProgram};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::{ColMask, Relation};
 use crate::rule::Rule;
+use crate::stats::{Stats, StatsCache};
 
 /// Lifecycle of an [`Engine`] session.
 ///
@@ -64,6 +65,9 @@ struct Prepared {
     program: CompiledProgram,
     /// The universe policy the rules were compiled under.
     policy: SetUniverse,
+    /// Whether the rules were compiled with cost-based join ordering
+    /// ([`EvalConfig::cost_planner`]); a flip recompiles.
+    cost_planner: bool,
 }
 
 /// Key of the demand plan cache: the queried predicate (or the
@@ -376,6 +380,32 @@ pub struct Engine {
     conj_shapes: FxHashMap<String, PredId>,
     /// The universe policy the cached query plans were compiled under.
     query_policy: SetUniverse,
+    /// The [`EvalConfig::cost_planner`] flag the cached query plans
+    /// were compiled under; a flip drops and recompiles them (their
+    /// join orders and SIPS choices are planner-dependent).
+    query_planner: bool,
+    /// Lazily refreshed per-predicate cardinality snapshot feeding the
+    /// cost-based planner (E16): invalidated (cheaply) whenever facts
+    /// move, re-read from the relations at the next compile that needs
+    /// it.
+    stats_cache: StatsCache,
+    /// Planner counters (reorders, estimated rows, stats refreshes)
+    /// accumulated by compiles since the last pass epilogue; flushed
+    /// into that pass's [`EvalStats`].
+    planner_pending: EvalStats,
+    /// Shadow model for non-monotone (fallback) queries: a full
+    /// materialization kept *beside* the live relations, so answering
+    /// a query whose rewrite is obstructed does not rebuild `full`,
+    /// does not flip the session to `Materialized`, and — the point —
+    /// does not put sibling plans' retained demand spaces back to
+    /// cold. Rebuilt lazily; [`Engine::fallback_config`] tracks
+    /// staleness.
+    fallback_full: Vec<Relation>,
+    /// Semi-naive working deltas of the shadow model.
+    fallback_delta: Vec<Relation>,
+    /// The configuration the shadow model was materialized under;
+    /// `None` = stale (facts or rules changed since, or never built).
+    fallback_config: Option<EvalConfig>,
     /// Interned-set count at the last completed materialization (the
     /// baseline for universe-growth triggers in incremental updates).
     sets_at_materialize: usize,
@@ -415,6 +445,12 @@ impl Engine {
             query_lru: Vec::new(),
             conj_shapes: FxHashMap::default(),
             query_policy: config.set_universe,
+            query_planner: config.cost_planner,
+            stats_cache: StatsCache::default(),
+            planner_pending: EvalStats::default(),
+            fallback_full: Vec::new(),
+            fallback_delta: Vec::new(),
+            fallback_config: None,
             sets_at_materialize: 0,
             config_at_materialize: config,
             last_stats: EvalStats::default(),
@@ -474,6 +510,51 @@ impl Engine {
         if self.exec.requested() != self.config.threads {
             self.exec = ParExec::new(self.config.threads);
         }
+    }
+
+    /// Refresh the planner-statistics snapshot if the cost planner is
+    /// on and facts moved since the last refresh. Returns whether the
+    /// snapshot may be used (`false` = planner off, textual ordering).
+    /// Actual refresh passes are counted into the next pass's
+    /// [`EvalStats::stats_refreshes`].
+    fn refresh_planner_stats(&mut self) -> bool {
+        if !self.config.cost_planner {
+            return false;
+        }
+        let (_, refreshed) = self.stats_cache.refreshed(&self.edb, &self.full);
+        if refreshed {
+            self.planner_pending.stats_refreshes += 1;
+        }
+        true
+    }
+
+    /// A fresh planner-statistics snapshot over the session's current
+    /// relations, refreshing the lazy cache if facts moved since the
+    /// last refresh. Available regardless of
+    /// [`EvalConfig::cost_planner`], so the estimates can be inspected
+    /// (`:planner stats` in `lpsi`) even with planning off.
+    pub fn planner_stats(&mut self) -> &Stats {
+        let (stats, refreshed) = self.stats_cache.refreshed(&self.edb, &self.full);
+        if refreshed {
+            self.planner_pending.stats_refreshes += 1;
+        }
+        stats
+    }
+
+    /// Drain the planner counters accumulated by compiles since the
+    /// last pass epilogue, to be absorbed into that pass's stats.
+    fn take_planner_counters(&mut self) -> EvalStats {
+        std::mem::take(&mut self.planner_pending)
+    }
+
+    /// Fold a compiled program's planner accounting into the pending
+    /// counters.
+    fn account_compile(&mut self, reorders: usize, estimated_rows: usize) {
+        self.planner_pending.reorders_applied += reorders;
+        self.planner_pending.estimated_rows = self
+            .planner_pending
+            .estimated_rows
+            .saturating_add(estimated_rows);
     }
 
     /// Statistics from the most recent evaluation pass (batch run or
@@ -542,6 +623,8 @@ impl Engine {
             });
         }
         self.edb[pred.index()].insert(&tuple);
+        self.stats_cache.invalidate();
+        self.fallback_config = None;
         if matches!(self.state, EngineState::Materialized | EngineState::Dirty)
             && !self.full[pred.index()].contains(&tuple)
         {
@@ -599,6 +682,7 @@ impl Engine {
         // model from the EDB; the next query re-derives its rewrite.
         self.prepared = None;
         self.clear_query_plans();
+        self.fallback_config = None;
         self.state = EngineState::Unprepared;
         Ok(())
     }
@@ -661,6 +745,10 @@ impl Engine {
     /// `reset` and queries must not accumulate demand-space memory.
     pub fn reset_facts(&mut self) {
         self.clear_query_plans();
+        self.stats_cache.invalidate();
+        self.fallback_full.clear();
+        self.fallback_delta.clear();
+        self.fallback_config = None;
         for i in 0..self.preds.len() {
             self.edb[i].clear();
             self.full[i].clear();
@@ -805,6 +893,7 @@ impl Engine {
         if fresh {
             stats.adornments_compiled = adornments;
         }
+        stats.absorb(self.take_planner_counters());
         let rows = self.lookup_rows(answer, mask, &seed_tuple, 0);
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
@@ -847,7 +936,8 @@ impl Engine {
             // `run` accounts for its own work (no-op, incremental, or
             // rebuild); only the goal evaluation is new here.
             let mut stats = self.run()?;
-            let extra = self.eval_single_rule(&rule)?;
+            let mut extra = self.eval_single_rule(&rule)?;
+            extra.absorb(self.take_planner_counters());
             stats.absorb(extra);
             self.last_stats = stats;
             self.cumulative_stats.absorb(extra);
@@ -889,17 +979,18 @@ impl Engine {
         }
         if matches!(self.query_plans[&key], QueryEntry::Fallback) {
             // Non-monotone goal (or unplannable rewrite): materialize
-            // (self-accounting, as above), then evaluate the original
-            // query rule over the model.
-            let mut stats = self.run_batch()?;
-            let mut extra = self.eval_single_rule(&rule)?;
+            // the shadow model, then evaluate the original query rule
+            // over it — sibling demand plans stay warm.
+            let mut stats = self.ensure_shadow()?;
+            let mut extra = self.eval_single_rule_on(&rule, true)?;
+            extra.absorb(self.take_planner_counters());
             extra.demand_fallbacks = 1;
             extra.plans_evicted = evicted;
             stats.absorb(extra);
             self.last_stats = stats;
-            self.cumulative_stats.absorb(extra);
+            self.cumulative_stats.absorb(stats);
             return Ok(QueryResult {
-                rows: self.collect_rows(rule.head),
+                rows: self.collect_shadow_rows(rule.head),
                 path: QueryPath::Fallback,
                 stats,
             });
@@ -911,6 +1002,7 @@ impl Engine {
         if fresh {
             stats.adornments_compiled = adornments;
         }
+        stats.absorb(self.take_planner_counters());
         // The retained adorned relation accumulates every seed's
         // answers; this call's rows are those whose seed columns match
         // its constants (an indexed lookup), seed columns stripped.
@@ -932,23 +1024,37 @@ impl Engine {
         let mut all_rules = self.rules.clone();
         let head = rule.head;
         all_rules.push(rule.clone());
-        let rewritten =
-            match magic::magic_rewrite(&all_rules, head, 0, &mut self.store, &mut self.preds) {
-                MagicOutcome::Obstructed(_) => None,
-                MagicOutcome::Rewritten(mp) => self
-                    .compile_rewritten(&mp.rules)
+        let cost_on = self.refresh_planner_stats();
+        let policy = self.config.set_universe;
+        let rewritten = match magic::magic_rewrite(
+            &all_rules,
+            head,
+            0,
+            &mut self.store,
+            &mut self.preds,
+            cost_on.then(|| magic::SipsCost {
+                stats: self.stats_cache.current(),
+                policy,
+            }),
+        ) {
+            MagicOutcome::Obstructed(_) => None,
+            MagicOutcome::Rewritten(mp) => {
+                self.planner_pending.reorders_applied += mp.reorders;
+                self.compile_rewritten(&mp.rules)
                     .ok()
-                    .map(|program| (mp, program)),
-            };
+                    .map(|program| (mp, program))
+            }
+        };
         let Some((mp, program)) = rewritten else {
-            let mut stats = self.run_batch()?;
-            let mut extra = self.eval_single_rule(&rule)?;
+            let mut stats = self.ensure_shadow()?;
+            let mut extra = self.eval_single_rule_on(&rule, true)?;
+            extra.absorb(self.take_planner_counters());
             extra.demand_fallbacks = 1;
             stats.absorb(extra);
             self.last_stats = stats;
-            self.cumulative_stats.absorb(extra);
+            self.cumulative_stats.absorb(stats);
             return Ok(QueryResult {
-                rows: self.collect_rows(head),
+                rows: self.collect_shadow_rows(head),
                 path: QueryPath::Fallback,
                 stats,
             });
@@ -973,6 +1079,8 @@ impl Engine {
             &mut self.exec,
         )?;
         stats.adornments_compiled = mp.adornments;
+        stats.absorb(self.take_planner_counters());
+        self.stats_cache.invalidate();
         let rows = self.collect_rows(mp.answer);
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
@@ -983,28 +1091,132 @@ impl Engine {
         })
     }
 
-    /// Fallback query evaluation: materialize the full model once,
-    /// then filter the predicate's extension. `evicted` carries plan
-    /// evictions the caller's cache maintenance performed on the way
-    /// here, so they stay visible in the pass counters.
+    /// Fallback query evaluation: materialize the *shadow* model (a
+    /// full materialization kept beside the live relations) and filter
+    /// the predicate's extension there. The fallback is routed per
+    /// query: sibling demand plans keep their retained fixpoints, the
+    /// session state is untouched, and a later monotone query
+    /// continues warm. A fresh shadow answers repeat non-monotone
+    /// queries by an indexed read. `evicted` carries plan evictions
+    /// the caller's cache maintenance performed on the way here, so
+    /// they stay visible in the pass counters.
     fn query_fallback(
         &mut self,
         pred: PredId,
         args: &[Option<TermId>],
         evicted: usize,
     ) -> Result<QueryResult, EngineError> {
-        let mut stats = self.run_batch()?;
+        let mut stats = self.ensure_shadow()?;
+        stats.absorb(self.take_planner_counters());
         stats.demand_fallbacks = 1;
         stats.plans_evicted += evicted;
-        self.last_stats.demand_fallbacks += 1;
-        self.last_stats.plans_evicted += evicted;
-        self.cumulative_stats.demand_fallbacks += 1;
-        self.cumulative_stats.plans_evicted += evicted;
+        let rows = self.filter_shadow_rows(pred, args);
+        self.last_stats = stats;
+        self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
-            rows: self.filter_rows(pred, args),
+            rows,
             path: QueryPath::Fallback,
             stats,
         })
+    }
+
+    /// Bring the shadow fallback model up to date, returning the
+    /// statistics of the materialization pass (zeroed when the shadow
+    /// was already fresh). Registry growth since the last build (new
+    /// predicates, adorned relations of later rewrites) cannot change
+    /// the model — fact and rule changes invalidate it — so stale-free
+    /// growth just sizes the vectors.
+    fn ensure_shadow(&mut self) -> Result<EvalStats, EngineError> {
+        if self.fallback_config != Some(self.config) {
+            return self.run_shadow();
+        }
+        for i in 0..self.preds.len() {
+            let arity = self.preds.info(PredId::from_index(i)).arity;
+            if i >= self.fallback_full.len() {
+                self.fallback_full.push(Relation::new(arity));
+                self.fallback_delta.push(Relation::new(arity));
+            } else if self.fallback_full[i].arity() != arity {
+                // A recycled registry slot re-registered at another
+                // arity; it was emptied on release, nothing is lost.
+                self.fallback_full[i] = Relation::new(arity);
+                self.fallback_delta[i] = Relation::new(arity);
+            }
+        }
+        Ok(EvalStats::default())
+    }
+
+    /// Materialize the shadow model: the prepared batch program run
+    /// over a scratch copy of the EDB. Unlike [`Engine::run_batch`]
+    /// this leaves `full`, the retained demand spaces, and the session
+    /// state untouched — the whole point of the shadow.
+    fn run_shadow(&mut self) -> Result<EvalStats, EngineError> {
+        self.materialize_universe()?;
+        self.prepare()?;
+        let mut stats = EvalStats::default();
+        self.fallback_full.clear();
+        self.fallback_delta.clear();
+        for i in 0..self.preds.len() {
+            self.fallback_full.push(self.edb[i].clone());
+            stats.facts_derived += self.edb[i].len();
+            self.fallback_delta.push(Relation::new(self.edb[i].arity()));
+        }
+        let program = &self.prepared.as_ref().expect("prepare() just ran").program;
+        for &(pred, mask, is_delta) in &program.index_requests {
+            self.fallback_full[pred.index()].ensure_index(mask);
+            if is_delta {
+                self.fallback_delta[pred.index()].ensure_index(mask);
+            }
+        }
+        for &i in &program.fact_rules {
+            let cr = &program.compiled[i];
+            let tuple: Vec<TermId> = ground_head_tuple(&cr.rule);
+            if self.fallback_full[cr.rule.head.index()].insert(&tuple) {
+                stats.facts_derived += 1;
+            }
+        }
+        for s in 0..program.strat.num_strata {
+            let stratum_stats = run_stratum(
+                &mut self.store,
+                &mut self.fallback_full,
+                &mut self.fallback_delta,
+                &program.regular(s),
+                &program.grouping(s),
+                &self.config,
+                StratumStart::Batch,
+                &mut self.exec,
+            )?;
+            stats.absorb(stratum_stats);
+        }
+        self.fallback_config = Some(self.config);
+        Ok(stats)
+    }
+
+    /// [`Engine::filter_rows`] against the shadow fallback model.
+    fn filter_shadow_rows(&mut self, pred: PredId, args: &[Option<TermId>]) -> RowSet {
+        let mask = magic::adornment_of(args);
+        let key: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
+        let mut out = RowSet::new(self.preds.info(pred).arity);
+        let rel = &mut self.fallback_full[pred.index()];
+        if mask == 0 {
+            for row in rel.iter() {
+                out.push(row);
+            }
+            return out;
+        }
+        rel.ensure_index(mask);
+        for &r in rel.lookup(mask, &key) {
+            out.push(rel.row(r));
+        }
+        out
+    }
+
+    /// All rows of `pred` in the shadow fallback model.
+    fn collect_shadow_rows(&self, pred: PredId) -> RowSet {
+        let mut out = RowSet::new(self.preds.info(pred).arity);
+        for row in self.fallback_full[pred.index()].iter() {
+            out.push(row);
+        }
+        out
     }
 
     /// Compile the demand plan for one `(pred, adornment)` pattern.
@@ -1013,11 +1225,23 @@ impl Engine {
     /// fallback entry instead of an error (the batch pipeline will
     /// surface real program errors).
     fn compile_query_plan(&mut self, pred: PredId, mask: ColMask) -> QueryEntry {
-        let mp =
-            match magic::magic_rewrite(&self.rules, pred, mask, &mut self.store, &mut self.preds) {
-                MagicOutcome::Obstructed(_) => return QueryEntry::Fallback,
-                MagicOutcome::Rewritten(mp) => mp,
-            };
+        let cost_on = self.refresh_planner_stats();
+        let policy = self.config.set_universe;
+        let mp = match magic::magic_rewrite(
+            &self.rules,
+            pred,
+            mask,
+            &mut self.store,
+            &mut self.preds,
+            cost_on.then(|| magic::SipsCost {
+                stats: self.stats_cache.current(),
+                policy,
+            }),
+        ) {
+            MagicOutcome::Obstructed(_) => return QueryEntry::Fallback,
+            MagicOutcome::Rewritten(mp) => mp,
+        };
+        self.planner_pending.reorders_applied += mp.reorders;
         match self.compile_rewritten(&mp.rules) {
             Ok(program) => QueryEntry::Demand(Box::new(make_plan(program, mp))),
             Err(_) => QueryEntry::Fallback,
@@ -1031,10 +1255,23 @@ impl Engine {
     fn compile_conj_plan(&mut self, canonical: Rule, shape: PredId, mask: ColMask) -> QueryEntry {
         let mut all = self.rules.clone();
         all.push(canonical);
-        let mp = match magic::magic_rewrite(&all, shape, mask, &mut self.store, &mut self.preds) {
+        let cost_on = self.refresh_planner_stats();
+        let policy = self.config.set_universe;
+        let mp = match magic::magic_rewrite(
+            &all,
+            shape,
+            mask,
+            &mut self.store,
+            &mut self.preds,
+            cost_on.then(|| magic::SipsCost {
+                stats: self.stats_cache.current(),
+                policy,
+            }),
+        ) {
             MagicOutcome::Obstructed(_) => return QueryEntry::Fallback,
             MagicOutcome::Rewritten(mp) => mp,
         };
+        self.planner_pending.reorders_applied += mp.reorders;
         match self.compile_rewritten(&mp.rules) {
             Ok(program) => QueryEntry::Demand(Box::new(make_plan(program, mp))),
             Err(_) => QueryEntry::Fallback,
@@ -1119,6 +1356,9 @@ impl Engine {
                 .collect();
             plan.sets_base = self.store.set_ids().len();
         }
+        // Demand derivations changed the relations the next compile's
+        // statistics would read.
+        self.stats_cache.invalidate();
         Ok(stats)
     }
 
@@ -1309,25 +1549,38 @@ impl Engine {
     /// relation vectors for the predicates the rewrite registered.
     fn compile_rewritten(&mut self, rules: &[Rule]) -> Result<CompiledProgram, EngineError> {
         self.sync_relation_slots();
+        let cost_on = self.refresh_planner_stats();
         let names = {
             let store = &self.store;
             let preds = &self.preds;
             move |p: PredId| store.symbols().name(preds.info(p).name).to_owned()
         };
         let growable: FxHashSet<PredId> = self.preds.ids().collect();
-        compile_program(
+        let program = compile_program(
             rules,
             self.preds.len(),
             &self.preds,
             &names,
             &growable,
             self.config.set_universe,
-        )
+            cost_on.then(|| self.stats_cache.current()),
+        )?;
+        self.account_compile(program.reorders_applied, program.estimated_rows);
+        Ok(program)
     }
 
     /// Evaluate one ad-hoc rule against the (materialized) relations:
     /// used by [`Engine::query_rule`] once a model exists.
     fn eval_single_rule(&mut self, rule: &Rule) -> Result<EvalStats, EngineError> {
+        self.eval_single_rule_on(rule, false)
+    }
+
+    /// [`Engine::eval_single_rule`], targeting either the live model
+    /// (`shadow = false`) or the shadow fallback model (`shadow =
+    /// true`, for non-monotone conjunctive goals answered without
+    /// disturbing the live relations).
+    fn eval_single_rule_on(&mut self, rule: &Rule, shadow: bool) -> Result<EvalStats, EngineError> {
+        let cost_on = self.refresh_planner_stats();
         let names = {
             let store = &self.store;
             let preds = &self.preds;
@@ -1341,25 +1594,43 @@ impl Engine {
             &names,
             &FxHashSet::default(),
             self.config.set_universe,
+            cost_on.then(|| self.stats_cache.current()),
         )?;
-        self.full[rule.head.index()].clear();
-        self.delta[rule.head.index()].clear();
+        self.account_compile(cr.reorders, cr.estimated_rows);
+        let (full, delta) = if shadow {
+            (&mut self.fallback_full, &mut self.fallback_delta)
+        } else {
+            (&mut self.full, &mut self.delta)
+        };
+        let h = rule.head.index();
+        let arity = rule.head_args.len();
+        if full[h].arity() != arity {
+            full[h] = Relation::new(arity);
+            delta[h] = Relation::new(arity);
+        } else {
+            full[h].clear();
+            delta[h].clear();
+        }
         for &(p, m, is_delta) in &cr.index_requests {
-            self.full[p.index()].ensure_index(m);
+            full[p.index()].ensure_index(m);
             if is_delta {
-                self.delta[p.index()].ensure_index(m);
+                delta[p.index()].ensure_index(m);
             }
         }
-        run_stratum(
+        let stats = run_stratum(
             &mut self.store,
-            &mut self.full,
-            &mut self.delta,
+            full,
+            delta,
             &[&cr],
             &[],
             &self.config,
             StratumStart::Batch,
             &mut self.exec,
-        )
+        )?;
+        if !shadow {
+            self.stats_cache.invalidate();
+        }
+        Ok(stats)
     }
 
     /// Drop the per-adornment plan cache when the universe policy it
@@ -1367,9 +1638,12 @@ impl Engine {
     /// Returns the number of bound-shrink evictions (policy-change
     /// clears recompile everything and are not eviction-counted).
     fn refresh_query_cache_policy(&mut self) -> usize {
-        if self.query_policy != self.config.set_universe {
+        if self.query_policy != self.config.set_universe
+            || self.query_planner != self.config.cost_planner
+        {
             self.clear_query_plans();
             self.query_policy = self.config.set_universe;
+            self.query_planner = self.config.cost_planner;
         }
         let bound = self.config.demand_plan_cache.max(1);
         let mut evicted = 0;
@@ -1495,13 +1769,12 @@ impl Engine {
     /// Stratify and compile the rule set, caching the result. A no-op
     /// when a cache built under the current universe policy exists.
     fn prepare(&mut self) -> Result<(), EngineError> {
-        if self
-            .prepared
-            .as_ref()
-            .is_some_and(|p| p.policy == self.config.set_universe)
-        {
+        if self.prepared.as_ref().is_some_and(|p| {
+            p.policy == self.config.set_universe && p.cost_planner == self.config.cost_planner
+        }) {
             return Ok(());
         }
+        let cost_on = self.refresh_planner_stats();
         // Every registered predicate can gain facts later in the
         // session, so every positive literal gets a delta variant and
         // every quantifier-inner predicate is a re-evaluation trigger
@@ -1519,11 +1792,14 @@ impl Engine {
             &names,
             &growable,
             self.config.set_universe,
+            cost_on.then(|| self.stats_cache.current()),
         )?;
+        self.account_compile(program.reorders_applied, program.estimated_rows);
 
         self.prepared = Some(Prepared {
             program,
             policy: self.config.set_universe,
+            cost_planner: self.config.cost_planner,
         });
         if self.state == EngineState::Unprepared {
             self.state = EngineState::Prepared;
@@ -1676,7 +1952,9 @@ impl Engine {
     }
 
     /// Common epilogue of every evaluation pass.
-    fn finish(&mut self, stats: EvalStats) -> Result<EvalStats, EngineError> {
+    fn finish(&mut self, mut stats: EvalStats) -> Result<EvalStats, EngineError> {
+        stats.absorb(self.take_planner_counters());
+        self.stats_cache.invalidate();
         self.state = EngineState::Materialized;
         self.sets_at_materialize = self.store.set_ids().len();
         self.config_at_materialize = self.config;
@@ -2575,16 +2853,23 @@ mod tests {
         assert_eq!(res.path, QueryPath::Fallback);
         assert_eq!(res.stats.demand_fallbacks, 1);
         assert_eq!(res.rows, vec![vec![ids[2]]]);
+        // The fallback materializes a *shadow* model: the session
+        // itself stays in the demand regime.
         assert_eq!(
             e.state(),
-            EngineState::Materialized,
-            "fallback materializes"
+            EngineState::Prepared,
+            "shadow fallback leaves the session un-materialized"
         );
-        // The monotone part still demand-evaluates on a fresh session…
+        // …so the monotone part still demand-evaluates.
         let res = e.query(reach, &[Some(ids[1])]).unwrap();
-        // …but this session is materialized now, so it's a model read.
-        assert_eq!(res.path, QueryPath::Materialized);
+        assert_eq!(res.path, QueryPath::Demand);
         assert_eq!(res.rows, vec![vec![ids[1]]]);
+        // A repeat non-monotone query reads the fresh shadow: no
+        // re-materialization.
+        let res = e.query(unreach, &[Some(ids[2])]).unwrap();
+        assert_eq!(res.path, QueryPath::Fallback);
+        assert_eq!(res.stats.facts_derived, 0, "shadow model is reused");
+        assert_eq!(res.rows, vec![vec![ids[2]]]);
     }
 
     #[test]
@@ -2788,6 +3073,56 @@ mod tests {
         let other = e.query(t, &[Some(ids[1]), None]).unwrap();
         assert_eq!(other.rows.len(), 5, "n1 reaches n2..n5 and x");
         assert_eq!(other.stats.facts_derived, 0, "already propagated");
+    }
+
+    #[test]
+    fn shadow_fallback_keeps_sibling_demand_spaces_live() {
+        let (mut e, edge, t, ids) = left_linear_engine();
+        let node = e.pred("node", 1);
+        let unreach = e.pred("unreachable", 1);
+        for &n in &ids {
+            e.fact(node, vec![n]).unwrap();
+        }
+        // unreachable(X) :- node(X), ¬t(X, X) — obstructed rewrite.
+        e.rule(plain_rule(
+            unreach,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(node, vec![v(0)]),
+                BodyLit::Neg(t, vec![v(0), v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+        // Warm a monotone demand plan…
+        let first = e.query(t, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(first.path, QueryPath::Demand);
+        assert_eq!(first.rows.len(), 4, "n1 reaches n2..n5");
+        // …interleave a non-monotone query…
+        let nm = e.query(unreach, &[Some(ids[2])]).unwrap();
+        assert_eq!(nm.path, QueryPath::Fallback);
+        assert_eq!(nm.rows, vec![vec![ids[2]]]);
+        // …and the sibling plan stayed live: a repeat of the monotone
+        // query is still a zero-work read of its retained space.
+        let repeat = e.query(t, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(repeat.path, QueryPath::Demand);
+        assert_eq!(
+            repeat.stats.facts_derived, 0,
+            "retained demand space survived the fallback query"
+        );
+        assert_eq!(repeat.rows, first.rows);
+        // An EDB extension reaches the retained space as a seeded
+        // continuation — the fallback interleave did not force a cold
+        // rebuild — and marks the shadow model stale.
+        let x = e.store_mut().atom("x");
+        e.fact(edge, vec![ids[5], x]).unwrap();
+        let extended = e.query(t, &[Some(ids[1]), None]).unwrap();
+        assert_eq!(extended.stats.demand_continuations, 1);
+        assert_eq!(extended.rows.len(), 5, "n1 now also reaches x");
+        let nm2 = e.query(unreach, &[Some(ids[2])]).unwrap();
+        assert_eq!(nm2.path, QueryPath::Fallback);
+        assert!(nm2.stats.facts_derived > 0, "stale shadow rebuilt");
+        assert_eq!(nm2.rows, vec![vec![ids[2]]]);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`relation`] — tuple storage with on-demand indexes;
 //! * [`builtin`] — mode-driven builtin evaluation;
 //! * [`plan`] — safety analysis, join ordering, index selection;
+//! * [`stats`] — per-predicate cardinality statistics feeding the
+//!   cost-based join ordering and SIPS selection (E16);
 //! * [`strata`] — stratification (Tarjan SCC);
 //! * [`magic`] — the demand (magic-set) rewrite behind
 //!   [`Engine::query`];
@@ -41,13 +43,15 @@ pub mod plan;
 pub mod pred;
 pub mod relation;
 pub mod rule;
+pub mod stats;
 pub mod strata;
 
 pub use config::{EvalConfig, EvalStats, FixpointStrategy, SetUniverse};
 pub use engine::{Engine, EngineState, QueryPath, QueryResult, RowSet, Rows};
 pub use error::EngineError;
-pub use magic::{adornment_of, adornment_string, Adornment};
+pub use magic::{adornment_of, adornment_string, Adornment, SipsCost};
 pub use parallel::ParExec;
 pub use pred::{PredId, PredRegistry};
 pub use relation::Relation;
 pub use rule::{BodyLit, Builtin, GroupSpec, QuantGroup, Rule};
+pub use stats::{Stats, StatsCache};

@@ -29,12 +29,20 @@
 //!   make the rewritten program unstratifiable in general, so the
 //!   engine falls back to full materialization (the same discipline
 //!   the incremental update path uses for non-monotone strata).
-//! * Sideways information passing is textual: a body argument counts
-//!   as bound if all its variables occur in a bound head position or
-//!   an earlier body literal. Any SIPS yields a sound and complete
-//!   rewrite; if the chosen one leaves a magic rule unplannable (a
-//!   builtin mode becomes unsatisfiable without the later literals),
-//!   the engine likewise falls back rather than weakening the plan.
+//! * Sideways information passing: a body argument counts as bound if
+//!   all its variables occur in a bound head position or an earlier
+//!   *visited* body literal. Which literal is visited next is chosen
+//!   by the cost model when statistics are supplied ([`SipsCost`]):
+//!   the greedy order prefers the literal with the smallest estimated
+//!   result given the bindings so far, so a recursive subgoal sharing
+//!   the query's bound column is visited *before* an unbound scan and
+//!   keeps its demand restricted — the right-linear closure queried
+//!   `fb` gets the same selective rewrite the left-linear one gets
+//!   `bf`. Without statistics the visit order is textual, the
+//!   classical SIPS. Any SIPS yields a sound and complete rewrite; if
+//!   the chosen one leaves a magic rule unplannable (a builtin mode
+//!   becomes unsatisfiable without the later literals), the engine
+//!   likewise falls back rather than weakening the plan.
 //! * Predicates referenced inside a `(∀x∈X)` group are demanded with
 //!   the all-free adornment — fully evaluated — since their demand
 //!   would depend on the quantified elements, not on rule-head
@@ -52,10 +60,13 @@
 
 use lps_term::{FxHashMap, TermId, TermStore};
 
+use crate::builtin::mode_ok;
+use crate::config::SetUniverse;
 use crate::pattern::{Pattern, VarId};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::ColMask;
 use crate::rule::{BodyLit, Rule};
+use crate::stats::Stats;
 use crate::strata::{demand_obstruction, DemandObstruction};
 
 /// Binding pattern of a query or subgoal: bit *i* set ⇔ argument *i*
@@ -106,6 +117,22 @@ pub struct MagicProgram {
     pub magic_preds: Vec<PredId>,
     /// Number of `(predicate, adornment)` pairs compiled.
     pub adornments: usize,
+    /// Number of rule bodies whose cost-chosen sideways-passing order
+    /// diverged from textual order (feeds
+    /// [`crate::config::EvalStats::reorders_applied`]).
+    pub reorders: usize,
+}
+
+/// Cost input for SIPS selection: the engine's statistics snapshot
+/// plus the set-universe policy (deciding builtin evaluability while
+/// scoring candidate orders uses the same mode table the planner
+/// uses). `None` in [`magic_rewrite`] means classical textual SIPS.
+#[derive(Clone, Copy, Debug)]
+pub struct SipsCost<'a> {
+    /// Per-predicate cardinalities backing the estimates.
+    pub stats: &'a Stats,
+    /// Builtin enumeration policy, as in [`crate::EvalConfig`].
+    pub policy: SetUniverse,
 }
 
 /// Result of attempting the rewrite.
@@ -128,6 +155,7 @@ pub fn magic_rewrite(
     bound: Adornment,
     store: &mut TermStore,
     preds: &mut PredRegistry,
+    cost: Option<SipsCost<'_>>,
 ) -> MagicOutcome {
     if let Some(obs) = demand_obstruction(rules, [query]) {
         return MagicOutcome::Obstructed(obs);
@@ -136,6 +164,8 @@ pub fn magic_rewrite(
         rules,
         store,
         preds,
+        cost,
+        reorders: 0,
         adorned: FxHashMap::default(),
         magic: FxHashMap::default(),
         worklist: Vec::new(),
@@ -155,6 +185,7 @@ pub fn magic_rewrite(
         magic_seed,
         space: rw.space,
         magic_preds: rw.magic_preds,
+        reorders: rw.reorders,
     })
 }
 
@@ -162,6 +193,10 @@ struct Rewriter<'a> {
     rules: &'a [Rule],
     store: &'a mut TermStore,
     preds: &'a mut PredRegistry,
+    /// Statistics for cost-scored SIPS; `None` = textual order.
+    cost: Option<SipsCost<'a>>,
+    /// Rule bodies whose chosen order diverged from textual.
+    reorders: usize,
     /// `(pred, adornment)` → adorned predicate.
     adorned: FxHashMap<(PredId, Adornment), PredId>,
     /// `(pred, adornment)` → magic predicate (non-trivial adornments).
@@ -212,6 +247,107 @@ impl Rewriter<'_> {
         id
     }
 
+    /// Choose the sideways-information-passing visit order for one
+    /// rule body. Textual (identity) without cost input. With
+    /// statistics: greedy over `(tier, -estimate)` — repeatedly pick
+    /// the best evaluable literal given the variables bound so far.
+    /// The tiers encode the structural rules that matter for demand
+    /// propagation regardless of cardinalities:
+    ///
+    /// 1. ground builtins (free filter), then ground negations, then
+    ///    fully-bound atoms (existence checks);
+    /// 2. **connected** atoms — sharing at least one bound variable —
+    ///    ranked by estimated matches per probe (`rows /
+    ///    distinct(bound cols)`; a bound subgoal without statistics is
+    ///    presumed demand-sized);
+    /// 3. evaluable generative builtins (deterministic binders);
+    /// 4. **disconnected** atoms, smallest extension first — a scan
+    ///    that shares no binding multiplies the demand frontier by its
+    ///    whole extension and turns downstream subgoal demand into a
+    ///    cross product, so it is deferred no matter how small (this,
+    ///    not the estimates, is what keeps the right-linear closure's
+    ///    `fb` demand selective);
+    /// 5. builtins needing active-universe enumeration.
+    ///
+    /// Ties resolve to the lowest textual index, so the choice is
+    /// deterministic and degenerates to the classical textual SIPS
+    /// when the model does not discriminate. Stuck negations/builtins
+    /// (modes unsatisfiable under any remaining prefix) are appended
+    /// textually; the plan compiler decides their fate, same as in
+    /// the textual rewrite.
+    fn sips_order(&self, outer: &[BodyLit], bound_vars: &[VarId]) -> Vec<usize> {
+        let Some(SipsCost { stats, policy }) = self.cost else {
+            return (0..outer.len()).collect();
+        };
+        let mut bound: Vec<VarId> = bound_vars.to_vec();
+        let mut remaining: Vec<usize> = (0..outer.len()).collect();
+        let mut order = Vec::with_capacity(outer.len());
+        while !remaining.is_empty() {
+            let mut best: Option<((i64, i64), usize)> = None;
+            for &i in &remaining {
+                let score: (i64, i64) = match &outer[i] {
+                    BodyLit::Builtin(b, args) => {
+                        let flags: Vec<bool> =
+                            args.iter().map(|p| pattern_bound(p, &bound)).collect();
+                        if !mode_ok(*b, &flags, policy) {
+                            continue; // not evaluable yet
+                        }
+                        if flags.iter().all(|&f| f) {
+                            (1000, 0) // ground check: free filter
+                        } else if mode_ok(*b, &flags, SetUniverse::Reject) {
+                            (500, 0) // deterministic binder
+                        } else {
+                            (30, 0) // set-universe enumeration: last
+                        }
+                    }
+                    BodyLit::Neg(_, args) => {
+                        if !args.iter().all(|p| pattern_bound(p, &bound)) {
+                            continue; // unsafe until its vars are bound
+                        }
+                        (900, 0)
+                    }
+                    BodyLit::Pos(q, args) => {
+                        let beta = bound_positions(args, &bound);
+                        if !args.is_empty() && beta.count_ones() as usize == args.len() {
+                            (800, 0) // existence check
+                        } else {
+                            let connected = outer[i].vars().into_iter().any(|v| bound.contains(&v));
+                            let est = match stats.estimate(*q, beta) {
+                                Some(est) => est.min(1 << 40) as i64,
+                                // No data: empty now, or registered
+                                // after the snapshot. A *connected*
+                                // subgoal stays demand-sized; a
+                                // disconnected IDB call would force
+                                // full materialization of its
+                                // subtree — the very last resort.
+                                None if connected => 8,
+                                None if self.is_idb(*q) => 1 << 40,
+                                None => 50,
+                            };
+                            (if connected { 600 } else { 400 }, -est)
+                        }
+                    }
+                };
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, i));
+                }
+            }
+            let Some((_, pick)) = best else {
+                // Only stuck negations/builtins remain.
+                order.extend(remaining.iter().copied());
+                break;
+            };
+            remaining.retain(|&i| i != pick);
+            order.push(pick);
+            for v in outer[pick].vars() {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+        }
+        order
+    }
+
     /// Emit the adorned rules, magic rules, and EDB bridge for one
     /// demanded `(pred, adornment)` pair.
     fn rewrite_pred(&mut self, pred: PredId, mask: Adornment) {
@@ -249,8 +385,15 @@ impl Rewriter<'_> {
                 new_outer.push(BodyLit::Pos(m, margs));
             }
 
-            // Sideways pass over the outer literals in textual order.
-            for lit in self.rules[ri].outer.clone() {
+            // Sideways pass over the outer literals: cost-chosen
+            // visit order when statistics are available, textual
+            // otherwise (and exactly textual on ties).
+            let order = self.sips_order(&self.rules[ri].outer, &bound_vars);
+            if order.iter().copied().ne(0..self.rules[ri].outer.len()) {
+                self.reorders += 1;
+            }
+            for li in order {
+                let lit = self.rules[ri].outer[li].clone();
                 match &lit {
                     BodyLit::Pos(q, args) if self.is_idb(*q) => {
                         let beta = bound_positions(args, &bound_vars);
@@ -502,6 +645,13 @@ fn push_pattern(key: &mut String, p: &Pattern) {
     }
 }
 
+/// Whether every variable of `p` occurs in `bound_vars`.
+fn pattern_bound(p: &Pattern, bound_vars: &[VarId]) -> bool {
+    let mut vs = Vec::new();
+    p.collect_vars(&mut vs);
+    vs.iter().all(|v| bound_vars.contains(v))
+}
+
 /// Positions whose pattern is fully bound given `bound_vars`.
 fn bound_positions(args: &[Pattern], bound_vars: &[VarId]) -> Adornment {
     let mut mask = 0;
@@ -581,7 +731,7 @@ mod tests {
     fn tc_bf_rewrite_has_magic_recursion() {
         let (mut fx, rules) = tc_fixture();
         let MagicOutcome::Rewritten(mp) =
-            magic_rewrite(&rules, fx.t, 0b01, &mut fx.store, &mut fx.preds)
+            magic_rewrite(&rules, fx.t, 0b01, &mut fx.store, &mut fx.preds, None)
         else {
             panic!("monotone program must rewrite");
         };
@@ -614,7 +764,7 @@ mod tests {
     fn all_free_rewrite_seeds_nothing_but_still_restricts_subgoals() {
         let (mut fx, rules) = tc_fixture();
         let MagicOutcome::Rewritten(mp) =
-            magic_rewrite(&rules, fx.t, 0, &mut fx.store, &mut fx.preds)
+            magic_rewrite(&rules, fx.t, 0, &mut fx.store, &mut fx.preds, None)
         else {
             panic!("monotone program must rewrite");
         };
@@ -676,6 +826,47 @@ mod tests {
     }
 
     #[test]
+    fn cost_sips_keeps_right_linear_fb_demand_selective() {
+        let (mut fx, rules) = tc_fixture();
+        // A 20-edge chain: scanning e (20 rows) is costlier than
+        // probing the recursive subgoal on its bound column.
+        let mut e_rel = crate::relation::Relation::new(2);
+        let ids: Vec<TermId> = (0..21).map(|i| fx.store.atom(&format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            e_rel.insert(&[w[0], w[1]]);
+        }
+        let stats = Stats::snapshot(&[e_rel, crate::relation::Relation::new(2)], &[]);
+
+        // Textual SIPS visits e(X, Y) first, so the recursive call
+        // sees both arguments bound: a second (bb) adornment whose
+        // magic rule crosses every edge with every demand tuple.
+        let MagicOutcome::Rewritten(textual) =
+            magic_rewrite(&rules, fx.t, 0b10, &mut fx.store, &mut fx.preds, None)
+        else {
+            panic!("monotone program must rewrite");
+        };
+        assert_eq!(textual.adornments, 2, "textual fb demand degrades to bb");
+        assert_eq!(textual.reorders, 0);
+
+        // Cost-scored SIPS visits t(Y, Z) first (Z bound: demand
+        // stays demand-sized) and probes e(X, Y) on its now-bound
+        // column second — the fb rewrite mirrors the bf one.
+        let cost = SipsCost {
+            stats: &stats,
+            policy: SetUniverse::Reject,
+        };
+        let MagicOutcome::Rewritten(scored) =
+            magic_rewrite(&rules, fx.t, 0b10, &mut fx.store, &mut fx.preds, Some(cost))
+        else {
+            panic!("monotone program must rewrite");
+        };
+        assert_eq!(scored.adornments, 1, "demand stays at the bound column");
+        assert_eq!(scored.reorders, 1, "one body reordered (the recursion)");
+        let seed = scored.magic_seed.expect("fb query has a magic seed");
+        assert_eq!(fx.preds.info(seed).arity, 1);
+    }
+
+    #[test]
     fn negation_obstructs() {
         let (mut fx, mut rules) = tc_fixture();
         let iso = fx.preds.register(fx.store.symbols_mut().intern("iso"), 1);
@@ -693,13 +884,13 @@ mod tests {
             var_sorts: vec![],
         });
         assert!(matches!(
-            magic_rewrite(&rules, iso, 0b1, &mut fx.store, &mut fx.preds),
+            magic_rewrite(&rules, iso, 0b1, &mut fx.store, &mut fx.preds, None),
             MagicOutcome::Obstructed(DemandObstruction::Negation(p)) if p == fx.t
         ));
         // The closure itself is still rewritable — the negation is not
         // reachable from t.
         assert!(matches!(
-            magic_rewrite(&rules, fx.t, 0b01, &mut fx.store, &mut fx.preds),
+            magic_rewrite(&rules, fx.t, 0b01, &mut fx.store, &mut fx.preds, None),
             MagicOutcome::Rewritten(_)
         ));
     }

@@ -22,6 +22,7 @@ use crate::pattern::{Pattern, VarId};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::ColMask;
 use crate::rule::{BodyLit, Rule};
+use crate::stats::Stats;
 use crate::strata::{stratify, Stratification};
 
 /// One evaluation action within a variant.
@@ -155,6 +156,19 @@ pub struct CompiledRule {
     /// a term, so workers need no access to the term store and
     /// parallel runs stay bit-identical to sequential ones (E15).
     pub parallel_safe: bool,
+    /// Variants whose cost-based join order differs from the textual
+    /// order — 0 when compiled without statistics, and 0 when the
+    /// statistics agreed with the written order (E16 accounting,
+    /// surfaced as [`EvalStats::reorders_applied`]).
+    ///
+    /// [`EvalStats::reorders_applied`]: crate::config::EvalStats::reorders_applied
+    pub reorders: usize,
+    /// Summed row estimates of the positive steps the planner chose —
+    /// 0 when compiled without statistics (surfaced as
+    /// [`EvalStats::estimated_rows`]).
+    ///
+    /// [`EvalStats::estimated_rows`]: crate::config::EvalStats::estimated_rows
+    pub estimated_rows: usize,
 }
 
 /// A whole rule set stratified, compiled, and bucketed for evaluation:
@@ -182,11 +196,15 @@ pub struct CompiledProgram {
     /// Lowest stratum holding a rule that enumerates the active set
     /// universe.
     pub min_universe_stratum: Option<usize>,
+    /// Total [`CompiledRule::reorders`] across the program.
+    pub reorders_applied: usize,
+    /// Total [`CompiledRule::estimated_rows`] across the program.
+    pub estimated_rows: usize,
 }
 
 /// Stratify and compile a rule set under the given policy — the shared
 /// front half of both the batch pipeline and the per-adornment demand
-/// pipeline. See [`compile_rule`] for the meaning of `idb`.
+/// pipeline. See [`compile_rule`] for the meaning of `idb` and `cost`.
 pub fn compile_program(
     rules: &[Rule],
     num_preds: usize,
@@ -194,11 +212,12 @@ pub fn compile_program(
     names: &dyn Fn(PredId) -> String,
     idb: &FxHashSet<PredId>,
     policy: SetUniverse,
+    cost: Option<&Stats>,
 ) -> Result<CompiledProgram, EngineError> {
     let strat = stratify(rules, num_preds, names)?;
     let mut compiled: Vec<CompiledRule> = Vec::with_capacity(rules.len());
     for rule in rules {
-        compiled.push(compile_rule(rule, preds, names, idb, policy)?);
+        compiled.push(compile_rule(rule, preds, names, idb, policy, cost)?);
     }
 
     let mut regular_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
@@ -234,6 +253,11 @@ pub fn compile_program(
     index_requests.sort_unstable();
     index_requests.dedup();
 
+    let reorders_applied = compiled.iter().map(|c| c.reorders).sum();
+    let estimated_rows = compiled
+        .iter()
+        .fold(0usize, |a, c| a.saturating_add(c.estimated_rows));
+
     Ok(CompiledProgram {
         strat,
         compiled,
@@ -243,6 +267,8 @@ pub fn compile_program(
         index_requests,
         max_nonmono_stratum,
         min_universe_stratum,
+        reorders_applied,
+        estimated_rows,
     })
 }
 
@@ -293,18 +319,35 @@ impl CompiledProgram {
 /// engine session passes every registered predicate, since EDB facts
 /// can arrive incrementally after a materialization; the unused
 /// variants cost one empty-delta check per round.
+///
+/// `cost` enables statistics-driven join ordering: with a [`Stats`]
+/// snapshot, positive literals are greedily placed
+/// smallest-estimated-intermediate-result first instead of in textual
+/// order (safety tiers — bound builtins, bound negation, existence
+/// checks — are unchanged, so ordering never affects answers). `None`
+/// is the exact textual planner.
 pub fn compile_rule(
     rule: &Rule,
     preds: &PredRegistry,
     names: &dyn Fn(PredId) -> String,
     idb: &FxHashSet<PredId>,
     policy: SetUniverse,
+    cost: Option<&Stats>,
 ) -> Result<CompiledRule, EngineError> {
     let head_name = names(rule.head);
     let mut uses_active_universe = false;
+    let mut estimated_rows = 0usize;
 
     // Full variant.
-    let full = order_steps(rule, None, policy, &head_name, &mut uses_active_universe)?;
+    let full = order_steps(
+        rule,
+        None,
+        policy,
+        &head_name,
+        &mut uses_active_universe,
+        cost,
+        &mut estimated_rows,
+    )?;
 
     let mut variants = vec![full];
     for (i, lit) in rule.outer.iter().enumerate() {
@@ -316,7 +359,41 @@ pub fn compile_rule(
                     policy,
                     &head_name,
                     &mut uses_active_universe,
+                    cost,
+                    &mut estimated_rows,
                 )?);
+            }
+        }
+    }
+
+    // Reorder accounting: how many variants the statistics actually
+    // moved away from the textual order. Re-running the (cheap) textual
+    // ordering is simpler and more honest than trying to predict
+    // divergence from the scores.
+    let mut reorders = 0usize;
+    if cost.is_some() {
+        let mut scratch_active = false;
+        let mut scratch_rows = 0usize;
+        for variant in &variants {
+            let differs = match order_steps(
+                rule,
+                variant.delta_lit,
+                policy,
+                &head_name,
+                &mut scratch_active,
+                None,
+                &mut scratch_rows,
+            ) {
+                Ok(textual) => {
+                    let lits = |v: &Variant| -> Vec<Option<usize>> {
+                        v.steps.iter().map(Step::lit).collect()
+                    };
+                    lits(&textual) != lits(variant)
+                }
+                Err(_) => true,
+            };
+            if differs {
+                reorders += 1;
             }
         }
     }
@@ -428,6 +505,8 @@ pub fn compile_rule(
                     None,
                     false,
                     &mut uses_active_universe,
+                    cost,
+                    &mut estimated_rows,
                 )?;
                 debug_assert!(deferred.is_empty(), "no deferral inside groups");
                 Some(steps)
@@ -568,6 +647,8 @@ pub fn compile_rule(
         index_requests,
         uses_active_universe,
         parallel_safe,
+        reorders,
+        estimated_rows,
     })
 }
 
@@ -594,6 +675,8 @@ fn order_steps(
     policy: SetUniverse,
     head_name: &str,
     uses_active: &mut bool,
+    cost: Option<&Stats>,
+    est_rows: &mut usize,
 ) -> Result<Variant, EngineError> {
     let (steps, deferred) = order_lits(
         &rule.outer,
@@ -604,6 +687,8 @@ fn order_steps(
         delta_lit,
         rule.quant.is_some(),
         uses_active,
+        cost,
+        est_rows,
     )?;
     // Deferred literals run after the quantifier group, by which time
     // the group's free variables are bound. Validate that claim.
@@ -677,6 +762,15 @@ fn partition_mask(rule: &Rule, steps: &[Step], post_steps: &[Step], d: usize) ->
 /// Greedy literal ordering. Scores (descending):
 /// fully-bound builtin check > bound negation > positive atom with the
 /// most bound columns > generative builtin > unbound positive scan.
+///
+/// With `cost` statistics, the static positive-atom tier is replaced by
+/// `700 − estimated rows` — greedy smallest-estimated-intermediate-
+/// result first. The check tiers (bound builtin/negation/existence)
+/// stay above every cost score, so safety-relevant placement is
+/// unchanged; a huge scan *can* sink below the generative-builtin tier
+/// (40), deliberately: binding variables cheaply first shrinks it to an
+/// indexed probe. Each chosen positive step's estimate accumulates into
+/// `est_rows`.
 #[allow(clippy::too_many_arguments)]
 fn order_lits(
     lits: &[BodyLit],
@@ -687,6 +781,8 @@ fn order_lits(
     delta_lit: Option<usize>,
     defer_ok: bool,
     uses_active: &mut bool,
+    cost: Option<&Stats>,
+    est_rows: &mut usize,
 ) -> Result<(Vec<Step>, Vec<usize>), EngineError> {
     let mut bound = initially_bound.clone();
     let mut remaining: Vec<usize> = (0..lits.len()).collect();
@@ -728,10 +824,22 @@ fn order_lits(
                     }
                     900
                 }
-                BodyLit::Pos(_, args) => {
+                BodyLit::Pos(p, args) => {
                     let bound_cols = args.iter().filter(|p| pattern_bound(p, &bound)).count();
                     if bound_cols == args.len() && !args.is_empty() {
                         800 // existence check
+                    } else if let Some(stats) = cost {
+                        let mask = bound_mask(&lits[i], &bound);
+                        match stats.estimate(*p, mask) {
+                            Some(est) => 700i64.saturating_sub(est.min(1 << 40) as i64),
+                            // No data: the predicate was registered
+                            // after the snapshot — an adorned/magic
+                            // relation mid-rewrite. Bound probes on
+                            // those are demand-sized (small); unbound
+                            // scans fall back to the static tier.
+                            None if mask != 0 => 700 - 8,
+                            None => 50 + bound_cols as i64 * 10,
+                        }
                     } else {
                         50 + bound_cols as i64 * 10
                     }
@@ -786,12 +894,18 @@ fn order_lits(
             });
         };
         let step = match &lits[pick] {
-            BodyLit::Pos(_, _) => Step::Pos {
-                lit: pick,
-                mask: bound_mask(&lits[pick], &bound),
-                delta: false,
-                flat: lit_flat(&lits[pick]),
-            },
+            BodyLit::Pos(p, _) => {
+                let mask = bound_mask(&lits[pick], &bound);
+                if let Some(est) = cost.and_then(|s| s.estimate(*p, mask)) {
+                    *est_rows = est_rows.saturating_add(est);
+                }
+                Step::Pos {
+                    lit: pick,
+                    mask,
+                    delta: false,
+                    flat: lit_flat(&lits[pick]),
+                }
+            }
             BodyLit::Neg(_, _) => Step::NegStep { lit: pick },
             BodyLit::Builtin(b, args) => {
                 // Record active-universe dependence: an enumerable
@@ -900,7 +1014,8 @@ mod tests {
         };
         let mut idb = FxHashSet::default();
         idb.insert(pp);
-        let compiled = compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
+        let compiled =
+            compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject, None).expect("plans");
         // Full variant + delta variant for the one IDB literal.
         assert_eq!(compiled.variants.len(), 2);
         // Full variant: scan first literal, indexed lookup on second.
@@ -941,7 +1056,8 @@ mod tests {
         };
         let mut idb = FxHashSet::default();
         idb.insert(pe);
-        let compiled = compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject).expect("plans");
+        let compiled =
+            compile_rule(&rule, &reg, &names, &idb, SetUniverse::Reject, None).expect("plans");
         assert!(compiled.parallel_safe);
         assert_eq!(compiled.variants[1].part_mask, 0b11, "whole-row hash");
     }
@@ -969,6 +1085,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .expect("plans");
         let steps = &compiled.variants[0].steps;
@@ -996,6 +1113,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .unwrap_err();
         match err {
@@ -1027,6 +1145,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Unsafe { .. }));
@@ -1055,6 +1174,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .expect("plans");
         let qp = compiled.quant_plan.expect("has quant plan");
@@ -1086,6 +1206,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .expect("plans");
         assert!(!compiled.parallel_safe);
@@ -1110,6 +1231,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .expect("plans");
         assert!(!compiled.parallel_safe);
@@ -1139,6 +1261,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Unsafe { .. }));
@@ -1149,6 +1272,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::ActiveSets,
+            None,
         )
         .expect("plans under ActiveSets");
         let qp = compiled.quant_plan.expect("has quant plan");
@@ -1177,6 +1301,7 @@ mod tests {
             &names,
             &FxHashSet::default(),
             SetUniverse::Reject,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Unsafe { .. }));

@@ -417,6 +417,49 @@ impl Relation {
         self.indexes.iter().any(|i| i.mask == mask)
     }
 
+    /// Estimate the number of distinct values the `mask` columns take
+    /// over this relation — the planner-statistics primitive behind
+    /// cost-based join ordering ([`crate::stats`]).
+    ///
+    /// Exact and O(1) when a secondary index for `mask` already exists
+    /// (its bucket count *is* the distinct-key count); otherwise a
+    /// deterministic strided sample of up to 1024 rows is hashed in
+    /// place in the arena (the same [`fx_fold`] column hashing the
+    /// dedup table and indexes use — no keys are materialized) and
+    /// scaled to the full row count. `mask == 0` estimates whole-tuple
+    /// distinctness, which is exactly the row count.
+    pub fn distinct_estimate(&self, mask: ColMask) -> usize {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        if mask == 0 {
+            return n;
+        }
+        if let Some(ix) = self.indexes.iter().find(|i| i.mask == mask) {
+            return ix.live;
+        }
+        const SAMPLE: usize = 1024;
+        let step = n.div_ceil(SAMPLE).max(1);
+        let mut seen: lps_term::FxHashSet<u64> = lps_term::FxHashSet::default();
+        let mut sampled = 0usize;
+        let mut r = 0usize;
+        while r < n {
+            seen.insert(hash_masked_row(&self.arena, r * self.arity, mask));
+            sampled += 1;
+            r += step;
+        }
+        let d = seen.len();
+        if sampled == n {
+            d
+        } else {
+            // Linear scale-up, clamped to the observed floor and the
+            // row-count ceiling. Coarse, but the planner only needs
+            // relative magnitudes.
+            (d.saturating_mul(n) / sampled).clamp(d, n)
+        }
+    }
+
     /// Remove all tuples (keeping index *definitions* but emptying
     /// them). Used for delta relations between semi-naive iterations.
     /// Arena and table capacities are retained for reuse.

@@ -1,0 +1,227 @@
+//! Per-predicate planner statistics: the cheap cardinality snapshot
+//! behind cost-based join ordering ([`crate::plan`]) and cost-scored
+//! sideways information passing ([`crate::magic`]).
+//!
+//! A [`Stats`] snapshot records, for every registered predicate, its
+//! row count and a per-column distinct-value estimate, read straight
+//! out of the arena-backed relations via
+//! [`Relation::distinct_estimate`] — exact where a secondary index
+//! already exists (its bucket count is the distinct-key count), a
+//! strided in-place hash sample otherwise. Nothing is persisted and
+//! nothing is maintained per insert: the engine keeps one snapshot in
+//! a [`StatsCache`] that is *invalidated* (not recomputed) whenever
+//! facts move — at stratum boundaries, after `update()` splices, after
+//! demand derivations — and refreshed lazily the next time a compile
+//! actually asks for it ([`EvalStats::stats_refreshes`] counts those
+//! refreshes).
+//!
+//! The cost model is deliberately coarse: for a probe of predicate `p`
+//! with bound-column mask `B`, the estimated matching rows are
+//! `rows(p) / Π distinct(col)` over the bound columns (independence
+//! assumption, clamped to `[1, rows]`); an unbound literal estimates a
+//! full scan. The planner only needs *relative* magnitudes — which
+//! literal shrinks the frontier most — so sampling error and the
+//! independence assumption are acceptable, and answers are unaffected
+//! either way (ordering never changes semantics, only work).
+//!
+//! [`EvalStats::stats_refreshes`]: crate::config::EvalStats::stats_refreshes
+
+use crate::pred::PredId;
+use crate::relation::{ColMask, Relation};
+
+/// Statistics for one predicate's extension.
+#[derive(Clone, Debug, Default)]
+pub struct PredStat {
+    /// Tuple count at the snapshot.
+    pub rows: usize,
+    /// Distinct-value estimate per column (length = arity).
+    pub col_distinct: Vec<usize>,
+}
+
+/// A point-in-time cardinality snapshot over every registered
+/// predicate. Indexable by [`PredId`]; predicates registered *after*
+/// the snapshot (e.g. adorned/magic predicates created by a rewrite in
+/// progress) simply report no data, which the consumers treat as
+/// "unknown IDB" and score heuristically.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    preds: Vec<PredStat>,
+}
+
+impl Stats {
+    /// Snapshot `relations` (typically the engine's `full` vector,
+    /// with `edb` as the fallback source for predicates whose facts
+    /// have not been synced into `full` yet — whichever holds more
+    /// rows wins).
+    pub fn snapshot(edb: &[Relation], full: &[Relation]) -> Stats {
+        let n = edb.len().max(full.len());
+        let empty = Relation::new(0);
+        let mut preds = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = edb.get(i).unwrap_or(&empty);
+            let f = full.get(i).unwrap_or(&empty);
+            let rel = if e.len() > f.len() { e } else { f };
+            // Columns past the mask width are never probed; skip them.
+            let arity = rel.arity().min(ColMask::BITS as usize);
+            let col_distinct = (0..arity).map(|c| rel.distinct_estimate(1 << c)).collect();
+            preds.push(PredStat {
+                rows: rel.len(),
+                col_distinct,
+            });
+        }
+        Stats { preds }
+    }
+
+    /// The snapshot for `p`, if `p` was registered when it was taken.
+    pub fn pred(&self, p: PredId) -> Option<&PredStat> {
+        self.preds.get(p.index())
+    }
+
+    /// Row count of `p` at the snapshot (`None` = no data).
+    pub fn rows(&self, p: PredId) -> Option<usize> {
+        self.pred(p).map(|s| s.rows)
+    }
+
+    /// Distinct-value estimate for the `mask` columns of `p`: the
+    /// product of the per-column estimates (independence assumption),
+    /// clamped to `[1, rows]`. `None` when there is no data for `p` or
+    /// the mask reaches past the recorded arity — and `None` when `p`
+    /// was *empty* at the snapshot: an empty relation is
+    /// indistinguishable from a not-yet-derived IDB predicate, and
+    /// guessing "empty" would sink full scans of soon-to-be-huge
+    /// derived relations to the front of every join order.
+    pub fn distinct(&self, p: PredId, mask: ColMask) -> Option<usize> {
+        let s = self.pred(p)?;
+        if s.rows == 0 {
+            return None;
+        }
+        let mut d: usize = 1;
+        let mut m = mask;
+        while m != 0 {
+            let col = m.trailing_zeros() as usize;
+            d = d.saturating_mul(*s.col_distinct.get(col)?);
+            m &= m - 1;
+        }
+        Some(d.clamp(1, s.rows))
+    }
+
+    /// Estimated rows a probe of `p` yields with the `bound` columns
+    /// fixed: `rows / distinct(bound)`, at least 1; the full row count
+    /// when nothing is bound. `None` = no usable data: an unknown
+    /// predicate, or one that was empty at the snapshot (see
+    /// [`Stats::distinct`] for why empty means unknown).
+    pub fn estimate(&self, p: PredId, bound: ColMask) -> Option<usize> {
+        let rows = self.rows(p)?;
+        if rows == 0 {
+            return None;
+        }
+        if bound == 0 {
+            return Some(rows);
+        }
+        let d = self.distinct(p, bound)?;
+        Some((rows / d.max(1)).max(1))
+    }
+
+    /// Number of predicates covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the snapshot covers no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// The engine's lazily refreshed statistics slot: a [`Stats`] snapshot
+/// plus a dirty flag. Fact movement marks it dirty (cheap); the next
+/// compile that needs statistics pays one [`Stats::snapshot`] pass.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    snapshot: Stats,
+    dirty: bool,
+    ever_refreshed: bool,
+}
+
+impl StatsCache {
+    /// Mark the snapshot stale. Called at stratum boundaries, after
+    /// incremental-update splices, after demand derivations, and when
+    /// facts are loaded or reset.
+    pub fn invalidate(&mut self) {
+        self.dirty = true;
+    }
+
+    /// The current snapshot, refreshed from the relations if stale.
+    /// Returns the snapshot and whether a refresh pass ran (the
+    /// `stats_refreshes` accounting).
+    pub fn refreshed(&mut self, edb: &[Relation], full: &[Relation]) -> (&Stats, bool) {
+        if self.dirty || !self.ever_refreshed {
+            self.snapshot = Stats::snapshot(edb, full);
+            self.dirty = false;
+            self.ever_refreshed = true;
+            (&self.snapshot, true)
+        } else {
+            (&self.snapshot, false)
+        }
+    }
+
+    /// The current snapshot without refreshing (possibly stale).
+    pub fn current(&self) -> &Stats {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lps_term::TermStore;
+
+    #[test]
+    fn snapshot_reads_rows_and_distincts() {
+        let mut st = TermStore::new();
+        let ids: Vec<_> = (0..10).map(|i| st.atom(&format!("n{i}"))).collect();
+        let mut e = Relation::new(2);
+        // 10 rows, 5 distinct first columns, 10 distinct second.
+        for i in 0..10 {
+            e.insert(&[ids[i / 2], ids[i]]);
+        }
+        let stats = Stats::snapshot(&[e], &[Relation::new(2)]);
+        let p = PredId::from_index(0);
+        assert_eq!(stats.rows(p), Some(10));
+        assert_eq!(stats.distinct(p, 0b01), Some(5));
+        assert_eq!(stats.distinct(p, 0b10), Some(10));
+        // rows / distinct(col 0) = 2 expected matches per probe.
+        assert_eq!(stats.estimate(p, 0b01), Some(2));
+        assert_eq!(stats.estimate(p, 0), Some(10));
+        // Both columns bound: distinct product 50 clamps to rows.
+        assert_eq!(stats.estimate(p, 0b11), Some(1));
+        // Unknown predicate: no data.
+        assert_eq!(stats.estimate(PredId::from_index(7), 0b01), None);
+    }
+
+    #[test]
+    fn cache_refreshes_lazily() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let mut e = Relation::new(1);
+        e.insert(&[a]);
+        let mut cache = StatsCache::default();
+        let (s, refreshed) = cache.refreshed(std::slice::from_ref(&e), &[]);
+        assert!(refreshed, "first read always snapshots");
+        assert_eq!(s.rows(PredId::from_index(0)), Some(1));
+        let (_, refreshed) = cache.refreshed(std::slice::from_ref(&e), &[]);
+        assert!(!refreshed, "clean cache re-reads the snapshot");
+        e.insert(&[b]);
+        let (s, refreshed) = cache.refreshed(std::slice::from_ref(&e), &[]);
+        assert!(
+            !refreshed,
+            "fact movement without invalidate is invisible (lazy)"
+        );
+        assert_eq!(s.rows(PredId::from_index(0)), Some(1), "stale by design");
+        cache.invalidate();
+        let (s, refreshed) = cache.refreshed(std::slice::from_ref(&e), &[]);
+        assert!(refreshed);
+        assert_eq!(s.rows(PredId::from_index(0)), Some(2));
+    }
+}

@@ -18,6 +18,10 @@
 //! :demand on|cold|off    demand-driven (magic-set) query answering
 //!                        (on = retained demand spaces, cold = re-derive
 //!                        per query)
+//! :planner on|off|stats  cost-based join ordering and SIPS selection
+//!                        (on by default; `stats` prints the
+//!                        per-predicate cardinality snapshot); answers
+//!                        are identical either way
 //! :model PRED            print a predicate's extension
 //! :program               print the accumulated program
 //! :normalized            print the Theorem-6-compiled program
@@ -293,8 +297,8 @@ fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
 fn print_help() {
     println!(
         "Enter facts/rules ending in `.`; `?- goal, goal, ....` to query.\n\
-         :help :dialect :universe :threads :demand :model :program :normalized :sorts :stats \
-         :reset :clear :quit"
+         :help :dialect :universe :threads :demand :planner :model :program :normalized :sorts \
+         :stats :reset :clear :quit"
     );
 }
 
@@ -377,7 +381,8 @@ fn main() -> io::Result<()> {
                          incr_runs={} seeded={} \
                          adorns={} magic_seeds={} demand_fb={} \
                          demand_cont={} evicted={} \
-                         par_rounds={} merge_rows={} imbalance={}",
+                         par_rounds={} merge_rows={} imbalance={} \
+                         reorders={} est_rows={} stats_refresh={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
@@ -394,7 +399,10 @@ fn main() -> io::Result<()> {
                         s.plans_evicted,
                         s.parallel_rounds,
                         s.merge_rows,
-                        s.worker_imbalance
+                        s.worker_imbalance,
+                        s.reorders_applied,
+                        s.estimated_rows,
+                        s.stats_refreshes
                     ),
                     None => println!("no evaluation yet."),
                 },
@@ -431,6 +439,63 @@ fn main() -> io::Result<()> {
                         "demand = {}",
                         mode_str(session.demand, session.config.demand_retention)
                     );
+                }
+                ":planner" => {
+                    match arg {
+                        "" => {
+                            println!(
+                                "planner = {}",
+                                if session.config.cost_planner {
+                                    "on"
+                                } else {
+                                    "off"
+                                }
+                            );
+                        }
+                        "on" | "off" => {
+                            let on = arg == "on";
+                            if on != session.config.cost_planner {
+                                // Cached plans were compiled under the
+                                // other ordering policy: rebuild.
+                                session.config.cost_planner = on;
+                                session.invalidate();
+                            }
+                            println!("planner = {arg}");
+                        }
+                        "stats" => match session.ensure_session() {
+                            Ok(model) => {
+                                let engine = model.engine_mut();
+                                let n = engine.preds().len();
+                                let mut lines = Vec::new();
+                                for i in 0..n {
+                                    let id = lps_engine::PredId::from_index(i);
+                                    let Some(st) = engine.planner_stats().pred(id).cloned() else {
+                                        continue;
+                                    };
+                                    if st.rows == 0 {
+                                        continue;
+                                    }
+                                    let name = engine.pred_name(id);
+                                    let distincts: Vec<String> =
+                                        st.col_distinct.iter().map(usize::to_string).collect();
+                                    lines.push(format!(
+                                        "  {name}/{}: rows={} distinct=[{}]",
+                                        st.col_distinct.len(),
+                                        st.rows,
+                                        distincts.join(", ")
+                                    ));
+                                }
+                                lines.sort();
+                                for line in &lines {
+                                    println!("{line}");
+                                }
+                                println!("  {} predicate(s) with rows.", lines.len());
+                            }
+                            Err(e) => println!("error: {e}"),
+                        },
+                        other => println!("unknown planner mode `{other}` (on|off|stats)"),
+                    }
+                    continue;
                 }
                 ":dialect" => {
                     session.invalidate();

@@ -53,7 +53,7 @@ pub use lps_engine as engine;
 pub use lps_syntax as syntax;
 pub use lps_term as term;
 
-pub use lps_core::{CoreError, Database, Dialect, Model, QueryAnswers, Value};
+pub use lps_core::{CoreError, Database, Dialect, Model, QueryAnswers, QueryAnswersRef, Value};
 pub use lps_engine::{EvalConfig, EvalStats, FixpointStrategy, QueryPath, SetUniverse};
 
 /// Everything needed for typical use: `use lps::prelude::*;`.
