@@ -89,6 +89,9 @@ fn main() {
     if want("e16") {
         e16(&mut rep);
     }
+    if want("e17") {
+        e17(&mut rep);
+    }
     if json {
         // Smoke numbers come from reduced sweeps — keep them out of
         // the committed full-parameter baseline file.
@@ -1504,5 +1507,213 @@ fn e16(rep: &mut Report) {
             on_stats.reorders_applied.to_string(),
             "yes".to_string(),
         ]],
+    );
+}
+
+fn e17(rep: &mut Report) {
+    // Concurrent query serving (EXPERIMENTS.md E17): the wire server
+    // from `lps_core::serve` — writer thread + epoch-published
+    // snapshots — under N ∈ {1, 2, 4, 8} concurrent clients driving
+    // the E14 overlapping point-query stream, interleaved with writer
+    // updates (one `F e(..)` fact between query waves). Every served
+    // answer must equal, row for row, a sequential reference model
+    // maintained incrementally with the same interleaving; barriers
+    // separate the fact from the wave so each client's wave k sees the
+    // same update prefix. Reported per N: queries/sec over the query
+    // phases plus pooled p50/p95/p99 client-side latency, and the
+    // server's snapshot hit/miss split. The acceptance bar — ≥2×
+    // throughput at 4 clients over 1 — applies off-smoke on ≥4-core
+    // hosts only (the E15 gating).
+    use lps_core::serve::Client;
+    use lps_core::Server;
+    use std::net::TcpListener;
+    use std::sync::{Arc, Barrier};
+
+    let (nodes, k, distinct, update_every) = if rep.smoke {
+        (128, 12, 3, 4)
+    } else {
+        (512, 48, 4, 8)
+    };
+    let src = workloads::chain_tc_left(nodes);
+    let sources = workloads::overlapping_sources(nodes, k, distinct, 23);
+    let waves_n = k / update_every;
+    let edges = workloads::update_edges(nodes, waves_n, 41);
+    let atom_name = |i: usize| format!("n{i}");
+    let atom = |i: usize| Value::atom(atom_name(i));
+
+    // Sequential reference: a materialized model maintained
+    // incrementally, queried at the same points of the interleaving.
+    // Expected rows are rendered exactly as the wire renders them
+    // (sorted `Value` rows joined with ", "), so string equality on
+    // the client side is answer-set equality.
+    let expected_rows = |m: &Model, source: usize| -> Vec<String> {
+        let engine = m.engine();
+        let t = engine.lookup_pred("t", 2).expect("t is defined");
+        let want = atom(source);
+        let mut rows: Vec<Vec<Value>> = engine
+            .rows(t)
+            .filter(|row| Value::from_store(engine.store(), row[0]) == want)
+            .map(|row| {
+                row.iter()
+                    .map(|&id| Value::from_store(engine.store(), id))
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows.iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                cells.join(", ")
+            })
+            .collect()
+    };
+    let mut reference = eval(&db(&src, Dialect::Elps, SetUniverse::Reject));
+    // Wave w = a fact applied before the wave, then `update_every`
+    // point queries, each paired with its expected answer lines.
+    struct Wave {
+        fact: Option<String>,
+        queries: Vec<(String, Vec<String>)>,
+    }
+    let mut waves: Vec<Wave> = Vec::with_capacity(waves_n);
+    for w in 0..waves_n {
+        let fact = if w == 0 {
+            None
+        } else {
+            let (a, b) = edges[w - 1];
+            reference.add_fact("e", &[atom(a), atom(b)]).expect("edge");
+            reference.update().expect("incremental reference update");
+            Some(format!("e({}, {}).", atom_name(a), atom_name(b)))
+        };
+        let queries: Vec<(String, Vec<String>)> = (w * update_every..(w + 1) * update_every)
+            .map(|i| {
+                let s = sources[i];
+                (
+                    format!("t({}, X).", atom_name(s)),
+                    expected_rows(&reference, s),
+                )
+            })
+            .collect();
+        waves.push(Wave { fact, queries });
+    }
+    let waves = Arc::new(waves);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let (mut qps_1, mut qps_4) = (0.0f64, 0.0f64);
+    for &n in &[1usize, 2, 4, 8] {
+        // Fresh server per client count, so every sweep point starts
+        // from the same cold plan cache and epoch 0.
+        let d = db(&src, Dialect::Elps, SetUniverse::Reject);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let server = Server::spawn(listener, &d).expect("server spawns");
+        let addr = server.local_addr();
+        let barrier = Arc::new(Barrier::new(n + 1));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let waves = Arc::clone(&waves);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat: Vec<Duration> = Vec::new();
+                    for wave in waves.iter() {
+                        barrier.wait();
+                        for (goal, want) in &wave.queries {
+                            let t0 = Instant::now();
+                            let got = client
+                                .query(goal)
+                                .expect("wire io")
+                                .expect("query succeeds");
+                            lat.push(t0.elapsed());
+                            assert_eq!(
+                                &got, want,
+                                "served answers must equal the sequential \
+                                 reference ({goal}, {n} clients)"
+                            );
+                        }
+                        barrier.wait();
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut fact_client = Client::connect(addr).expect("connect");
+        let mut query_time = Duration::ZERO;
+        for wave in waves.iter() {
+            if let Some(f) = &wave.fact {
+                fact_client
+                    .add_fact(f)
+                    .expect("wire io")
+                    .expect("fact accepted");
+            }
+            barrier.wait(); // release the wave…
+            let t0 = Instant::now();
+            barrier.wait(); // …and time it until every client is done
+            query_time += t0.elapsed();
+        }
+        let mut lats: Vec<Duration> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        lats.sort_unstable();
+        let pct = |p: f64| lats[((lats.len() - 1) as f64 * p).round() as usize];
+        let qps = (n * k) as f64 / query_time.as_secs_f64().max(1e-9);
+        if n == 1 {
+            qps_1 = qps;
+        }
+        if n == 4 {
+            qps_4 = qps;
+        }
+        let (hits, misses) = (server.snapshot_hits(), server.snapshot_misses());
+        assert!(
+            hits > 0,
+            "repeated sources must hit the published snapshot lock-free \
+             ({n} clients)"
+        );
+        rows.push(vec![
+            n.to_string(),
+            (n * k).to_string(),
+            format!("{qps:.0}"),
+            us(pct(0.50)),
+            us(pct(0.95)),
+            us(pct(0.99)),
+            hits.to_string(),
+            misses.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+
+    let scale = qps_4 / qps_1.max(1e-9);
+    if !rep.smoke && cores >= 4 {
+        // The acceptance bar for concurrent serving: the snapshot hit
+        // path is lock-free, so 4 readers must at least double the
+        // single-client throughput.
+        assert!(
+            scale >= 2.0,
+            "4 concurrent clients must serve ≥2× the single-client \
+             throughput on a ≥4-core host (got {scale:.2}×)"
+        );
+    } else {
+        println!(
+            "  (E17 throughput bar skipped: smoke={}, cores={cores}; \
+             measured {scale:.2}× at 4 clients)",
+            rep.smoke
+        );
+    }
+
+    rep.section(
+        "e17",
+        "E17: concurrent query serving — wire clients vs sequential reference (chain TC)",
+        &[
+            "clients",
+            "queries",
+            "qps",
+            "p50",
+            "p95",
+            "p99",
+            "snap_hits",
+            "snap_misses",
+            "identical",
+        ],
+        &rows,
     );
 }

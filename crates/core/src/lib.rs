@@ -43,6 +43,7 @@ pub mod equiv;
 pub mod error;
 pub mod fresh;
 pub mod lower;
+pub mod serve;
 pub mod sorts;
 pub mod transform;
 pub mod validate;
@@ -52,4 +53,5 @@ pub use dialect::Dialect;
 pub use error::CoreError;
 pub use lps_engine::QueryPath;
 pub use lps_term::Value;
+pub use serve::{Client, Server};
 pub use transform::magic::{QueryAnswers, QueryAnswersRef};

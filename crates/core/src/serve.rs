@@ -1,0 +1,639 @@
+//! Concurrent query serving over a length-prefixed wire protocol.
+//!
+//! A [`Server`] is the single-writer / many-reader split of the
+//! engine's snapshot layer ([`lps_engine::snapshot`]) put on the
+//! network: one **writer thread** owns the live [`Model`] and its
+//! [`SnapshotPublisher`]; one blocking **handler thread per
+//! connection** answers queries lock-free from the latest published
+//! [`EngineSnapshot`](lps_engine::EngineSnapshot) whenever it can, and
+//! funnels everything else (cold adornments, new seed constants,
+//! conjunctive goals, fact additions) to the writer over an mpsc
+//! channel. After every write or funneled query the writer republishes,
+//! so later readers hit.
+//!
+//! # Wire format
+//!
+//! Both directions are framed as a big-endian `u32` byte length
+//! followed by that many bytes of UTF-8. Requests are one frame:
+//!
+//! ```text
+//! Q <goal>     answer a query goal, e.g. `Q path(a, X).`
+//!              (the goal ends with `.`, conjunctions allowed)
+//! F <fact>     add ground fact clause(s), e.g. `F edge(a, b).`
+//! ```
+//!
+//! The response is one frame: a first line `ok <n>` or `err <message>`,
+//! followed by `n` answer lines. For a single-predicate *point* query
+//! (arguments are distinct variables or ground terms) each line is a
+//! full tuple in the predicate's argument order, rendered as values
+//! joined by `", "`; for a conjunctive goal each line is the binding of
+//! the goal's free variables in first-appearance order. Lines are
+//! sorted, so byte-equality of responses is answer-set equality. A
+//! fully ground point query echoes the matching tuple (`ok 1`) or
+//! answers `ok 0`; a fully ground *conjunctive* goal answers `ok 1`
+//! with one empty line ("yes") or `ok 0` ("no").
+//!
+//! # Consistency
+//!
+//! A snapshot-served answer is exactly what the sequential engine
+//! would answer at that epoch; a funneled answer is computed by the
+//! writer on the live engine. Readers never see a torn epoch: the
+//! snapshot `Arc` pins store, registry, relations, and plans together
+//! (property-tested in `crates/engine/tests/prop_serve.rs`).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lps_engine::{SnapshotPublisher, SnapshotReader};
+use lps_syntax::{parse_program, Clause, Formula, HeadArg, Item, Literal, Term};
+use lps_term::{TermId, TermStore, Value};
+
+use crate::database::{Database, Model};
+use crate::error::CoreError;
+
+/// Frames larger than this are rejected (a corrupt length prefix would
+/// otherwise ask for gigabytes).
+const MAX_FRAME: u32 = 1 << 24;
+
+/// Write one length-prefixed UTF-8 frame.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Read one length-prefixed UTF-8 frame; `None` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// A response: sorted answer lines, or a rendered error.
+type Reply = Result<Vec<String>, String>;
+
+/// A handler → writer funnel message.
+enum Request {
+    /// Answer a goal on the live engine (snapshot could not).
+    Query(String, Sender<Reply>),
+    /// Apply ground fact clauses.
+    Fact(String, Sender<Reply>),
+}
+
+/// Encode a [`Reply`] as the response frame payload.
+fn encode_reply(reply: &Reply) -> String {
+    match reply {
+        Ok(rows) => {
+            let mut out = format!("ok {}", rows.len());
+            for row in rows {
+                out.push('\n');
+                out.push_str(row);
+            }
+            out
+        }
+        Err(msg) => format!("err {}", msg.replace('\n', " ")),
+    }
+}
+
+/// Decode a response frame payload back into a [`Reply`].
+fn decode_reply(payload: &str) -> Reply {
+    let mut lines = payload.lines();
+    let head = lines.next().unwrap_or("");
+    if let Some(msg) = head.strip_prefix("err ") {
+        return Err(msg.to_owned());
+    }
+    let n: usize = head
+        .strip_prefix("ok ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    // `lines()` drops a trailing empty line, so a ground-goal "yes"
+    // row (`ok 1` + one empty line) is reconstructed from the count.
+    let mut rows: Vec<String> = lines.map(str::to_owned).collect();
+    rows.resize(n, String::new());
+    Ok(rows)
+}
+
+/// Render one value row the way both serving paths agree on.
+fn render_row(row: &[Value]) -> String {
+    let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+    cells.join(", ")
+}
+
+/// The point-query argument vector of a literal whose arguments are
+/// all distinct variables or ground terms — `None` when any argument
+/// carries structure needing a real join (repeated variables,
+/// arithmetic), in which case the goal takes the conjunctive pipeline.
+fn point_query_args(args: &[Term]) -> Option<Vec<Option<Value>>> {
+    let mut seen: Vec<&str> = Vec::new();
+    let mut out = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg {
+            Term::Var(v, _) => {
+                if seen.contains(&v.as_str()) {
+                    return None;
+                }
+                seen.push(v);
+                out.push(None);
+            }
+            other => out.push(Some(term_to_value(other)?)),
+        }
+    }
+    Some(out)
+}
+
+/// Convert a ground surface term to a [`Value`] (`None` for variables
+/// and arithmetic).
+fn term_to_value(t: &Term) -> Option<Value> {
+    match t {
+        Term::Var(..) => None,
+        Term::Const(c, _) => Some(Value::atom(c.clone())),
+        Term::Int(i, _) => Some(Value::int(*i)),
+        Term::App(f, args, _) => {
+            let vals: Option<Vec<_>> = args.iter().map(term_to_value).collect();
+            Some(Value::app(f.clone(), vals?))
+        }
+        Term::SetLit(elems, _) => {
+            let vals: Option<Vec<_>> = elems.iter().map(term_to_value).collect();
+            Some(Value::set(vals?))
+        }
+        Term::BinOp(..) => None,
+    }
+}
+
+/// Parse `goal` (ending with `.`) and classify it as a point query:
+/// `Some((pred, args))` when it is a single positive literal with
+/// distinct-variable/ground arguments.
+fn parse_point_goal(goal: &str) -> Option<(String, Vec<Option<Value>>)> {
+    let wrapped = format!("query_goal :- {goal}");
+    let parsed = parse_program(&wrapped).ok()?;
+    let clause = parsed.clauses().next()?;
+    let body = clause.body.as_ref()?;
+    match body {
+        Formula::Lit(Literal::Pred(name, args, _)) => {
+            point_query_args(args).map(|pa| (name.clone(), pa))
+        }
+        _ => None,
+    }
+}
+
+/// Resolve an already-interned [`Value`] in a read-only store. `None`
+/// for `App` terms (no read-only finder — funnel) and for constants
+/// the store has never interned.
+fn find_value(store: &TermStore, v: &Value) -> Option<TermId> {
+    match v {
+        Value::Atom(a) => store.find_atom(a),
+        Value::Int(i) => store.find_int(*i),
+        Value::Set(elems) => {
+            let ids: Option<Vec<TermId>> = elems.iter().map(|e| find_value(store, e)).collect();
+            store.find_set(ids?)
+        }
+        Value::App(..) => None,
+    }
+}
+
+/// Try to answer `goal` from the latest published snapshot alone.
+/// `None` funnels to the writer: non-point goals, predicates or
+/// constants the snapshot has never seen, cold adornments, unseeded
+/// constants, stale demand spaces.
+fn snapshot_answer(goal: &str, reader: &SnapshotReader) -> Option<Vec<String>> {
+    let (name, args) = parse_point_goal(goal)?;
+    let snap = reader.current();
+    let pred = snap.find_pred(&name, args.len())?;
+    let mut interned: Vec<Option<TermId>> = Vec::with_capacity(args.len());
+    for a in &args {
+        match a {
+            None => interned.push(None),
+            Some(v) => interned.push(Some(find_value(snap.store(), v)?)),
+        }
+    }
+    let rows = snap.try_query(pred, &interned)?;
+    let mut vals: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|&id| Value::from_store(snap.store(), id))
+                .collect()
+        })
+        .collect();
+    vals.sort();
+    Some(vals.iter().map(|r| render_row(r)).collect())
+}
+
+/// Answer `goal` on the live engine (the writer thread), mirroring the
+/// `lpsi` query pipeline: point queries take [`Model::query`] (full
+/// tuples in predicate shape), everything else compiles as a temporary
+/// conjunctive rule via [`Model::query_str`] (binding rows).
+fn writer_query(model: &mut Model, goal: &str) -> Reply {
+    let wrapped = format!("query_goal :- {goal}");
+    let parsed = parse_program(&wrapped).map_err(|e| e.render(&wrapped))?;
+    let clause = parsed.clauses().next().ok_or("empty query")?;
+    let body = clause.body.as_ref().ok_or("empty query")?;
+    let point = match body {
+        Formula::Lit(Literal::Pred(name, args, _)) => {
+            point_query_args(args).map(|pa| (name.clone(), pa))
+        }
+        _ => None,
+    };
+    let answers = match &point {
+        Some((name, args)) => model.query(name, args),
+        None => model.query_str(goal),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(answers.rows.iter().map(|r| render_row(r)).collect())
+}
+
+/// Apply `text` as ground fact clauses on the live engine. Rules and
+/// declarations are rejected — the served program is fixed at spawn.
+fn writer_fact(model: &mut Model, text: &str) -> Reply {
+    let parsed = parse_program(text).map_err(|e| e.render(text))?;
+    let mut facts = Vec::new();
+    for item in &parsed.items {
+        let Item::Clause(Clause {
+            head, body: None, ..
+        }) = item
+        else {
+            return Err("only ground facts can be added over the wire".into());
+        };
+        let mut args = Vec::with_capacity(head.args.len());
+        for arg in &head.args {
+            let HeadArg::Term(t) = arg else {
+                return Err("only ground facts can be added over the wire".into());
+            };
+            args.push(term_to_value(t).ok_or("facts must be ground")?);
+        }
+        facts.push((head.pred.clone(), args));
+    }
+    for (pred, args) in &facts {
+        model.add_fact(pred, args).map_err(|e| e.to_string())?;
+    }
+    Ok(Vec::new())
+}
+
+/// The writer loop: the one thread that mutates the engine. Every
+/// handled request ends with a republish, so snapshot readers converge
+/// on the writer's answers.
+fn writer_loop(
+    mut model: Model,
+    mut publisher: SnapshotPublisher,
+    rx: Receiver<Request>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let req = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(req) => req,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let (reply_to, reply) = match req {
+            Request::Query(goal, tx) => (tx, writer_query(&mut model, &goal)),
+            Request::Fact(text, tx) => (tx, writer_fact(&mut model, &text)),
+        };
+        publisher.publish(model.engine_mut());
+        let _ = reply_to.send(reply);
+    }
+}
+
+/// One connection's handler loop: read a frame, serve or funnel,
+/// respond, until the peer hangs up.
+fn handle_conn(
+    mut stream: TcpStream,
+    reader: SnapshotReader,
+    tx: Sender<Request>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+) {
+    let funnel = |req: Request, rx: &Receiver<Reply>, tx: &Sender<Request>| -> Reply {
+        if tx.send(req).is_err() {
+            return Err("server is shutting down".into());
+        }
+        match rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err("server is shutting down".into()),
+        }
+    };
+    loop {
+        let msg = match read_frame(&mut stream) {
+            Ok(Some(msg)) => msg,
+            Ok(None) | Err(_) => return,
+        };
+        let (tag, rest) = msg.split_once(' ').unwrap_or((msg.as_str(), ""));
+        let reply: Reply = match tag {
+            "Q" => match snapshot_answer(rest, &reader) {
+                Some(rows) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(rows)
+                }
+                None => {
+                    misses.fetch_add(1, Ordering::Relaxed);
+                    let (rtx, rrx) = mpsc::channel();
+                    funnel(Request::Query(rest.to_owned(), rtx), &rrx, &tx)
+                }
+            },
+            "F" => {
+                let (rtx, rrx) = mpsc::channel();
+                funnel(Request::Fact(rest.to_owned(), rtx), &rrx, &tx)
+            }
+            other => Err(format!("unknown request `{other}` (Q <goal> | F <fact>)")),
+        };
+        if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+/// A running query server: the writer thread, the accept loop, and
+/// per-connection handler threads. Shuts down on drop.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Compile `db` into a live demand-driven session and serve it on
+    /// `listener`. The session starts un-materialized: queries are
+    /// answered goal-directed, and each funneled query extends the
+    /// published snapshot's retained demand plans.
+    pub fn spawn(listener: TcpListener, db: &Database) -> Result<Server, CoreError> {
+        let mut model = db.session()?;
+        let publisher = SnapshotPublisher::new(model.engine_mut());
+        let reader = publisher.reader();
+        let addr = listener
+            .local_addr()
+            .expect("a bound listener has a local address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hits = Arc::new(AtomicU64::new(0));
+        let misses = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        let writer = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || writer_loop(model, publisher, rx, shutdown))
+        };
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let (hits, misses) = (Arc::clone(&hits), Arc::clone(&misses));
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Responses are two small writes (length prefix +
+                    // payload); without TCP_NODELAY each one stalls on
+                    // the peer's delayed ACK (~40ms per round-trip).
+                    stream.set_nodelay(true).ok();
+                    let reader = reader.clone();
+                    let tx = tx.clone();
+                    let (hits, misses) = (Arc::clone(&hits), Arc::clone(&misses));
+                    std::thread::spawn(move || handle_conn(stream, reader, tx, hits, misses));
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            writer: Some(writer),
+            hits,
+            misses,
+        })
+    }
+
+    /// The address the server is listening on (resolved, so a `:0`
+    /// bind reports the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries answered lock-free from a published snapshot.
+    pub fn snapshot_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries funneled to the writer.
+    pub fn snapshot_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Block the calling thread while the server runs (until another
+    /// thread drops or signals it — used by `lpsi --serve`).
+    pub fn serve_forever(self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A blocking wire-protocol client (used by `lpsi --client`, the e2e
+/// smoke test, and the E17 throughput experiment).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a [`Server`].
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, request: &str) -> io::Result<Reply> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_reply(&payload)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Answer a query goal (ending with `.`). `Ok(Ok(rows))` are the
+    /// sorted answer lines; `Ok(Err(msg))` is a server-side error.
+    pub fn query(&mut self, goal: &str) -> io::Result<Result<Vec<String>, String>> {
+        self.roundtrip(&format!("Q {goal}"))
+    }
+
+    /// Add ground fact clause(s).
+    pub fn add_fact(&mut self, text: &str) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip(&format!("F {text}"))?.map(|_| ()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new(Dialect::Elps);
+        db.load_str(
+            "e(a, b). e(b, c). e(c, d).
+             t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        db
+    }
+
+    fn local_server(db: &Database) -> Server {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Server::spawn(listener, db).unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "Q t(a, X).").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), "Q t(a, X).");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn reply_codec_preserves_ground_yes() {
+        let yes: Reply = Ok(vec![String::new()]);
+        assert_eq!(decode_reply(&encode_reply(&yes)), yes);
+        let rows: Reply = Ok(vec!["a, b".into(), "a, c".into()]);
+        assert_eq!(decode_reply(&encode_reply(&rows)), rows);
+        let err: Reply = Err("bad goal".into());
+        assert_eq!(decode_reply(&encode_reply(&err)), err);
+    }
+
+    #[test]
+    fn serves_point_queries_and_repeats_hit_the_snapshot() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // Cold: the first query funnels (no plan published yet).
+        let rows = client.query("t(a, X).").unwrap().unwrap();
+        assert_eq!(rows, vec!["a, b", "a, c", "a, d"]);
+        assert_eq!(server.snapshot_hits(), 0);
+        // Warm: the republished epoch serves the repeat lock-free.
+        let rows = client.query("t(a, X).").unwrap().unwrap();
+        assert_eq!(rows, vec!["a, b", "a, c", "a, d"]);
+        assert_eq!(server.snapshot_hits(), 1);
+        // A constant the recursive rewrite already seeded (the magic
+        // fixpoint for `a` demands everything `a` reaches) is served
+        // from the snapshot on first sight.
+        let rows = client.query("t(b, X).").unwrap().unwrap();
+        assert_eq!(rows, vec!["b, c", "b, d"]);
+        assert_eq!(server.snapshot_hits(), 2);
+        // A cold adornment funnels, then its repeat hits.
+        let rows = client.query("t(X, d).").unwrap().unwrap();
+        assert_eq!(rows, vec!["a, d", "b, d", "c, d"]);
+        assert_eq!(server.snapshot_hits(), 2);
+        let _ = client.query("t(X, d).").unwrap().unwrap();
+        assert_eq!(server.snapshot_hits(), 3);
+    }
+
+    #[test]
+    fn facts_invalidate_and_queries_reconverge() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.query("t(c, X).").unwrap().unwrap(), vec!["c, d"]);
+        client.add_fact("e(d, e).").unwrap().unwrap();
+        // The new edge must show up — via funnel or a republished hit.
+        let rows = client.query("t(c, X).").unwrap().unwrap();
+        assert_eq!(rows, vec!["c, d", "c, e"]);
+        // A ground point query echoes the tuple (yes) or answers none.
+        assert_eq!(
+            client.query("t(a, e).").unwrap().unwrap(),
+            vec!["a, e"],
+            "ground point query: the matching tuple"
+        );
+        assert!(client.query("t(e, a).").unwrap().unwrap().is_empty());
+        // A ground conjunctive goal answers with one empty row (yes).
+        assert_eq!(
+            client.query("t(a, e), t(c, e).").unwrap().unwrap(),
+            vec![String::new()],
+            "ground conjunctive goal: yes"
+        );
+    }
+
+    #[test]
+    fn conjunctive_goals_and_errors_funnel() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let rows = client.query("t(a, X), e(X, Y).").unwrap().unwrap();
+        assert_eq!(rows, vec!["b, c", "c, d"]);
+        assert!(client.query("t(a, X").unwrap().is_err(), "syntax error");
+        assert!(
+            client.add_fact("p(X) :- q(X).").unwrap().is_err(),
+            "rules are rejected over the wire"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_agree_with_sequential_answers() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let addr = server.local_addr();
+        let want = vec!["a, b".to_string(), "a, c".into(), "a, d".into()];
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let want = want.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        assert_eq!(client.query("t(a, X).").unwrap().unwrap(), want);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            server.snapshot_hits() > 0,
+            "concurrent repeats must hit the snapshot path"
+        );
+    }
+}

@@ -211,6 +211,20 @@ pub struct EvalStats {
     /// taken during this pass: how often fact movement actually forced
     /// a re-read of the relation cardinalities before a compile.
     pub stats_refreshes: usize,
+    /// Peak mismatch between the planner's estimate and reality: the
+    /// larger of `estimated_rows / probe_rows` and its reciprocal,
+    /// sealed once per pass ([`EvalStats::seal_misestimate`]) and
+    /// max-merged by [`EvalStats::absorb`] like
+    /// [`EvalStats::worker_imbalance`]. ≈1 means the independence-
+    /// assumption cost model tracked the workload; large values are
+    /// the ROADMAP's signal that histogram statistics have become
+    /// worth building. 0 when either side of the ratio was 0 (no
+    /// planner estimate, or no probes).
+    pub misestimate_ratio: usize,
+    /// Parallel join tasks whose skewed partitions were split across
+    /// workers by the quota rebalance (one hot probe key no longer
+    /// pins its whole share to one worker). Additive.
+    pub partitions_rebalanced: usize,
 }
 
 impl EvalStats {
@@ -237,6 +251,21 @@ impl EvalStats {
         self.reorders_applied += other.reorders_applied;
         self.estimated_rows = self.estimated_rows.saturating_add(other.estimated_rows);
         self.stats_refreshes += other.stats_refreshes;
+        self.misestimate_ratio = self.misestimate_ratio.max(other.misestimate_ratio);
+        self.partitions_rebalanced += other.partitions_rebalanced;
+    }
+
+    /// Record this pass's estimate-vs-reality ratio into
+    /// [`EvalStats::misestimate_ratio`]. Called once per evaluation
+    /// pass, after the planner counters are folded in and the probe
+    /// counters are final; keeps the peak so repeated sealing (a pass
+    /// absorbed into cumulative stats) never shrinks it.
+    pub fn seal_misestimate(&mut self) {
+        if self.estimated_rows > 0 && self.probe_rows > 0 {
+            let hi = self.estimated_rows.max(self.probe_rows);
+            let lo = self.estimated_rows.min(self.probe_rows);
+            self.misestimate_ratio = self.misestimate_ratio.max(hi / lo);
+        }
     }
 }
 
@@ -297,6 +326,8 @@ mod tests {
             reorders_applied: 1,
             estimated_rows: 100,
             stats_refreshes: 1,
+            misestimate_ratio: 4,
+            partitions_rebalanced: 1,
         };
         a.absorb(EvalStats {
             iterations: 3,
@@ -320,6 +351,8 @@ mod tests {
             reorders_applied: 2,
             estimated_rows: 50,
             stats_refreshes: 2,
+            misestimate_ratio: 3,
+            partitions_rebalanced: 2,
         });
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
@@ -340,5 +373,37 @@ mod tests {
         assert_eq!(a.reorders_applied, 3);
         assert_eq!(a.estimated_rows, 150);
         assert_eq!(a.stats_refreshes, 3);
+        assert_eq!(a.misestimate_ratio, 4, "misestimate is a peak, not a sum");
+        assert_eq!(a.partitions_rebalanced, 3);
+    }
+
+    #[test]
+    fn seal_misestimate_takes_the_larger_direction() {
+        // Overestimate: 100 estimated vs 10 probed → ratio 10.
+        let mut s = EvalStats {
+            estimated_rows: 100,
+            probe_rows: 10,
+            ..EvalStats::default()
+        };
+        s.seal_misestimate();
+        assert_eq!(s.misestimate_ratio, 10);
+        // Underestimate on a later pass: 10 estimated, 300 probed →
+        // 30, which beats the recorded peak.
+        s.estimated_rows = 10;
+        s.probe_rows = 300;
+        s.seal_misestimate();
+        assert_eq!(s.misestimate_ratio, 30);
+        // A better pass never shrinks the peak.
+        s.estimated_rows = 50;
+        s.probe_rows = 50;
+        s.seal_misestimate();
+        assert_eq!(s.misestimate_ratio, 30);
+        // Either side zero: no signal, no change.
+        let mut z = EvalStats {
+            probe_rows: 40,
+            ..EvalStats::default()
+        };
+        z.seal_misestimate();
+        assert_eq!(z.misestimate_ratio, 0);
     }
 }

@@ -895,6 +895,7 @@ impl Engine {
         }
         stats.absorb(self.take_planner_counters());
         let rows = self.lookup_rows(answer, mask, &seed_tuple, 0);
+        stats.seal_misestimate();
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -939,6 +940,7 @@ impl Engine {
             let mut extra = self.eval_single_rule(&rule)?;
             extra.absorb(self.take_planner_counters());
             stats.absorb(extra);
+            stats.seal_misestimate();
             self.last_stats = stats;
             self.cumulative_stats.absorb(extra);
             return Ok(QueryResult {
@@ -987,6 +989,7 @@ impl Engine {
             extra.demand_fallbacks = 1;
             extra.plans_evicted = evicted;
             stats.absorb(extra);
+            stats.seal_misestimate();
             self.last_stats = stats;
             self.cumulative_stats.absorb(stats);
             return Ok(QueryResult {
@@ -1007,6 +1010,7 @@ impl Engine {
         // answers; this call's rows are those whose seed columns match
         // its constants (an indexed lookup), seed columns stripped.
         let rows = self.lookup_rows(answer, mask, &lifted.consts, k);
+        stats.seal_misestimate();
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -1051,6 +1055,7 @@ impl Engine {
             extra.absorb(self.take_planner_counters());
             extra.demand_fallbacks = 1;
             stats.absorb(extra);
+            stats.seal_misestimate();
             self.last_stats = stats;
             self.cumulative_stats.absorb(stats);
             return Ok(QueryResult {
@@ -1082,6 +1087,7 @@ impl Engine {
         stats.absorb(self.take_planner_counters());
         self.stats_cache.invalidate();
         let rows = self.collect_rows(mp.answer);
+        stats.seal_misestimate();
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -1111,6 +1117,7 @@ impl Engine {
         stats.demand_fallbacks = 1;
         stats.plans_evicted += evicted;
         let rows = self.filter_shadow_rows(pred, args);
+        stats.seal_misestimate();
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(QueryResult {
@@ -1432,6 +1439,57 @@ impl Engine {
             }
         }
         Ok(stats)
+    }
+
+    /// Build the bound-column indexes a published snapshot's hit path
+    /// probes — one per live demand plan's answer relation — while the
+    /// writer still holds `&mut self`. Published relation clones are
+    /// frozen, so any index missing here degrades the reader to a
+    /// (sound) linear scan until the next publish after a change.
+    pub fn prepare_publish(&mut self) {
+        let answers: Vec<(PredId, ColMask)> = self
+            .query_plans
+            .iter()
+            .filter_map(|(&(_, mask), e)| match e {
+                QueryEntry::Demand(p) if p.live => Some((p.answer, mask)),
+                _ => None,
+            })
+            .collect();
+        for (answer, mask) in answers {
+            if mask != 0 {
+                self.full[answer.index()].ensure_index(mask);
+            }
+        }
+    }
+
+    /// Snapshot-publisher internals: the live demand plans as
+    /// `((pred, mask), answer, magic_seed)` triples.
+    pub(crate) fn live_plan_triples(&self) -> Vec<((PredId, ColMask), PredId, Option<PredId>)> {
+        self.query_plans
+            .iter()
+            .filter_map(|(&key, e)| match e {
+                QueryEntry::Demand(p) if p.live => Some((key, p.answer, p.magic_seed)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Snapshot-publisher internals: the positional `full` relations.
+    pub(crate) fn full_relations(&self) -> &[Relation] {
+        &self.full
+    }
+
+    /// Whether every loaded fact has been folded into the model and
+    /// the demand spaces: nothing pending for [`Engine::update`], no
+    /// EDB rows awaiting the demand pipeline's sync. Retained plan
+    /// answers are only publishable when this holds.
+    pub(crate) fn demand_space_clean(&self) -> bool {
+        self.pending.iter().all(Relation::is_empty)
+            && self
+                .edb
+                .iter()
+                .zip(&self.edb_synced)
+                .all(|(e, &s)| e.len() <= s as usize)
     }
 
     /// Mark the plan cache entry most recently used.
@@ -1958,6 +2016,7 @@ impl Engine {
         self.state = EngineState::Materialized;
         self.sets_at_materialize = self.store.set_ids().len();
         self.config_at_materialize = self.config;
+        stats.seal_misestimate();
         self.last_stats = stats;
         self.cumulative_stats.absorb(stats);
         Ok(stats)

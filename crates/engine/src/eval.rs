@@ -394,11 +394,14 @@ pub(crate) fn flat_head_tuple(args: &[Pattern], env: &Env, out: &mut Vec<TermId>
 }
 
 /// Run one parallel-safe delta variant over worker `worker`'s share of
-/// the delta rows (those whose [`Variant::part_mask`]-columns hash to
-/// `worker` modulo `nworkers`), invoking `sink` once per satisfying
-/// assignment. Store-free and infallible: the parallel-safe fragment
-/// has no builtins, no quantifier groups, and no universe enumeration,
-/// so nothing interns terms or errors. Returns the number of delta rows
+/// the delta rows, invoking `sink` once per satisfying assignment.
+/// Ownership is decided per row: with `assign = Some(a)` the driver has
+/// precomputed `a[row]` (the rebalanced owner for skewed partitions);
+/// otherwise a row belongs to the worker its
+/// [`Variant::part_mask`]-columns hash to modulo `nworkers`.
+/// Store-free and infallible: the parallel-safe fragment has no
+/// builtins, no quantifier groups, and no universe enumeration, so
+/// nothing interns terms or errors. Returns the number of delta rows
 /// this worker owned (the driver's imbalance statistic).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_flat_partition(
@@ -408,6 +411,7 @@ pub(crate) fn eval_flat_partition(
     delta: &[Relation],
     worker: usize,
     nworkers: usize,
+    assign: Option<&[u8]>,
     counters: &mut FlatCounters,
     sink: &mut dyn FnMut(&Env),
 ) -> u64 {
@@ -427,7 +431,11 @@ pub(crate) fn eval_flat_partition(
     let mut owned = 0u64;
     for row in 0..drel.len() as u32 {
         let tuple = drel.row(row);
-        if hash_masked_tuple(tuple, variant.part_mask) as usize % nworkers != worker {
+        let mine = match assign {
+            Some(a) => a[row as usize] as usize == worker,
+            None => hash_masked_tuple(tuple, variant.part_mask) as usize % nworkers == worker,
+        };
+        if !mine {
             continue;
         }
         owned += 1;

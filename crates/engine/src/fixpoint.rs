@@ -471,6 +471,7 @@ fn seminaive(
             seq?;
             stats.parallel_rounds += 1;
             stats.worker_imbalance = stats.worker_imbalance.max(outcome.imbalance);
+            stats.partitions_rebalanced += outcome.rebalanced;
             stats.iterations += 1;
             stats.tuples_considered += derived.len() + outcome.produced;
             for d in delta.iter_mut() {

@@ -25,7 +25,9 @@
 //!   [`Engine::query`];
 //! * [`eval`] / [`fixpoint`] — the executor and the drivers;
 //! * [`parallel`] — the scoped-pool join fan-out (E15);
-//! * [`engine`] — the public [`Engine`] session.
+//! * [`engine`] — the public [`Engine`] session;
+//! * [`snapshot`] — epoch-published immutable snapshots for
+//!   single-writer / many-reader query serving (E17).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +45,7 @@ pub mod plan;
 pub mod pred;
 pub mod relation;
 pub mod rule;
+pub mod snapshot;
 pub mod stats;
 pub mod strata;
 
@@ -54,4 +57,5 @@ pub use parallel::ParExec;
 pub use pred::{PredId, PredRegistry};
 pub use relation::Relation;
 pub use rule::{BodyLit, Builtin, GroupSpec, QuantGroup, Rule};
+pub use snapshot::{EngineSnapshot, SnapshotPublisher, SnapshotReader};
 pub use stats::{Stats, StatsCache};

@@ -10,7 +10,12 @@
 //!    relation and keeps the rows whose [`Variant::part_mask`] columns
 //!    hash to *w* mod *W* — rows sharing a probe key stay on one
 //!    worker, and skew becomes observable as
-//!    [`EvalStats::worker_imbalance`].
+//!    [`EvalStats::worker_imbalance`]. When that home split is badly
+//!    skewed (one worker's share above 1.5× the fair share), the
+//!    driver precomputes a per-row assignment that caps every worker
+//!    at the fair share and spills the overflow cyclically
+//!    (`compute_assignments`); such tasks are counted in
+//!    [`EvalStats::partitions_rebalanced`].
 //! 2. **Join.** Each worker runs the store-free flat executor
 //!    (`eval::eval_flat_partition`) over its share, deriving
 //!    head tuples into a thread-local `WorkerBuf` arena. The worker
@@ -36,7 +41,7 @@ use lps_term::TermId;
 use crate::config::EvalStats;
 use crate::eval::{eval_flat_partition, flat_head_tuple, FlatCounters, ProbeCounters};
 use crate::plan::CompiledRule;
-use crate::relation::Relation;
+use crate::relation::{hash_masked_tuple, Relation};
 use crate::rule::BodyLit;
 
 /// Minimum delta-relation size before a variant's join is dispatched to
@@ -100,6 +105,9 @@ pub(crate) struct JoinOutcome {
     pub imbalance: usize,
     /// Head tuples produced by the workers before any filtering.
     pub produced: usize,
+    /// Tasks whose skewed hash split was replaced by a quota-capped
+    /// per-row assignment this round.
+    pub rebalanced: usize,
 }
 
 /// The session's parallel executor: the resolved worker count, the
@@ -168,17 +176,19 @@ impl ParExec {
         for buf in &mut self.bufs {
             buf.clear();
         }
+        let (assignments, rebalanced) = compute_assignments(tasks, regular, delta, w);
         let pool = self.pool.get_or_insert_with(|| lps_pool::Pool::new(w - 1));
         let (buf0, rest) = self
             .bufs
             .split_first_mut()
             .expect("threads > 1 implies at least one buffer");
+        let assigns: &[Option<Vec<u8>>] = &assignments;
         let result = pool.scoped(|scope| {
             for (i, buf) in rest.iter_mut().enumerate() {
                 let wi = i + 1;
-                scope.execute(move || run_worker(buf, tasks, regular, full, delta, wi, w));
+                scope.execute(move || run_worker(buf, tasks, regular, full, delta, assigns, wi, w));
             }
-            run_worker(buf0, tasks, regular, full, delta, 0, w);
+            run_worker(buf0, tasks, regular, full, delta, assigns, 0, w);
             seq(full, delta)
         });
         let mut produced = 0u64;
@@ -197,6 +207,7 @@ impl ParExec {
             JoinOutcome {
                 imbalance,
                 produced: produced as usize,
+                rebalanced,
             },
         )
     }
@@ -277,19 +288,89 @@ pub(crate) fn collect_tasks(regular: &[&CompiledRule], delta: &[Relation]) -> Ve
     tasks
 }
 
+/// Rebalance trigger, in percent of the fair share: a task's hash
+/// split is replaced only when the most loaded worker's home share
+/// exceeds `fair × 150 / 100`, so mild skew keeps the cheap
+/// assignment-free modulo path.
+const REBALANCE_PCT: u64 = 150;
+
+/// Precompute per-row worker assignments for this round's skewed
+/// tasks. A row's *home* worker is its partition-hash modulo `w`
+/// (exactly the legacy split). When the largest home share exceeds
+/// [`REBALANCE_PCT`]% of the fair share `ceil(n / w)`, the task is
+/// rebalanced: every worker keeps at most the fair share of its home
+/// rows, and overflow rows walk cyclically to the next worker with
+/// quota left. The result depends only on row order and the hash
+/// split, so reassignment preserves the deterministic merge. Balanced
+/// tasks — and worker counts that don't fit the `u8` assignment
+/// array — stay `None` and take the modulo path. Also returns how
+/// many tasks were rebalanced.
+fn compute_assignments(
+    tasks: &[(usize, usize)],
+    regular: &[&CompiledRule],
+    delta: &[Relation],
+    w: usize,
+) -> (Vec<Option<Vec<u8>>>, usize) {
+    let mut out = Vec::with_capacity(tasks.len());
+    let mut rebalanced = 0usize;
+    for &(ri, vi) in tasks {
+        let cr = regular[ri];
+        let variant = &cr.variants[vi];
+        let d = variant.delta_lit.expect("non-full variants have a delta");
+        let BodyLit::Pos(p, _) = &cr.rule.outer[d] else {
+            unreachable!("delta literal is positive");
+        };
+        let drel = &delta[p.index()];
+        let n = drel.len();
+        if n == 0 || w > u8::MAX as usize + 1 {
+            out.push(None);
+            continue;
+        }
+        let mut homes = vec![0u8; n];
+        let mut counts = vec![0u64; w];
+        for (row, home) in homes.iter_mut().enumerate() {
+            let h = hash_masked_tuple(drel.row(row as u32), variant.part_mask) as usize % w;
+            *home = h as u8;
+            counts[h] += 1;
+        }
+        let fair = n.div_ceil(w) as u64;
+        let peak = counts.iter().copied().max().unwrap_or(0);
+        if peak * 100 <= REBALANCE_PCT * fair {
+            out.push(None);
+            continue;
+        }
+        // Quota-cap each worker at the fair share. Total quota is
+        // `fair × w ≥ n`, so the cyclic walk always finds a slot.
+        let mut quota = vec![fair; w];
+        for home in homes.iter_mut() {
+            let mut wk = *home as usize;
+            while quota[wk] == 0 {
+                wk = (wk + 1) % w;
+            }
+            quota[wk] -= 1;
+            *home = wk as u8;
+        }
+        rebalanced += 1;
+        out.push(Some(homes));
+    }
+    (out, rebalanced)
+}
+
 /// One worker's round: run every task's join over this worker's
 /// partition, deriving (pre-hashed, pre-filtered) head tuples into
 /// `buf` and recording the per-task segment watermarks.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     buf: &mut WorkerBuf,
     tasks: &[(usize, usize)],
     regular: &[&CompiledRule],
     full: &[Relation],
     delta: &[Relation],
+    assigns: &[Option<Vec<u8>>],
     worker: usize,
     nworkers: usize,
 ) {
-    for &(ri, vi) in tasks {
+    for (t, &(ri, vi)) in tasks.iter().enumerate() {
         let cr = regular[ri];
         let rule = &cr.rule;
         let head_full = &full[rule.head.index()];
@@ -307,6 +388,7 @@ fn run_worker(
             delta,
             worker,
             nworkers,
+            assigns[t].as_deref(),
             counters,
             &mut |env| {
                 *produced += 1;

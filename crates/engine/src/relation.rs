@@ -20,6 +20,10 @@
 //! maintained incrementally on insert thereafter.
 
 use lps_term::{fx_fold, TermId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide relation identity counter (see [`Relation::fingerprint`]).
+static NEXT_REL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Bitmask of bound columns (bit *i* set ⇔ column *i* bound).
 /// Relations are capped at 32 columns, far above any realistic arity.
@@ -233,7 +237,7 @@ fn masked_rows_equal(arena: &[TermId], b1: usize, b2: usize, mask: ColMask) -> b
 
 /// The extension of one predicate: a flat `TermId` arena with stride =
 /// arity, an in-place dedup table, and per-mask secondary indexes.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct Relation {
     arity: usize,
     /// Tuple storage: row *r* occupies `arena[r*arity .. (r+1)*arity]`.
@@ -244,6 +248,46 @@ pub struct Relation {
     /// Secondary indexes; relations have very few masks, so a linear
     /// scan beats hashing the mask on every probe.
     indexes: Vec<ColIndex>,
+    /// Process-unique identity, minted fresh for every `new`, `default`
+    /// *and clone* — two relations never share an `id`, so
+    /// `(id, version)` keys content caches soundly (see
+    /// [`Relation::fingerprint`]).
+    id: u64,
+    /// Bumped on every content change (`insert` of a new tuple,
+    /// `clear`). Index creation does not bump: it changes access
+    /// paths, not the tuple set.
+    version: u64,
+}
+
+impl Default for Relation {
+    fn default() -> Self {
+        Relation {
+            arity: 0,
+            arena: Vec::new(),
+            rows: 0,
+            dedup: RowTable::default(),
+            indexes: Vec::new(),
+            id: NEXT_REL_ID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
+        }
+    }
+}
+
+impl Clone for Relation {
+    /// Clones the contents but mints a fresh identity: the clone and
+    /// the original diverge independently afterwards, so sharing an
+    /// `id` would let their `(id, version)` fingerprints collide.
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            arena: self.arena.clone(),
+            rows: self.rows,
+            dedup: self.dedup.clone(),
+            indexes: self.indexes.clone(),
+            id: NEXT_REL_ID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
+        }
+    }
 }
 
 impl Relation {
@@ -311,6 +355,7 @@ impl Relation {
         assert!(row != u32::MAX, "relation overflow");
         self.arena.extend_from_slice(tuple);
         self.rows += 1;
+        self.version += 1;
         self.dedup.slots[slot] = row;
         self.dedup.len += 1;
         let arena = &self.arena;
@@ -466,10 +511,21 @@ impl Relation {
     pub fn clear(&mut self) {
         self.arena.clear();
         self.rows = 0;
+        self.version += 1;
         self.dedup.clear();
         for index in &mut self.indexes {
             index.clear();
         }
+    }
+
+    /// `(identity, version)` fingerprint for content caching: equal
+    /// fingerprints imply equal tuple sets. `identity` is process-
+    /// unique per relation *object* (fresh on construction and on
+    /// clone); `version` counts content mutations. The snapshot
+    /// publisher uses this to reuse the previously published
+    /// `Arc<Relation>` for relations an update did not touch.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        (self.id, self.version)
     }
 }
 
@@ -632,6 +688,35 @@ mod tests {
         fresh.reserve(100);
         assert!(fresh.insert(&[ids[0], ids[1]]));
         assert!(fresh.contains(&[ids[0], ids[1]]));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_indexes() {
+        let mut st = TermStore::new();
+        let a = st.atom("a");
+        let b = st.atom("b");
+        let mut r = Relation::new(2);
+        let f0 = r.fingerprint();
+        r.insert(&[a, b]);
+        let f1 = r.fingerprint();
+        assert_ne!(f0, f1, "insert must bump the version");
+        // Duplicate insert: no content change, no bump.
+        r.insert(&[a, b]);
+        assert_eq!(r.fingerprint(), f1);
+        // Index creation: access path only, no bump.
+        r.ensure_index(0b01);
+        assert_eq!(r.fingerprint(), f1);
+        r.clear();
+        assert_ne!(r.fingerprint(), f1, "clear must bump the version");
+        // Clones mint a fresh identity so fingerprints never collide
+        // even while both copies mutate independently.
+        let c = r.clone();
+        assert_ne!(c.fingerprint().0, r.fingerprint().0);
+        // Distinct relations have distinct identities.
+        assert_ne!(
+            Relation::new(1).fingerprint().0,
+            Relation::new(1).fingerprint().0
+        );
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Epoch-published immutable engine snapshots — the single-writer /
+//! many-reader split behind concurrent query serving.
+//!
+//! The engine itself stays a `&mut self` session: writes (`fact`,
+//! `update`, rule changes) and anything that grows a demand space
+//! belong to the one owning thread. What this module adds is a way for
+//! that writer to *publish* a frozen, shareable view of the session —
+//! an [`EngineSnapshot`] behind a vendored arc-swap-style epoch
+//! pointer ([`lps_epoch::EpochCell`]) — that any number of reader
+//! threads can query concurrently without locks:
+//!
+//! ```text
+//!            writer thread                    reader threads
+//!   fact/update/query ──► Engine
+//!            │ publish()                      current() ──► Arc<EngineSnapshot>
+//!            ▼                                   │ try_query()   (lock-free)
+//!   SnapshotPublisher ──► EpochCell ◄────────────┘
+//!            (epoch n+1 swaps in;     hit  → answer rows, no writer involved
+//!             epoch n lives until     miss → funnel the query to the writer,
+//!             its last reader drops)         which answers with `&mut Engine`
+//!                                            and publishes a fresh epoch
+//! ```
+//!
+//! A snapshot can answer a point query from two sources, mirroring the
+//! sequential [`Engine::query`] decision exactly:
+//!
+//! * **Materialized model** — when the engine was `Materialized` and
+//!   clean at publish time, any point query reads straight from the
+//!   frozen relations (index probe when the index was already built,
+//!   linear scan otherwise — never a mutation).
+//! * **Retained demand plans** — the PR 5 plan cache, converted here
+//!   from `&mut self` LRU state into a read-mostly map: a query whose
+//!   `(pred, bound-mask)` plan is live *and* whose seed tuple is
+//!   already in the plan's magic relation is a pure indexed read of
+//!   the retained answer relation. Anything else — a cold adornment, a
+//!   new seed constant, a non-monotone fallback — returns `None` and
+//!   funnels to the writer (which evaluates, then republishes so later
+//!   readers hit).
+//!
+//! Publishing is cheap when little changed: relations are shared by
+//! `(identity, version)` fingerprint ([`Relation::fingerprint`]) so an
+//! epoch reuses the previous epoch's `Arc<Relation>` for every
+//! relation the writer did not touch, and the interned-term store is
+//! re-cloned only when it grew. Readers never observe a torn epoch:
+//! the epoch pointer swap is atomic, and a reader's `Arc` keeps its
+//! whole snapshot (store, registry, relations, plans) alive together
+//! until dropped (property-tested in `tests/prop_serve.rs`).
+
+use crate::engine::{Engine, EngineState, RowSet};
+use crate::magic;
+use crate::pred::{PredId, PredRegistry};
+use crate::relation::{ColMask, Relation};
+use lps_epoch::EpochCell;
+use lps_term::{FxHashMap, TermId, TermStore};
+use std::sync::Arc;
+
+/// One servable demand plan in a snapshot: the retained answer
+/// relation and the magic relation that records which seeds its
+/// fixpoint covers.
+#[derive(Debug, Clone, Copy)]
+struct SnapshotPlan {
+    /// The adorned predicate holding the answers.
+    answer: PredId,
+    /// The magic (seed) predicate; `None` for the all-free adornment,
+    /// whose fixpoint covers every seed.
+    magic: Option<PredId>,
+}
+
+/// An immutable, shareable view of an [`Engine`] at one publish point.
+///
+/// Obtained from [`SnapshotReader::current`]; all methods are `&self`
+/// and never mutate, so one snapshot can serve any number of threads.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    epoch: u64,
+    store: Arc<TermStore>,
+    preds: PredRegistry,
+    /// Frozen `full` relations, positionally indexed by
+    /// [`PredId::index`]. Shared with other epochs where unchanged.
+    rels: Vec<Arc<Relation>>,
+    /// Live demand plans by `(pred, bound-mask)`; empty when the
+    /// demand spaces were not current at publish time.
+    plans: FxHashMap<(PredId, ColMask), SnapshotPlan>,
+    /// Whether the materialized model was complete and clean at
+    /// publish time (any point query is then servable from `rels`).
+    model_servable: bool,
+}
+
+impl EngineSnapshot {
+    /// The publish sequence number this snapshot was created at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen term store (read-only: use the `find_*` lookups).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Look up a predicate by name and arity without registering it.
+    /// `None` means the program never mentions it — the writer will
+    /// report the error.
+    pub fn find_pred(&self, name: &str, arity: usize) -> Option<PredId> {
+        let sym = self.store.symbols().get(name)?;
+        self.preds.get(sym, arity)
+    }
+
+    /// Arity of a predicate in this snapshot.
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.preds.info(pred).arity
+    }
+
+    /// Try to answer the point query `pred(args…)` from this snapshot
+    /// alone. `Some(rows)` is exactly what the sequential engine would
+    /// answer at this epoch; `None` means the snapshot cannot answer
+    /// without mutating (cold adornment, unseeded constant, fallback
+    /// query, stale demand space) and the caller must funnel the query
+    /// to the writer.
+    pub fn try_query(&self, pred: PredId, args: &[Option<TermId>]) -> Option<RowSet> {
+        if args.len() != self.preds.info(pred).arity {
+            return None;
+        }
+        let mask = magic::adornment_of(args);
+        let key: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
+        if self.model_servable {
+            let rel = self.rels.get(pred.index())?;
+            return Some(read_rows(rel, mask, &key));
+        }
+        let plan = self.plans.get(&(pred, mask))?;
+        if let Some(m) = plan.magic {
+            // The retained fixpoint covers exactly the seeds recorded
+            // in the magic relation; a new constant funnels.
+            if !self.rels.get(m.index())?.contains(&key) {
+                return None;
+            }
+        }
+        let answer = self.rels.get(plan.answer.index())?;
+        Some(read_rows(answer, mask, &key))
+    }
+}
+
+/// Answer rows from a frozen relation: scan for the all-free mask,
+/// index probe when the index exists, filtered scan otherwise (frozen
+/// relations cannot build indexes on demand — the fallback is sound,
+/// just linear).
+fn read_rows(rel: &Relation, mask: ColMask, key: &[TermId]) -> RowSet {
+    let mut out = RowSet::new(rel.arity());
+    if mask == 0 {
+        for row in rel.iter() {
+            out.push(row);
+        }
+    } else if rel.has_index(mask) {
+        for &r in rel.lookup(mask, key) {
+            out.push(rel.row(r));
+        }
+    } else {
+        for row in rel.iter() {
+            if masked_matches(row, mask, key) {
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Do the `mask`-selected columns of `row` equal `key` (ascending
+/// column order)?
+fn masked_matches(row: &[TermId], mask: ColMask, key: &[TermId]) -> bool {
+    let mut m = mask;
+    let mut k = 0;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        if row[col] != key[k] {
+            return false;
+        }
+        k += 1;
+        m &= m - 1;
+    }
+    true
+}
+
+/// The writer-side handle: owns the epoch counter and the caches that
+/// make republishing cheap. Lives next to the owning [`Engine`] on
+/// the writer thread; hand [`SnapshotPublisher::reader`] clones to
+/// reader threads.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    cell: Arc<EpochCell<EngineSnapshot>>,
+    epoch: u64,
+    /// `(terms, symbols)` lengths of the last published store — the
+    /// store is append-only, so unchanged lengths mean an unchanged
+    /// store and the previous `Arc` is reused.
+    store_key: (usize, usize),
+    store_arc: Arc<TermStore>,
+    /// Last published relation per slot, keyed by the *source*
+    /// relation's fingerprint at publish time.
+    rel_cache: Vec<((u64, u64), Arc<Relation>)>,
+}
+
+impl SnapshotPublisher {
+    /// Create a publisher and publish epoch 0 from the engine's
+    /// current state.
+    pub fn new(engine: &mut Engine) -> Self {
+        let store_arc = Arc::new(engine.store().clone());
+        let mut publisher = SnapshotPublisher {
+            cell: Arc::new(EpochCell::new(Arc::new(EngineSnapshot {
+                epoch: 0,
+                store: Arc::clone(&store_arc),
+                preds: engine.preds().clone(),
+                rels: Vec::new(),
+                plans: FxHashMap::default(),
+                model_servable: false,
+            }))),
+            epoch: 0,
+            store_key: (engine.store().len(), engine.store().symbols().len()),
+            store_arc,
+            rel_cache: Vec::new(),
+        };
+        publisher.epoch = 0;
+        // Re-publish properly (relations, plans) through the one code
+        // path; epoch 0 above is just the cell's initial value.
+        publisher.publish(engine);
+        publisher
+    }
+
+    /// A cheap, clonable reader handle for this publisher's epochs.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+
+    /// Freeze the engine's current state into a new epoch and swap it
+    /// in for readers. Returns the new epoch number. Unchanged
+    /// relations and an unchanged store are shared with the previous
+    /// epoch rather than re-cloned.
+    pub fn publish(&mut self, engine: &mut Engine) -> u64 {
+        // Build the bound-column indexes the reader hit path probes
+        // while we still have `&mut` — published relations are frozen.
+        engine.prepare_publish();
+        let store_key = (engine.store().len(), engine.store().symbols().len());
+        if store_key != self.store_key {
+            self.store_arc = Arc::new(engine.store().clone());
+            self.store_key = store_key;
+        }
+        let full = engine.full_relations();
+        self.rel_cache.truncate(full.len());
+        let mut rels = Vec::with_capacity(full.len());
+        for (i, rel) in full.iter().enumerate() {
+            let fp = rel.fingerprint();
+            match self.rel_cache.get(i) {
+                Some((cached_fp, arc)) if *cached_fp == fp => rels.push(Arc::clone(arc)),
+                _ => {
+                    let arc = Arc::new(rel.clone());
+                    if i < self.rel_cache.len() {
+                        self.rel_cache[i] = (fp, Arc::clone(&arc));
+                    } else {
+                        self.rel_cache.push((fp, Arc::clone(&arc)));
+                    }
+                    rels.push(arc);
+                }
+            }
+        }
+        // Demand plans are servable only while nothing is waiting to
+        // be folded into their spaces; otherwise a plan hit could miss
+        // consequences of a fact this epoch is supposed to include.
+        let mut plans = FxHashMap::default();
+        if engine.demand_space_clean() {
+            for (key, answer, magic) in engine.live_plan_triples() {
+                plans.insert(key, SnapshotPlan { answer, magic });
+            }
+        }
+        // `Materialized` implies no pending facts (a `fact` call flips
+        // the state to `Dirty`), so the model relations are the least
+        // model as of this epoch.
+        let model_servable = engine.state() == EngineState::Materialized;
+        self.epoch += 1;
+        self.cell.store(Arc::new(EngineSnapshot {
+            epoch: self.epoch,
+            store: Arc::clone(&self.store_arc),
+            preds: engine.preds().clone(),
+            rels,
+            plans,
+            model_servable,
+        }));
+        self.epoch
+    }
+}
+
+/// The reader-side handle: clone one per reader thread; each
+/// [`SnapshotReader::current`] call acquires the latest published
+/// epoch lock-free.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    cell: Arc<EpochCell<EngineSnapshot>>,
+}
+
+impl SnapshotReader {
+    /// The latest published snapshot. The returned `Arc` pins its
+    /// epoch alive for as long as the caller holds it, independent of
+    /// later publishes.
+    pub fn current(&self) -> Arc<EngineSnapshot> {
+        self.cell.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+    use crate::pattern::{Pattern, VarId};
+    use crate::rule::{BodyLit, Rule};
+
+    /// `path` transitive closure over a small chain.
+    fn chain_engine(n: i64) -> (Engine, PredId, PredId) {
+        let mut e = Engine::new(EvalConfig::default());
+        let edge = e.pred("edge", 2);
+        let path = e.pred("path", 2);
+        let v = |i| Pattern::Var(VarId(i));
+        e.rule(Rule {
+            head: path,
+            head_args: vec![v(0), v(1)],
+            group: None,
+            outer: vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+            quant: None,
+            num_vars: 2,
+            var_names: vec!["X".into(), "Y".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        e.rule(Rule {
+            head: path,
+            head_args: vec![v(0), v(2)],
+            group: None,
+            outer: vec![
+                BodyLit::Pos(path, vec![v(0), v(1)]),
+                BodyLit::Pos(edge, vec![v(1), v(2)]),
+            ],
+            quant: None,
+            num_vars: 3,
+            var_names: vec!["X".into(), "Y".into(), "Z".into()],
+            var_sorts: vec![],
+        })
+        .unwrap();
+        for i in 0..n {
+            let a = e.store_mut().int(i);
+            let b = e.store_mut().int(i + 1);
+            e.fact(edge, vec![a, b]).unwrap();
+        }
+        (e, edge, path)
+    }
+
+    #[test]
+    fn materialized_snapshot_answers_point_queries() {
+        let (mut e, _edge, path) = chain_engine(8);
+        e.run().unwrap();
+        let mut publisher = SnapshotPublisher::new(&mut e);
+        let reader = publisher.reader();
+        let snap = reader.current();
+        let zero = snap.store().find_int(0).unwrap();
+        let want = e.query(path, &[Some(zero), None]).unwrap().rows.sorted();
+        let got = snap.try_query(path, &[Some(zero), None]).unwrap().sorted();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 8);
+        // All-free scan matches the full extension.
+        let all = snap.try_query(path, &[None, None]).unwrap();
+        assert_eq!(all.len(), e.rows(path).len());
+        // Unknown predicates funnel (writer reports the error).
+        assert!(snap.find_pred("nope", 2).is_none());
+        let _ = publisher.publish(&mut e);
+    }
+
+    #[test]
+    fn demand_plan_hits_are_servable_and_new_seeds_funnel() {
+        let (mut e, _edge, path) = chain_engine(8);
+        // Goal-directed: no materialization, a retained demand plan.
+        let three = e.store_mut().int(3);
+        let five = e.store_mut().int(5);
+        let want = e.query(path, &[Some(three), None]).unwrap();
+        assert_eq!(want.path, crate::engine::QueryPath::Demand);
+        let mut publisher = SnapshotPublisher::new(&mut e);
+        let snap = publisher.reader().current();
+        // Seeded constant: pure snapshot read, equal to the engine.
+        let got = snap.try_query(path, &[Some(three), None]).unwrap();
+        assert_eq!(got.sorted(), want.rows.sorted());
+        // New constant under the same adornment: the seed is not in
+        // the magic relation — funnel.
+        assert!(snap.try_query(path, &[Some(five), None]).is_none());
+        // Cold adornment: funnel.
+        assert!(snap.try_query(path, &[None, Some(three)]).is_none());
+        // After the writer answers the new seed and republishes, the
+        // same snapshot read hits.
+        let want5 = e.query(path, &[Some(five), None]).unwrap();
+        publisher.publish(&mut e);
+        let snap2 = publisher.reader().current();
+        assert!(snap2.epoch() > snap.epoch());
+        let got5 = snap2.try_query(path, &[Some(five), None]).unwrap();
+        assert_eq!(got5.sorted(), want5.rows.sorted());
+    }
+
+    #[test]
+    fn pending_writes_unpublish_plans_until_reconciled() {
+        let (mut e, edge, path) = chain_engine(4);
+        let zero = e.store_mut().int(0);
+        e.query(path, &[Some(zero), None]).unwrap();
+        let mut publisher = SnapshotPublisher::new(&mut e);
+        assert!(publisher
+            .reader()
+            .current()
+            .try_query(path, &[Some(zero), None])
+            .is_some());
+        // A fact the plan has not absorbed yet: publishing now must
+        // not serve stale plan answers.
+        let a = e.store_mut().int(100);
+        let b = e.store_mut().int(101);
+        e.fact(edge, vec![a, b]).unwrap();
+        publisher.publish(&mut e);
+        let snap = publisher.reader().current();
+        assert!(
+            snap.try_query(path, &[Some(zero), None]).is_none(),
+            "stale demand space must funnel"
+        );
+        // The writer reconciles (next query drives the continuation),
+        // republishes, and the hit path returns — now including any
+        // new consequences.
+        let want = e.query(path, &[Some(zero), None]).unwrap();
+        publisher.publish(&mut e);
+        let snap = publisher.reader().current();
+        let got = snap.try_query(path, &[Some(zero), None]).unwrap();
+        assert_eq!(got.sorted(), want.rows.sorted());
+    }
+
+    #[test]
+    fn unchanged_relations_are_shared_across_epochs() {
+        let (mut e, _edge, path) = chain_engine(6);
+        e.run().unwrap();
+        let mut publisher = SnapshotPublisher::new(&mut e);
+        let s1 = publisher.reader().current();
+        publisher.publish(&mut e);
+        let s2 = publisher.reader().current();
+        assert!(s2.epoch() > s1.epoch());
+        let i = path.index();
+        assert!(
+            Arc::ptr_eq(&s1.rels[i], &s2.rels[i]),
+            "untouched relations must be shared, not re-cloned"
+        );
+        assert!(
+            Arc::ptr_eq(&s1.store, &s2.store),
+            "unchanged store is shared"
+        );
+        // Old epochs stay fully readable while held.
+        let zero = s1.store().find_int(0).unwrap();
+        assert_eq!(
+            s1.try_query(path, &[Some(zero), None]).unwrap().len(),
+            s2.try_query(path, &[Some(zero), None]).unwrap().len()
+        );
+    }
+}

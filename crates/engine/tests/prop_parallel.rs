@@ -336,9 +336,11 @@ fn dense_chain_tc_is_bit_identical_and_parallel() {
 
 /// Skewed-partition stress: a hub node owns > 90 % of the delta rows
 /// of the recursive round (every `t(hub, spoke)` tuple shares the hub
-/// as probe key, so partitioning assigns them all to one worker). The
-/// model must stay exact and `worker_imbalance` must report the skew
-/// well above the balanced baseline of ~100.
+/// as probe key, so the hash split would assign them all to one
+/// worker). The quota-capped rebalance must kick in: the model stays
+/// exact, at least one task reports as rebalanced, and the observed
+/// imbalance stays at or below the 150 trigger instead of the ~
+/// `workers × 100` a pure hash split would show.
 #[test]
 fn skewed_partition_is_correct_and_reported() {
     let spokes = 24usize;
@@ -371,8 +373,13 @@ fn skewed_partition_is_correct_and_reported() {
         let stats = par.stats();
         assert!(stats.parallel_rounds > 0, "{w} workers: fan-out engaged");
         assert!(
-            stats.worker_imbalance >= 150,
-            "{w} workers: a >90% hot key must show up as imbalance, got {}",
+            stats.partitions_rebalanced >= 1,
+            "{w} workers: the hot hub key must trigger a rebalance"
+        );
+        assert!(
+            stats.worker_imbalance <= 150,
+            "{w} workers: quota capping must hold imbalance at/under the \
+             150 trigger, got {}",
             stats.worker_imbalance
         );
     }

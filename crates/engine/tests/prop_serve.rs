@@ -1,0 +1,230 @@
+//! Concurrency properties of the epoch-published snapshot layer
+//! (`lps_engine::snapshot`): readers racing a publishing writer never
+//! observe a torn epoch, and every answer they extract equals the
+//! answer of *some* published engine state — a sequential prefix of
+//! the writer's update stream.
+//!
+//! The workload is a growing chain `0 → 1 → … → m` under transitive
+//! closure: after the writer's `k`-th reconciled update, the answer to
+//! `path(0, X)` is exactly `{(0, 1), …, (0, m_k)}`. That shape is what
+//! makes torn reads *detectable*: a reader that mixed relations, store,
+//! or plans from two epochs would see a row set that is not a chain
+//! prefix (a hole, a dangling `TermId`, a count between prefixes), and
+//! the per-row integer lift would catch a store/relation mismatch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lps_engine::pattern::{Pattern, VarId};
+use lps_engine::{BodyLit, Engine, EvalConfig, PredId, Rule, SnapshotPublisher};
+
+/// `edge`/`path` transitive closure over `0 → 1 → … → n`.
+fn chain_engine(n: i64) -> (Engine, PredId, PredId) {
+    let mut e = Engine::new(EvalConfig::default());
+    let edge = e.pred("edge", 2);
+    let path = e.pred("path", 2);
+    let v = |i| Pattern::Var(VarId(i));
+    e.rule(Rule {
+        head: path,
+        head_args: vec![v(0), v(1)],
+        group: None,
+        outer: vec![BodyLit::Pos(edge, vec![v(0), v(1)])],
+        quant: None,
+        num_vars: 2,
+        var_names: vec!["X".into(), "Y".into()],
+        var_sorts: vec![],
+    })
+    .unwrap();
+    e.rule(Rule {
+        head: path,
+        head_args: vec![v(0), v(2)],
+        group: None,
+        outer: vec![
+            BodyLit::Pos(path, vec![v(0), v(1)]),
+            BodyLit::Pos(edge, vec![v(1), v(2)]),
+        ],
+        quant: None,
+        num_vars: 3,
+        var_names: vec!["X".into(), "Y".into(), "Z".into()],
+        var_sorts: vec![],
+    })
+    .unwrap();
+    for i in 0..n {
+        let a = e.store_mut().int(i);
+        let b = e.store_mut().int(i + 1);
+        e.fact(edge, vec![a, b]).unwrap();
+    }
+    (e, edge, path)
+}
+
+/// Assert that a snapshot's answer to `path(0, X)` is a chain prefix
+/// `{(0, 1), …, (0, m)}` with `base ≤ m ≤ limit`, lifting every
+/// `TermId` through the snapshot's own store. Returns `m`.
+fn assert_chain_prefix(
+    snap: &lps_engine::EngineSnapshot,
+    path: PredId,
+    base: i64,
+    limit: i64,
+) -> Option<i64> {
+    let zero = snap.store().find_int(0)?;
+    let rows = snap.try_query(path, &[Some(zero), None])?;
+    let mut targets: Vec<i64> = rows
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), 2, "epoch {}: row arity", snap.epoch());
+            assert_eq!(
+                snap.store().as_int(row[0]),
+                Some(0),
+                "epoch {}: bound column must lift to 0 in this epoch's store",
+                snap.epoch()
+            );
+            snap.store()
+                .as_int(row[1])
+                .expect("free column lifts to an int in this epoch's store")
+        })
+        .collect();
+    targets.sort_unstable();
+    let m = targets.len() as i64;
+    assert!(
+        (base..=limit).contains(&m),
+        "epoch {}: answer count {m} is no published prefix (expected {base}..={limit})",
+        snap.epoch()
+    );
+    let want: Vec<i64> = (1..=m).collect();
+    assert_eq!(
+        targets,
+        want,
+        "epoch {}: torn answer set — not the chain prefix of length {m}",
+        snap.epoch()
+    );
+    Some(m)
+}
+
+/// Materialized-model serving: M readers hammer `path(0, X)` while the
+/// writer appends an edge, reconciles, and republishes, K times. Every
+/// read must be a chain prefix between the initial and final lengths,
+/// and each reader's observed epoch and prefix must be monotone (the
+/// epoch pointer never goes backwards).
+#[test]
+fn concurrent_readers_see_only_published_prefixes_materialized() {
+    const BASE: i64 = 8;
+    const UPDATES: i64 = 120;
+    const READERS: usize = 4;
+    let (mut e, edge, path) = chain_engine(BASE);
+    e.run().unwrap();
+    let mut publisher = SnapshotPublisher::new(&mut e);
+    let done = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..READERS)
+        .map(|_| {
+            let reader = publisher.reader();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                let mut last_epoch = 0u64;
+                let mut last_m = 0i64;
+                while !done.load(Ordering::SeqCst) {
+                    let snap = reader.current();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epoch pointer went backwards: {} after {last_epoch}",
+                        snap.epoch()
+                    );
+                    let m = assert_chain_prefix(&snap, path, BASE, BASE + UPDATES)
+                        .expect("materialized epochs always serve");
+                    if snap.epoch() == last_epoch {
+                        assert!(m >= last_m, "same epoch shrank its answer");
+                    }
+                    last_epoch = snap.epoch();
+                    last_m = m;
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+    for k in 0..UPDATES {
+        let a = e.store_mut().int(BASE + k);
+        let b = e.store_mut().int(BASE + k + 1);
+        e.fact(edge, vec![a, b]).unwrap();
+        e.update().unwrap();
+        publisher.publish(&mut e);
+    }
+    done.store(true, Ordering::SeqCst);
+    let mut total_reads = 0;
+    for h in handles {
+        total_reads += h.join().expect("reader panicked (torn read)");
+    }
+    assert!(total_reads > 0, "readers must have observed something");
+    // The final epoch shows the fully grown chain.
+    let snap = publisher.reader().current();
+    assert_eq!(
+        assert_chain_prefix(&snap, path, BASE + UPDATES, BASE + UPDATES),
+        Some(BASE + UPDATES)
+    );
+}
+
+/// Demand-plan serving: the writer never materializes — it answers
+/// `path(0, X)` through the retained demand plan after each appended
+/// edge, then republishes. Readers may find an epoch unservable (a
+/// pending fact unpublishes the plans — that is the funnel contract,
+/// not an error), but every *served* answer must be a chain prefix,
+/// and old epochs pinned by a reader must stay fully readable while
+/// the writer races ahead.
+#[test]
+fn concurrent_readers_on_demand_plans_funnel_or_agree() {
+    const BASE: i64 = 8;
+    const UPDATES: i64 = 60;
+    const READERS: usize = 3;
+    let (mut e, edge, path) = chain_engine(BASE);
+    let zero = e.store_mut().int(0);
+    // Seed the demand space; the plan is retained across updates.
+    e.query(path, &[Some(zero), None]).unwrap();
+    let mut publisher = SnapshotPublisher::new(&mut e);
+    let done = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..READERS)
+        .map(|_| {
+            let reader = publisher.reader();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut pinned: Option<std::sync::Arc<lps_engine::EngineSnapshot>> = None;
+                while !done.load(Ordering::SeqCst) {
+                    let snap = reader.current();
+                    if assert_chain_prefix(&snap, path, BASE, BASE + UPDATES).is_some() {
+                        served += 1;
+                        // Pin this epoch and re-read it later: it must
+                        // answer identically no matter how far the
+                        // writer has advanced since.
+                        pinned = Some(snap);
+                    }
+                    if let Some(old) = &pinned {
+                        assert_chain_prefix(old, path, BASE, BASE + UPDATES)
+                            .expect("a pinned epoch stays servable forever");
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    for k in 0..UPDATES {
+        let a = e.store_mut().int(BASE + k);
+        let b = e.store_mut().int(BASE + k + 1);
+        e.fact(edge, vec![a, b]).unwrap();
+        // The demand continuation folds the new edge into the retained
+        // plan — the writer-side answer is the source of truth.
+        let rows = e.query(path, &[Some(zero), None]).unwrap().rows;
+        assert_eq!(rows.len() as i64, BASE + k + 1);
+        publisher.publish(&mut e);
+    }
+    done.store(true, Ordering::SeqCst);
+    let mut served = 0;
+    for h in handles {
+        served += h.join().expect("reader panicked (torn read)");
+    }
+    assert!(served > 0, "published plan epochs must serve lock-free");
+    let snap = publisher.reader().current();
+    assert_eq!(
+        assert_chain_prefix(&snap, path, BASE + UPDATES, BASE + UPDATES),
+        Some(BASE + UPDATES)
+    );
+}

@@ -224,6 +224,32 @@ impl TermStore {
             .unwrap_or(&[])
     }
 
+    /// Look up an already-interned named constant without interning:
+    /// `None` means no term of this program run mentions `name`, so a
+    /// query for it can only have an empty answer. Read-only — usable
+    /// against a shared snapshot of the store.
+    pub fn find_atom(&self, name: &str) -> Option<TermId> {
+        let sym = self.symbols.get(name)?;
+        self.dedup.get(&TermData::Atom(sym)).copied()
+    }
+
+    /// Look up an already-interned integer without interning (see
+    /// [`TermStore::find_atom`]).
+    pub fn find_int(&self, value: i64) -> Option<TermId> {
+        self.dedup.get(&TermData::Int(value)).copied()
+    }
+
+    /// Look up an already-interned set by element list without
+    /// interning (see [`TermStore::find_atom`]). The list is
+    /// canonicalized (sorted, deduplicated) before the lookup.
+    pub fn find_set(&self, mut elems: Vec<TermId>) -> Option<TermId> {
+        elems.sort_unstable();
+        elems.dedup();
+        self.dedup
+            .get(&TermData::Set(elems.into_boxed_slice()))
+            .copied()
+    }
+
     /// The integer payload of `id` if it is an `Int` atom.
     pub fn as_int(&self, id: TermId) -> Option<i64> {
         match self.data(id) {
@@ -402,6 +428,24 @@ mod tests {
         let s1_again = s.set(vec![a]);
         assert_eq!(s1_again, s1);
         assert_eq!(s.set_ids(), &[s1, e]);
+    }
+
+    #[test]
+    fn find_is_read_only_and_agrees_with_intern() {
+        let mut s = TermStore::new();
+        let a = s.atom("a");
+        let i = s.int(42);
+        let b = s.atom("b");
+        let ab = s.set(vec![a, b]);
+        let before = s.len();
+        assert_eq!(s.find_atom("a"), Some(a));
+        assert_eq!(s.find_atom("zzz"), None);
+        assert_eq!(s.find_int(42), Some(i));
+        assert_eq!(s.find_int(43), None);
+        // Non-canonical element order still finds the interned set.
+        assert_eq!(s.find_set(vec![b, a, b]), Some(ab));
+        assert_eq!(s.find_set(vec![a]), None);
+        assert_eq!(s.len(), before, "find must not intern");
     }
 
     #[test]

@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! cargo run --bin lpsi [program.lps ...]
+//! cargo run --bin lpsi -- --serve ADDR [program.lps ...]
+//! cargo run --bin lpsi -- --client ADDR
 //! ```
 //!
-//! Program files (and stdin lines ending in `.`) accumulate facts and
-//! rules; `?- literal.` queries evaluate the accumulated program and
-//! print the matching tuples. Commands:
+//! `--serve` compiles the given program files and serves them
+//! concurrently on `ADDR` (e.g. `127.0.0.1:7171`; port `0` picks a
+//! free port, printed as `listening on <addr>`): one writer thread
+//! owns the engine, every connection gets a handler thread answering
+//! point queries lock-free from epoch-published snapshots
+//! (`lps_core::serve`). `--client` connects a line-oriented REPL to a
+//! running server: `?- goal.` queries, bare fact clauses add facts.
+//!
+//! Without those flags, program files (and stdin lines ending in `.`)
+//! accumulate facts and rules; `?- literal.` queries evaluate the
+//! accumulated program and print the matching tuples. Commands:
 //!
 //! ```text
 //! :help                  this text
@@ -302,11 +312,90 @@ fn print_help() {
     );
 }
 
+/// `lpsi --serve ADDR [files…]`: compile the files and serve them.
+fn serve_main(addr: &str, files: &[String]) -> io::Result<()> {
+    let mut db = Database::new(Dialect::StratifiedElps);
+    for path in files {
+        let text = std::fs::read_to_string(path)?;
+        if let Err(e) = db.load_str(&text) {
+            eprintln!("error loading {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loaded {path}");
+    }
+    let listener = std::net::TcpListener::bind(addr)?;
+    let server = match lps::core::Server::spawn(listener, &db) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke test parses this line for the resolved port.
+    println!("listening on {}", server.local_addr());
+    io::stdout().flush()?;
+    server.serve_forever()
+}
+
+/// `lpsi --client ADDR`: a line-oriented REPL over the wire protocol.
+fn client_main(addr: &str) -> io::Result<()> {
+    let mut client = lps::core::Client::connect(addr)?;
+    println!("connected to {addr}. `?- goal.` queries, fact clauses add facts, :quit exits.");
+    let stdin = io::stdin();
+    loop {
+        print!("lps> ");
+        io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == ":quit" || input == ":q" {
+            break;
+        }
+        let outcome = if let Some(goal) = input.strip_prefix("?-") {
+            client.query(goal.trim())
+        } else {
+            client.add_fact(input).map(|r| r.map(|()| Vec::new()))
+        };
+        match outcome? {
+            Ok(rows) => {
+                for row in &rows {
+                    println!("  {row}");
+                }
+                println!("  ok ({} answer(s)).", rows.len());
+            }
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    Ok(())
+}
+
 fn main() -> io::Result<()> {
+    // Serving modes bypass the interactive session entirely.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    for flag in ["--serve", "--client"] {
+        if let Some(i) = argv.iter().position(|a| a == flag) {
+            let Some(addr) = argv.get(i + 1) else {
+                eprintln!("usage: lpsi {flag} ADDR [program.lps ...]");
+                std::process::exit(2);
+            };
+            let files: Vec<String> = argv[..i].iter().chain(&argv[i + 2..]).cloned().collect();
+            return if flag == "--serve" {
+                serve_main(addr, &files)
+            } else {
+                client_main(addr)
+            };
+        }
+    }
+
     let mut session = Session::new();
 
     // Load program files given on the command line.
-    for path in std::env::args().skip(1) {
+    for path in argv {
         match std::fs::read_to_string(&path) {
             Ok(text) => match session.add(&text) {
                 Ok(()) => eprintln!("loaded {path}"),
@@ -381,8 +470,8 @@ fn main() -> io::Result<()> {
                          incr_runs={} seeded={} \
                          adorns={} magic_seeds={} demand_fb={} \
                          demand_cont={} evicted={} \
-                         par_rounds={} merge_rows={} imbalance={} \
-                         reorders={} est_rows={} stats_refresh={}",
+                         par_rounds={} merge_rows={} imbalance={} rebalanced={} \
+                         reorders={} est_rows={} stats_refresh={} misest_ratio={}",
                         s.facts_derived,
                         s.iterations,
                         s.strata,
@@ -400,9 +489,11 @@ fn main() -> io::Result<()> {
                         s.parallel_rounds,
                         s.merge_rows,
                         s.worker_imbalance,
+                        s.partitions_rebalanced,
                         s.reorders_applied,
                         s.estimated_rows,
-                        s.stats_refreshes
+                        s.stats_refreshes,
+                        s.misestimate_ratio
                     ),
                     None => println!("no evaluation yet."),
                 },

@@ -1,0 +1,123 @@
+//! End-to-end smoke test for `lpsi --serve`: spawn the real binary on
+//! a loopback port, speak the length-prefixed wire protocol to it from
+//! scripted clients, and assert the answers — the serving pipeline
+//! (writer thread, snapshot hit path, funnel) exercised exactly the
+//! way CI and a user would.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use lps::core::serve::{read_frame, write_frame, Client};
+
+/// Kills the spawned server on drop so a panicking assertion never
+/// leaks a listener process.
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn `lpsi --serve 127.0.0.1:0 <program>` and return the guard
+/// plus the resolved address parsed from its `listening on <addr>`
+/// line.
+fn spawn_server(program: &str) -> (ServerGuard, String) {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve_smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("program.lps");
+    std::fs::write(&path, program).expect("write program");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lpsi"))
+        .args(["--serve", "127.0.0.1:0", path.to_str().expect("utf8 path")])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn lpsi --serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_owned();
+        }
+    };
+    (ServerGuard(child), addr)
+}
+
+const CHAIN: &str = "e(a, b). e(b, c). e(c, d).\n\
+                     t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).\n";
+
+#[test]
+fn serve_answers_queries_over_the_wire() {
+    let (_guard, addr) = spawn_server(CHAIN);
+    let mut client = Client::connect(&addr).expect("connect");
+    // Point query, twice: the repeat is served from the published
+    // snapshot, and both must agree.
+    let first = client.query("t(a, X).").unwrap().unwrap();
+    assert_eq!(first, vec!["a, b", "a, c", "a, d"]);
+    let second = client.query("t(a, X).").unwrap().unwrap();
+    assert_eq!(second, first, "snapshot answer must equal writer answer");
+    // Conjunctive goal funnels to the writer.
+    let rows = client.query("t(a, X), e(X, Y).").unwrap().unwrap();
+    assert_eq!(rows, vec!["b, c", "c, d"]);
+    // A fact over the wire shows up in subsequent answers.
+    client.add_fact("e(d, e5).").unwrap().unwrap();
+    let rows = client.query("t(a, X).").unwrap().unwrap();
+    assert_eq!(rows, vec!["a, b", "a, c", "a, d", "a, e5"]);
+    // Server-side errors come back as `err`, not a dead connection.
+    assert!(client.query("t(a, X").unwrap().is_err(), "syntax error");
+    let rows = client.query("t(a, X).").unwrap().unwrap();
+    assert_eq!(rows.len(), 4, "session survives a bad request");
+}
+
+#[test]
+fn serve_speaks_raw_length_prefixed_frames() {
+    // No client helper: hand-rolled frames prove the wire format is
+    // what the docs say — u32 big-endian length, UTF-8 payload,
+    // `ok <n>` + sorted lines back.
+    let (_guard, addr) = spawn_server(CHAIN);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let payload = "Q t(b, X).";
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let mut buf = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut buf).unwrap();
+    let response = String::from_utf8(buf).unwrap();
+    assert_eq!(response, "ok 2\nb, c\nb, d");
+    // Unknown tags answer `err` in a well-formed frame.
+    write_frame(&mut stream, "X nonsense").unwrap();
+    let response = read_frame(&mut stream).unwrap().expect("frame");
+    assert!(response.starts_with("err "), "got: {response}");
+}
+
+#[test]
+fn serve_supports_concurrent_clients() {
+    let (_guard, addr) = spawn_server(CHAIN);
+    let want = vec!["a, b".to_string(), "a, c".into(), "a, d".into()];
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for _ in 0..10 {
+                    assert_eq!(client.query("t(a, X).").unwrap().unwrap(), want);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}

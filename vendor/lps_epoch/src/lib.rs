@@ -1,0 +1,354 @@
+//! A lock-free-on-read epoch pointer over `Arc<T>`: one writer swaps
+//! in new versions, many readers acquire the current version without
+//! ever blocking the writer or each other.
+//!
+//! Offline stand-in for the arc-swap dependency this workspace would
+//! normally pull from crates.io (see `vendor/README.md` for the
+//! vendoring discipline). The API is the small fragment the
+//! `lps-engine` snapshot layer needs:
+//!
+//! ```
+//! use std::sync::Arc;
+//! let cell = lps_epoch::EpochCell::new(Arc::new(1u64));
+//! assert_eq!(*cell.load(), 1);
+//! cell.store(Arc::new(2));
+//! assert_eq!(*cell.load(), 2);
+//! ```
+//!
+//! # Why not `Mutex<Arc<T>>`?
+//!
+//! The snapshot read path is the serving hot path: every point query
+//! on every connection starts with a `load()`. A mutex would serialize
+//! all readers through one cache line *and* let a descheduled reader
+//! block the writer's publish. Here readers only perform atomic loads
+//! and stores on their own hazard slot, so read throughput scales with
+//! cores and the writer never waits on a reader.
+//!
+//! # Protocol (hazard slots)
+//!
+//! The naive lock-free read — load the pointer, then bump the Arc's
+//! strong count — has a classic use-after-free race: the writer could
+//! swap and drop the last reference between the reader's load and its
+//! increment. The standard fix, and the one used here, is a bounded
+//! array of *hazard slots*:
+//!
+//! * **Read:** load the current pointer, claim a free slot, publish
+//!   the pointer into it, then *re-load* the cell. If the cell still
+//!   holds the same pointer, the publication happened before any
+//!   subsequent retirement scan, so the object is protected: increment
+//!   its strong count, clear the slot, return the `Arc`. If the cell
+//!   moved on, release the slot and retry.
+//! * **Write:** swap the new pointer in, push the old one onto a
+//!   retired list, then free every retired pointer that no hazard slot
+//!   mentions (scanned under the retire mutex, which only writers and
+//!   the rare slot-exhausted reader touch).
+//! * **Slot exhaustion:** with more concurrent readers than slots, a
+//!   reader falls back to taking the retire mutex; the writer reclaims
+//!   only under that same mutex, so a load performed while holding it
+//!   cannot race reclamation.
+//!
+//! ABA (the allocator reusing a retired address for a new version) is
+//! harmless: the reader's re-load validates the *cell*, not history.
+//! If the same address is current again, the reader protects and
+//! returns the new object at that address — never the freed one,
+//! because an address is only reused after being reclaimed, and it is
+//! only reclaimed while absent from every hazard slot.
+//!
+//! All cell/slot operations use `SeqCst`: publishes of a slot and the
+//! writer's scan of the slots must observe a single total order for
+//! the "published before retirement scan" argument above to hold, and
+//! the cost is irrelevant next to the query work each `load()` guards.
+
+use std::sync::atomic::{AtomicPtr, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Number of hazard slots, i.e. the number of readers that can be
+/// simultaneously *inside* `load()` (a few instructions each) before
+/// one falls back to the mutex path. Connections far outnumber this
+/// in practice; concurrent in-flight loads do not.
+const SLOTS: usize = 32;
+
+/// A single-writer / many-reader epoch pointer over `Arc<T>`.
+///
+/// Readers call [`EpochCell::load`] to acquire the current version;
+/// the writer calls [`EpochCell::store`] to publish a new one. Old
+/// versions stay alive while any reader holds their `Arc` and are
+/// freed once the last clone drops.
+pub struct EpochCell<T> {
+    /// Current version, as a raw pointer produced by `Arc::into_raw`.
+    /// Never null.
+    current: AtomicPtr<T>,
+    /// Hazard slots: non-null entries are pointers some reader is in
+    /// the middle of protecting.
+    slots: [AtomicPtr<T>; SLOTS],
+    /// Versions swapped out but possibly still being protected by an
+    /// in-flight `load()`. Doubles as the slot-exhaustion fallback
+    /// lock (see module docs).
+    retired: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the raw pointers all originate from `Arc<T>` and are only
+// turned back into `Arc`s under the hazard protocol above; sharing
+// the cell across threads is exactly sharing `Arc<T>`s, which is safe
+// for `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// A cell holding `initial` as the current version.
+    pub fn new(initial: Arc<T>) -> Self {
+        EpochCell {
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            slots: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Acquire the current version. Lock-free unless more than
+    /// [`SLOTS`] readers are inside `load()` at the same instant.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let ptr = self.current.load(SeqCst);
+            let Some(slot) = self.claim_slot(ptr) else {
+                // All slots busy: fall back to the retire mutex. The
+                // writer only frees retired pointers while holding it,
+                // so the pointer we re-load here stays alive for the
+                // duration of the increment.
+                let guard = self.retired.lock().unwrap();
+                let ptr = self.current.load(SeqCst);
+                // SAFETY: `ptr` came from `Arc::into_raw` and cannot
+                // be reclaimed while we hold the retire lock.
+                let arc = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                drop(guard);
+                return arc;
+            };
+            // Validate: if the cell still holds `ptr`, our slot store
+            // is ordered before any retirement scan that could free
+            // it, so `ptr` is protected.
+            if self.current.load(SeqCst) == ptr {
+                // SAFETY: `ptr` came from `Arc::into_raw`; the hazard
+                // slot keeps it from being reclaimed until cleared,
+                // and the increment happens before the clear.
+                let arc = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                self.slots[slot].store(std::ptr::null_mut(), SeqCst);
+                return arc;
+            }
+            // The writer moved on between our load and the slot store;
+            // release and retry against the new current.
+            self.slots[slot].store(std::ptr::null_mut(), SeqCst);
+        }
+    }
+
+    /// Publish `next` as the current version and reclaim retired
+    /// versions no reader is protecting.
+    pub fn store(&self, next: Arc<T>) {
+        let old = self.current.swap(Arc::into_raw(next) as *mut T, SeqCst);
+        let mut retired = self.retired.lock().unwrap();
+        retired.push(old);
+        // Reclaim every retired pointer absent from all hazard slots.
+        // Holding the lock here is what makes the slot-exhaustion
+        // fallback in `load()` sound.
+        retired.retain(|&p| {
+            if self.slots.iter().any(|s| s.load(SeqCst) == p) {
+                return true;
+            }
+            // SAFETY: `p` came from `Arc::into_raw`, was swapped out
+            // of `current` exactly once, and no hazard slot (hence no
+            // in-flight `load`) references it; dropping the Arc
+            // releases the count we took in `into_raw`.
+            unsafe { drop(Arc::from_raw(p)) };
+            false
+        });
+    }
+
+    /// Try to claim a free hazard slot and publish `ptr` into it.
+    fn claim_slot(&self, ptr: *mut T) -> Option<usize> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(std::ptr::null_mut(), ptr, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no reader can be in flight, so every slot is
+        // conceptually clear and everything can be released.
+        // SAFETY: `current` and each retired pointer came from
+        // `Arc::into_raw` and are dropped exactly once here.
+        unsafe {
+            drop(Arc::from_raw(self.current.load(SeqCst)));
+            for p in self.retired.get_mut().unwrap().drain(..) {
+                drop(Arc::from_raw(p));
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for EpochCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("current", &*self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn load_returns_initial() {
+        let cell = EpochCell::new(Arc::new(7u32));
+        assert_eq!(*cell.load(), 7);
+        assert_eq!(*cell.load(), 7);
+    }
+
+    #[test]
+    fn store_publishes_new_version() {
+        let cell = EpochCell::new(Arc::new(String::from("a")));
+        let old = cell.load();
+        cell.store(Arc::new(String::from("b")));
+        assert_eq!(*cell.load(), "b");
+        // The old version stays valid while a reader holds it.
+        assert_eq!(*old, "a");
+    }
+
+    /// Counts live instances so the tests below can assert that every
+    /// version is dropped exactly once.
+    struct Canary {
+        value: u64,
+        live: Arc<AtomicUsize>,
+    }
+
+    impl Canary {
+        fn new(value: u64, live: &Arc<AtomicUsize>) -> Arc<Self> {
+            live.fetch_add(1, Ordering::SeqCst);
+            Arc::new(Canary {
+                value,
+                live: Arc::clone(live),
+            })
+        }
+    }
+
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn versions_are_freed_exactly_once() {
+        let live = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = EpochCell::new(Canary::new(0, &live));
+            for v in 1..100 {
+                cell.store(Canary::new(v, &live));
+            }
+            // Everything except the current version (and any still in
+            // the retired list pending the next scan) is freed by now;
+            // dropping the cell releases the rest.
+            assert!(live.load(Ordering::SeqCst) >= 1);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "leak or double free");
+    }
+
+    #[test]
+    fn held_reader_arc_keeps_version_alive_across_stores() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = EpochCell::new(Canary::new(0, &live));
+        let held = cell.load();
+        for v in 1..10 {
+            cell.store(Canary::new(v, &live));
+        }
+        assert_eq!(held.value, 0);
+        drop(held);
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stress() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(EpochCell::new(Canary::new(0, &live)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..6)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut loads = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let snap = cell.load();
+                        // Versions are published in increasing order;
+                        // a reader must never observe time running
+                        // backwards (a freed/torn version would show
+                        // up as garbage or a stale value here).
+                        assert!(snap.value >= last, "epoch went backwards");
+                        last = snap.value;
+                        loads += 1;
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for v in 1..=2000u64 {
+            cell.store(Canary::new(v, &live));
+        }
+        stop.store(true, Ordering::SeqCst);
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(cell.load().value, 2000);
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "leak or double free");
+    }
+
+    #[test]
+    fn slot_exhaustion_falls_back_without_unsafety() {
+        // More reader threads than SLOTS, all hammering load() while
+        // the writer publishes: some loads must take the mutex
+        // fallback; the assertions are the same either way.
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(EpochCell::new(Canary::new(0, &live)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..SLOTS + 4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let _ = cell.load();
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=200u64 {
+            cell.store(Canary::new(v, &live));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in readers {
+            h.join().unwrap();
+        }
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "leak or double free");
+    }
+
+    #[test]
+    fn debug_renders_current_value() {
+        let cell = EpochCell::new(Arc::new(5i32));
+        assert!(format!("{cell:?}").contains('5'));
+    }
+}
