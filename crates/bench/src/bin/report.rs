@@ -92,6 +92,9 @@ fn main() {
     if want("e17") {
         e17(&mut rep);
     }
+    if want("e18") {
+        e18(&mut rep);
+    }
     if json {
         // Smoke numbers come from reduced sweeps — keep them out of
         // the committed full-parameter baseline file.
@@ -1715,5 +1718,108 @@ fn e17(rep: &mut Report) {
             "identical",
         ],
         &rows,
+    );
+}
+
+fn e18(rep: &mut Report) {
+    // Tracing overhead (EXPERIMENTS.md E18): the E2 semi-naive TC
+    // workload evaluated under three observability settings —
+    //
+    //   off:    `EvalConfig::trace = false`; every span site reduces
+    //           to one cold branch on the config flag,
+    //   armed:  `trace = true` with the global collector disabled:
+    //           spans are constructed but record nothing (the second
+    //           gate of the two-gate design),
+    //   on:     `trace = true`, collector enabled, unsampled: every
+    //           stratum/round/fan-out span is timestamped and buffered.
+    //
+    // Overhead is the median wall-time ratio against `off`. The
+    // acceptance bars — armed ≤ 1.02×, on ≤ 1.10× — are asserted
+    // off-smoke on the 1024-node workload; smoke sizes finish in
+    // microseconds, where timer noise dominates any real effect, so
+    // smoke only sanity-checks that tracing stays under 2×.
+    let n = if rep.smoke { 128 } else { 1024 };
+    let src = workloads::transitive_closure(n, 7);
+    let runs = if rep.smoke { 3 } else { 7 };
+    let time_with = |trace: bool, collector: bool| -> Duration {
+        let d = db_cfg(
+            &src,
+            Dialect::Elps,
+            EvalConfig {
+                trace,
+                ..EvalConfig::default()
+            },
+        );
+        lps_trace::set_enabled(collector);
+        let t = median_time(runs, || {
+            let _ = eval(&d);
+        });
+        lps_trace::set_enabled(false);
+        t
+    };
+    let t_off = time_with(false, false);
+    let t_armed = time_with(true, false);
+    lps_trace::global().drain(); // count only the on-leg's events
+    let t_on = time_with(true, true);
+    let events = lps_trace::global().drain().len();
+    let dropped = lps_trace::global().dropped();
+
+    let ratio = |t: Duration| t.as_secs_f64() / t_off.as_secs_f64().max(1e-12);
+    let (r_armed, r_on) = (ratio(t_armed), ratio(t_on));
+    if rep.smoke {
+        assert!(
+            r_on < 2.0,
+            "tracing must not dominate even at smoke sizes (on/off {r_on:.2}×)"
+        );
+    } else {
+        assert!(
+            r_armed <= 1.02,
+            "trace-off (armed) overhead must stay ≤2% on the 1024-node \
+             TC workload (got {r_armed:.3}×)"
+        );
+        assert!(
+            r_on <= 1.10,
+            "unsampled trace-on overhead must stay ≤10% on the 1024-node \
+             TC workload (got {r_on:.3}×)"
+        );
+    }
+
+    rep.section(
+        "e18",
+        "E18: tracing overhead — E2 TC workload, off vs armed vs on (unsampled)",
+        &[
+            "setting",
+            "nodes",
+            "median_us",
+            "vs_off",
+            "events",
+            "dropped",
+        ],
+        &[
+            vec![
+                "off".into(),
+                n.to_string(),
+                us(t_off),
+                "1.00".into(),
+                "0".into(),
+                "0".into(),
+            ],
+            vec![
+                "armed".into(),
+                n.to_string(),
+                us(t_armed),
+                format!("{r_armed:.2}"),
+                "0".into(),
+                "0".into(),
+            ],
+            vec![
+                "on".into(),
+                n.to_string(),
+                us(t_on),
+                format!("{r_on:.2}"),
+                events.to_string(),
+                dropped.to_string(),
+            ],
+        ],
     );
 }

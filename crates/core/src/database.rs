@@ -288,6 +288,20 @@ impl Model {
         ))
     }
 
+    /// Explain how the point query `pred(args…)` would be answered —
+    /// chosen adornment, SIPS policy, and per-rule join order — without
+    /// running it. The compiled plan is cached, so a subsequent
+    /// [`Model::query`] with the same shape reuses it (`:explain` in
+    /// `lpsi`).
+    pub fn explain(&mut self, pred: &str, args: &[Option<Value>]) -> Result<String, CoreError> {
+        let id = self.engine.pred(pred, args.len());
+        let interned: Vec<Option<lps_term::TermId>> = args
+            .iter()
+            .map(|a| a.as_ref().map(|v| v.intern(self.engine.store_mut())))
+            .collect();
+        Ok(self.engine.explain(id, &interned)?)
+    }
+
     /// Demand-driven conjunctive query from surface syntax: the goal
     /// text (ending with `.`) is compiled into a temporary query rule
     /// ([`crate::transform::magic::compile_query`]) and evaluated

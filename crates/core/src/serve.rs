@@ -20,6 +20,9 @@
 //! Q <goal>     answer a query goal, e.g. `Q path(a, X).`
 //!              (the goal ends with `.`, conjunctions allowed)
 //! F <fact>     add ground fact clause(s), e.g. `F edge(a, b).`
+//! S            server metrics: Prometheus-style text exposition
+//!              (snapshot hits/misses, funnel depth, republish count,
+//!              per-op latency quantiles), answered connection-side
 //! ```
 //!
 //! The response is one frame: a first line `ok <n>` or `err <message>`,
@@ -47,7 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lps_engine::{SnapshotPublisher, SnapshotReader};
 use lps_syntax::{parse_program, Clause, Formula, HeadArg, Item, Literal, Term};
@@ -72,27 +75,55 @@ pub fn write_frame(stream: &mut impl Write, payload: &str) -> io::Result<()> {
     stream.flush()
 }
 
-/// Read one length-prefixed UTF-8 frame; `None` on clean EOF at a
-/// frame boundary.
-pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
+/// One inbound frame, classified so the server can answer malformed
+/// input with an `err` frame instead of silently hanging up.
+enum FrameIn {
+    /// A well-formed frame.
+    Msg(String),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The length prefix exceeded [`MAX_FRAME`]. The payload was *not*
+    /// read, so the stream cannot be re-synced to the next frame.
+    TooLarge(u32),
+    /// The payload was read but is not valid UTF-8; the stream is
+    /// still framed and the connection can continue.
+    BadUtf8,
+}
+
+fn read_frame_raw(stream: &mut impl Read) -> io::Result<FrameIn> {
     let mut len = [0u8; 4];
     match stream.read_exact(&mut len) {
         Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(FrameIn::Eof),
         Err(e) => return Err(e),
     }
     let len = u32::from_be_bytes(len);
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
+        return Ok(FrameIn::TooLarge(len));
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(FrameIn::Msg(s)),
+        Err(_) => Ok(FrameIn::BadUtf8),
+    }
+}
+
+/// Read one length-prefixed UTF-8 frame; `None` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
+    match read_frame_raw(stream)? {
+        FrameIn::Msg(s) => Ok(Some(s)),
+        FrameIn::Eof => Ok(None),
+        FrameIn::TooLarge(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        )),
+        FrameIn::BadUtf8 => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame is not valid UTF-8",
+        )),
+    }
 }
 
 /// A response: sorted answer lines, or a rendered error.
@@ -104,6 +135,43 @@ enum Request {
     Query(String, Sender<Reply>),
     /// Apply ground fact clauses.
     Fact(String, Sender<Reply>),
+}
+
+/// Server-side metrics, aggregated across all connections and rendered
+/// on demand by the `S` wire op. The snapshot hit/miss counters and the
+/// funnel depth gauge stay lock-free atomics (they sit on the request
+/// hot path); latencies and the republish count go through the
+/// [`lps_trace::Registry`], whose mutex is uncontended at wire
+/// timescales.
+#[derive(Debug, Default)]
+struct ServeMetrics {
+    registry: lps_trace::Registry,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Requests funneled to the writer but not yet picked up by it.
+    depth: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// The full Prometheus-style text exposition.
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in [
+            ("lps_snapshot_hits_total", self.hits.load(Ordering::Relaxed)),
+            (
+                "lps_snapshot_misses_total",
+                self.misses.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        let depth = self.depth.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "# TYPE lps_funnel_depth gauge\nlps_funnel_depth {depth}\n"
+        ));
+        out.push_str(&self.registry.render());
+        out
+    }
 }
 
 /// Encode a [`Reply`] as the response frame payload.
@@ -303,6 +371,7 @@ fn writer_loop(
     mut publisher: SnapshotPublisher,
     rx: Receiver<Request>,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         let req = match rx.recv_timeout(Duration::from_millis(50)) {
@@ -310,11 +379,22 @@ fn writer_loop(
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
+        metrics.depth.fetch_sub(1, Ordering::Relaxed);
+        let _span = lps_trace::enabled().then(|| {
+            lps_trace::span("serve_writer").arg(
+                "op",
+                match &req {
+                    Request::Query(..) => "query",
+                    Request::Fact(..) => "fact",
+                },
+            )
+        });
         let (reply_to, reply) = match req {
             Request::Query(goal, tx) => (tx, writer_query(&mut model, &goal)),
             Request::Fact(text, tx) => (tx, writer_fact(&mut model, &text)),
         };
         publisher.publish(model.engine_mut());
+        metrics.registry.inc("lps_republish_total");
         let _ = reply_to.send(reply);
     }
 }
@@ -325,11 +405,14 @@ fn handle_conn(
     mut stream: TcpStream,
     reader: SnapshotReader,
     tx: Sender<Request>,
-    hits: Arc<AtomicU64>,
-    misses: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
 ) {
     let funnel = |req: Request, rx: &Receiver<Reply>, tx: &Sender<Request>| -> Reply {
+        metrics.depth.fetch_add(1, Ordering::Relaxed);
         if tx.send(req).is_err() {
+            // Never enqueued: the writer is gone, so nothing will
+            // decrement the depth for this request.
+            metrics.depth.fetch_sub(1, Ordering::Relaxed);
             return Err("server is shutting down".into());
         }
         match rx.recv() {
@@ -338,19 +421,39 @@ fn handle_conn(
         }
     };
     loop {
-        let msg = match read_frame(&mut stream) {
-            Ok(Some(msg)) => msg,
-            Ok(None) | Err(_) => return,
+        let msg = match read_frame_raw(&mut stream) {
+            Ok(FrameIn::Msg(msg)) => msg,
+            Ok(FrameIn::Eof) | Err(_) => return,
+            Ok(FrameIn::TooLarge(len)) => {
+                // The oversized payload was never read, so the stream
+                // cannot be re-synced to the next frame boundary. Tell
+                // the peer why before hanging up instead of vanishing.
+                let _ = write_frame(
+                    &mut stream,
+                    &format!("err frame too large ({len} bytes > {MAX_FRAME} max)"),
+                );
+                return;
+            }
+            Ok(FrameIn::BadUtf8) => {
+                // The payload was consumed, so the connection is still
+                // framed — report the error and keep serving.
+                if write_frame(&mut stream, "err frame is not valid UTF-8").is_err() {
+                    return;
+                }
+                continue;
+            }
         };
         let (tag, rest) = msg.split_once(' ').unwrap_or((msg.as_str(), ""));
+        let _span = lps_trace::enabled().then(|| lps_trace::span("serve_req").arg("op", tag));
+        let start = Instant::now();
         let reply: Reply = match tag {
             "Q" => match snapshot_answer(rest, &reader) {
                 Some(rows) => {
-                    hits.fetch_add(1, Ordering::Relaxed);
+                    metrics.hits.fetch_add(1, Ordering::Relaxed);
                     Ok(rows)
                 }
                 None => {
-                    misses.fetch_add(1, Ordering::Relaxed);
+                    metrics.misses.fetch_add(1, Ordering::Relaxed);
                     let (rtx, rrx) = mpsc::channel();
                     funnel(Request::Query(rest.to_owned(), rtx), &rrx, &tx)
                 }
@@ -359,8 +462,18 @@ fn handle_conn(
                 let (rtx, rrx) = mpsc::channel();
                 funnel(Request::Fact(rest.to_owned(), rtx), &rrx, &tx)
             }
-            other => Err(format!("unknown request `{other}` (Q <goal> | F <fact>)")),
+            "S" => Ok(metrics.render().lines().map(str::to_owned).collect()),
+            other => Err(format!(
+                "unknown request `{other}` (Q <goal> | F <fact> | S)"
+            )),
         };
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match tag {
+            "Q" => metrics.registry.observe("lps_op_q_us", us),
+            "F" => metrics.registry.observe("lps_op_f_us", us),
+            "S" => metrics.registry.observe("lps_op_s_us", us),
+            _ => {}
+        }
         if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
             return;
         }
@@ -375,8 +488,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
-    hits: Arc<AtomicU64>,
-    misses: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Server {
@@ -392,16 +504,16 @@ impl Server {
             .local_addr()
             .expect("a bound listener has a local address");
         let shutdown = Arc::new(AtomicBool::new(false));
-        let hits = Arc::new(AtomicU64::new(0));
-        let misses = Arc::new(AtomicU64::new(0));
+        let metrics = Arc::new(ServeMetrics::default());
         let (tx, rx) = mpsc::channel();
         let writer = {
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || writer_loop(model, publisher, rx, shutdown))
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || writer_loop(model, publisher, rx, shutdown, metrics))
         };
         let accept = {
             let shutdown = Arc::clone(&shutdown);
-            let (hits, misses) = (Arc::clone(&hits), Arc::clone(&misses));
+            let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
@@ -414,8 +526,8 @@ impl Server {
                     stream.set_nodelay(true).ok();
                     let reader = reader.clone();
                     let tx = tx.clone();
-                    let (hits, misses) = (Arc::clone(&hits), Arc::clone(&misses));
-                    std::thread::spawn(move || handle_conn(stream, reader, tx, hits, misses));
+                    let metrics = Arc::clone(&metrics);
+                    std::thread::spawn(move || handle_conn(stream, reader, tx, metrics));
                 }
             })
         };
@@ -424,8 +536,7 @@ impl Server {
             shutdown,
             accept: Some(accept),
             writer: Some(writer),
-            hits,
-            misses,
+            metrics,
         })
     }
 
@@ -437,12 +548,33 @@ impl Server {
 
     /// Queries answered lock-free from a published snapshot.
     pub fn snapshot_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.metrics.hits.load(Ordering::Relaxed)
     }
 
     /// Queries funneled to the writer.
     pub fn snapshot_misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.metrics.misses.load(Ordering::Relaxed)
+    }
+
+    /// The current metrics exposition — the same text the `S` wire op
+    /// returns, for in-process embedders.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render()
+    }
+
+    /// Signal shutdown and join the accept and writer threads.
+    /// Idempotent; `Drop` calls it, and in-process embedders (tests,
+    /// the e2e smoke) call it directly for a deterministic stop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
     }
 
     /// Block the calling thread while the server runs (until another
@@ -456,15 +588,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.writer.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -503,6 +627,13 @@ impl Client {
     /// Add ground fact clause(s).
     pub fn add_fact(&mut self, text: &str) -> io::Result<Result<(), String>> {
         Ok(self.roundtrip(&format!("F {text}"))?.map(|_| ()))
+    }
+
+    /// Fetch the server's metrics exposition (the `S` op):
+    /// Prometheus-style text with counters, gauges, and per-op latency
+    /// summaries.
+    pub fn server_stats(&mut self) -> io::Result<Result<String, String>> {
+        Ok(self.roundtrip("S")?.map(|rows| rows.join("\n")))
     }
 }
 
@@ -609,6 +740,71 @@ mod tests {
             client.add_fact("p(X) :- q(X).").unwrap().is_err(),
             "rules are rejected over the wire"
         );
+    }
+
+    #[test]
+    fn server_stats_exposes_counters_and_latency_quantiles() {
+        let db = chain_db();
+        let mut server = local_server(&db);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // One miss (cold plan), then one hit.
+        client.query("t(a, X).").unwrap().unwrap();
+        client.query("t(a, X).").unwrap().unwrap();
+        let text = client.server_stats().unwrap().unwrap();
+        assert!(text.contains("lps_snapshot_hits_total 1"), "{text}");
+        assert!(text.contains("lps_snapshot_misses_total 1"), "{text}");
+        assert!(text.contains("lps_funnel_depth 0"), "{text}");
+        assert!(text.contains("lps_republish_total 1"), "{text}");
+        assert!(
+            text.contains("lps_op_q_us{quantile=\"0.5\"}")
+                && text.contains("lps_op_q_us{quantile=\"0.99\"}")
+                && text.contains("lps_op_q_us_count 2"),
+            "{text}"
+        );
+        // Counters move again after more traffic, and the exposition
+        // matches what the in-process accessor renders.
+        client.query("t(a, X).").unwrap().unwrap();
+        let text = client.server_stats().unwrap().unwrap();
+        assert!(text.contains("lps_snapshot_hits_total 2"), "{text}");
+        assert!(text.contains("lps_op_s_us_count 1"), "{text}");
+        assert!(server.metrics_text().contains("lps_snapshot_hits_total 2"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn bad_utf8_frame_gets_err_reply_and_connection_survives() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).ok();
+        let payload = [0xffu8, 0xfe, 0xfd];
+        stream
+            .write_all(&u32::try_from(payload.len()).unwrap().to_be_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        let reply = read_frame(&mut stream).unwrap().unwrap();
+        assert!(reply.starts_with("err "), "{reply}");
+        assert!(reply.contains("UTF-8"), "{reply}");
+        // The stream is still framed: a well-formed request works.
+        write_frame(&mut stream, "Q e(a, X).").unwrap();
+        let reply = read_frame(&mut stream).unwrap().unwrap();
+        assert!(reply.starts_with("ok 1"), "{reply}");
+    }
+
+    #[test]
+    fn oversized_frame_gets_err_reply_then_close() {
+        let db = chain_db();
+        let server = local_server(&db);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).ok();
+        // A length prefix past MAX_FRAME with no payload behind it: the
+        // server cannot re-sync, so it must explain and hang up rather
+        // than silently disconnect.
+        stream.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+        let reply = read_frame(&mut stream).unwrap().unwrap();
+        assert!(reply.starts_with("err frame too large"), "{reply}");
+        assert!(read_frame(&mut stream).unwrap().is_none(), "closed after");
     }
 
     #[test]

@@ -89,6 +89,20 @@ pub struct EvalConfig {
     /// environment variable (`off`/`0`/`false` = textual; unset or
     /// anything else = cost-based), mirroring `LPS_THREADS`.
     pub cost_planner: bool,
+    /// Emit structured trace spans (per-stratum and per-round fixpoint
+    /// spans, parallel fan-out/merge spans, demand-plan lifecycle
+    /// spans) into the process-wide `lps_trace` collector. Spans are
+    /// only recorded when the collector itself is enabled too, so the
+    /// disabled cost is a branch here plus one relaxed atomic load
+    /// there. The default honours the `LPS_TRACE` environment variable
+    /// (`1`/`on`/`true` = tracing; unset or anything else = off),
+    /// mirroring `LPS_PLANNER`.
+    pub trace: bool,
+    /// Attribute planner estimates and join probes to individual body
+    /// literals during evaluation, feeding `Engine::last_profile`.
+    /// Internal profiling switch (`:profile` in lpsi); never read from
+    /// the environment, default off.
+    pub profile: bool,
 }
 
 impl Default for EvalConfig {
@@ -102,6 +116,8 @@ impl Default for EvalConfig {
             demand_plan_cache: 64,
             threads: threads_from_env(),
             cost_planner: planner_from_env(),
+            trace: trace_from_env(),
+            profile: false,
         }
     }
 }
@@ -125,6 +141,18 @@ fn planner_from_env() -> bool {
         .map(|v| {
             let v = v.trim().to_ascii_lowercase();
             v == "off" || v == "0" || v == "false"
+        })
+        .unwrap_or(false)
+}
+
+/// The `LPS_TRACE` default: `1`, `on`, or `true` (case-insensitive)
+/// enables trace spans; unset or any other value leaves them off. Read
+/// per `EvalConfig::default()` call, like `LPS_THREADS`.
+fn trace_from_env() -> bool {
+    std::env::var("LPS_TRACE")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "on" || v == "true"
         })
         .unwrap_or(false)
 }
@@ -300,6 +328,17 @@ mod tests {
             c.cost_planner, expected_planner,
             "planner default follows LPS_PLANNER (unset = cost-based)"
         );
+        let expected_trace = std::env::var("LPS_TRACE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "1" || v == "on" || v == "true"
+            })
+            .unwrap_or(false);
+        assert_eq!(
+            c.trace, expected_trace,
+            "trace default follows LPS_TRACE (unset = off)"
+        );
+        assert!(!c.profile, "per-literal profiling is opt-in per query");
     }
 
     #[test]

@@ -23,13 +23,14 @@ use lps_term::{setops, FxHashMap, FxHashSet, TermId, TermStore, Value};
 
 use crate::config::{EvalConfig, EvalStats, SetUniverse};
 use crate::error::EngineError;
+use crate::eval::StepProfiler;
 use crate::fixpoint::{run_stratum, StratumStart};
 use crate::magic::{self, MagicOutcome};
 use crate::parallel::ParExec;
-use crate::plan::{compile_program, compile_rule, CompiledProgram};
+use crate::plan::{compile_program, compile_rule, CompiledProgram, Step};
 use crate::pred::{PredId, PredRegistry};
 use crate::relation::{ColMask, Relation};
-use crate::rule::Rule;
+use crate::rule::{BodyLit, Rule};
 use crate::stats::{Stats, StatsCache};
 
 /// Lifecycle of an [`Engine`] session.
@@ -415,11 +416,52 @@ pub struct Engine {
     config_at_materialize: EvalConfig,
     last_stats: EvalStats,
     cumulative_stats: EvalStats,
+    /// Per-literal profile of the last query run with
+    /// [`EvalConfig::profile`] on; `None` when the last query was not
+    /// profiled (or fell back to the shadow model, which runs no
+    /// demand plan to attribute).
+    last_profile: Option<QueryProfile>,
     /// The parallel join executor (worker pool + per-worker arenas,
     /// E15). Lives on the session so pool threads and arena capacity
     /// persist across runs, updates, and demand continuations; rebuilt
     /// by [`Engine::sync_exec`] when [`EvalConfig::threads`] changes.
     exec: ParExec,
+}
+
+/// Estimated-vs-actual accounting for one positive body literal of a
+/// profiled query's demand plan, in the planner's chosen join order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiteralProfile {
+    /// Predicate the literal probes (adorned/magic relations keep
+    /// their rewrite names, so the demand structure stays visible).
+    pub pred: String,
+    /// The planner's row estimate for this probe (0 when compiled
+    /// without statistics).
+    pub estimated_rows: u64,
+    /// Index probes (or scans) actually performed across every round
+    /// of the run.
+    pub probes: u64,
+    /// Rows those probes actually yielded.
+    pub actual_rows: u64,
+}
+
+/// Per-rule slice of a [`QueryProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// Head predicate of the (rewritten) rule.
+    pub head: String,
+    /// Positive literals in chosen join order.
+    pub literals: Vec<LiteralProfile>,
+}
+
+/// What [`EvalConfig::profile`] buys: the chosen demand plan's
+/// estimated rows per body literal next to what evaluation actually
+/// probed — the planner's predictions held up against ground truth
+/// (`:profile` in `lpsi`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// One entry per rewritten rule that has positive body literals.
+    pub rules: Vec<RuleProfile>,
 }
 
 /// Hard cap on the atom-domain size for the `ActiveSubsets` powerset
@@ -455,6 +497,7 @@ impl Engine {
             config_at_materialize: config,
             last_stats: EvalStats::default(),
             cumulative_stats: EvalStats::default(),
+            last_profile: None,
             exec: ParExec::new(config.threads),
         }
     }
@@ -567,6 +610,23 @@ impl Engine {
     /// materialization plus every incremental update since.
     pub fn cumulative_stats(&self) -> EvalStats {
         self.cumulative_stats
+    }
+
+    /// Zero both the last-pass and the session-cumulative statistics
+    /// (`:stats reset` in `lpsi`). Max-merged cumulative ratios —
+    /// `misestimate_ratio`, `worker_imbalance` — restart from zero
+    /// instead of pinning their all-time high forever.
+    pub fn reset_stats(&mut self) {
+        self.last_stats = EvalStats::default();
+        self.cumulative_stats = EvalStats::default();
+    }
+
+    /// The per-literal profile of the most recent query run with
+    /// [`EvalConfig::profile`] on; `None` if the last query was not
+    /// profiled or took the fallback path (no demand plan to
+    /// attribute).
+    pub fn last_profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
     }
 
     /// Register (or look up) a predicate by name and arity.
@@ -851,6 +911,8 @@ impl Engine {
         args: &[Option<TermId>],
     ) -> Result<QueryResult, EngineError> {
         self.sync_exec();
+        // A stale profile must not outlive the query it described.
+        self.last_profile = None;
         let arity = self.preds.info(pred).arity;
         if args.len() != arity {
             return Err(EngineError::ArityMismatch {
@@ -888,7 +950,11 @@ impl Engine {
 
         self.sync_edb_to_full();
         let seed_tuple: Vec<TermId> = args.iter().filter_map(|a| *a).collect();
-        let (mut stats, answer, adornments) = self.run_plan(key, &seed_tuple)?;
+        let profiler = self.config.profile.then(StepProfiler::default);
+        let (mut stats, answer, adornments) = self.run_plan(key, &seed_tuple, profiler.as_ref())?;
+        if let Some(prof) = &profiler {
+            self.last_profile = Some(self.build_profile(key, prof));
+        }
         stats.plans_evicted = evicted;
         if fresh {
             stats.adornments_compiled = adornments;
@@ -926,6 +992,7 @@ impl Engine {
     /// [`Engine::query`] applies unchanged.
     pub fn query_rule(&mut self, rule: Rule) -> Result<QueryResult, EngineError> {
         self.sync_exec();
+        self.last_profile = None;
         if rule.head_args.len() != self.preds.info(rule.head).arity {
             return Err(EngineError::ArityMismatch {
                 pred: self.pred_name(rule.head),
@@ -1000,7 +1067,12 @@ impl Engine {
         }
 
         self.sync_edb_to_full();
-        let (mut stats, answer, adornments) = self.run_plan(key, &lifted.consts)?;
+        let profiler = self.config.profile.then(StepProfiler::default);
+        let (mut stats, answer, adornments) =
+            self.run_plan(key, &lifted.consts, profiler.as_ref())?;
+        if let Some(prof) = &profiler {
+            self.last_profile = Some(self.build_profile(key, prof));
+        }
         stats.plans_evicted = evicted;
         if fresh {
             stats.adornments_compiled = adornments;
@@ -1082,6 +1154,7 @@ impl Engine {
             None,
             true,
             &mut self.exec,
+            None,
         )?;
         stats.adornments_compiled = mp.adornments;
         stats.absorb(self.take_planner_counters());
@@ -1191,6 +1264,7 @@ impl Engine {
                 &self.config,
                 StratumStart::Batch,
                 &mut self.exec,
+                None,
             )?;
             stats.absorb(stratum_stats);
         }
@@ -1232,6 +1306,11 @@ impl Engine {
     /// fallback entry instead of an error (the batch pipeline will
     /// surface real program errors).
     fn compile_query_plan(&mut self, pred: PredId, mask: ColMask) -> QueryEntry {
+        let _compile_span = self.config.trace.then(|| {
+            lps_trace::span("demand_compile")
+                .arg("pred", self.pred_name(pred))
+                .arg("mask", mask)
+        });
         let cost_on = self.refresh_planner_stats();
         let policy = self.config.set_universe;
         let mp = match magic::magic_rewrite(
@@ -1260,6 +1339,11 @@ impl Engine {
     /// predicate) joins the program and the rewrite roots at it with
     /// the lifted-constant columns bound.
     fn compile_conj_plan(&mut self, canonical: Rule, shape: PredId, mask: ColMask) -> QueryEntry {
+        let _compile_span = self.config.trace.then(|| {
+            lps_trace::span("demand_compile")
+                .arg("pred", self.pred_name(shape))
+                .arg("mask", mask)
+        });
         let mut all = self.rules.clone();
         all.push(canonical);
         let cost_on = self.refresh_planner_stats();
@@ -1294,15 +1378,158 @@ impl Engine {
         &mut self,
         key: PlanKey,
         seed: &[TermId],
+        profiler: Option<&StepProfiler>,
     ) -> Result<(EvalStats, PredId, usize), EngineError> {
         let Some(QueryEntry::Demand(mut plan)) = self.query_plans.remove(&key) else {
             unreachable!("run_plan is called on a cached demand entry");
         };
-        let result = self.drive_plan(&mut plan, seed);
+        let result = self.drive_plan(&mut plan, seed, profiler);
         let answer = plan.answer;
         let adornments = plan.adornments;
         self.query_plans.insert(key, QueryEntry::Demand(plan));
         result.map(|stats| (stats, answer, adornments))
+    }
+
+    /// Assemble a [`QueryProfile`] from the attribution a profiled
+    /// `run_plan` pass collected, after the plan was reinserted under
+    /// `key`: per rewritten rule, the planner's per-literal estimates
+    /// next to the probes/rows actually observed.
+    fn build_profile(&self, key: PlanKey, prof: &StepProfiler) -> QueryProfile {
+        let mut rules = Vec::new();
+        if let Some(QueryEntry::Demand(plan)) = self.query_plans.get(&key) {
+            for cr in &plan.program.compiled {
+                if cr.step_estimates.is_empty() {
+                    continue;
+                }
+                let literals = cr
+                    .step_estimates
+                    .iter()
+                    .map(|&(lit, est)| {
+                        let pred = match &cr.rule.outer[lit] {
+                            BodyLit::Pos(p, _) => *p,
+                            other => {
+                                unreachable!(
+                                    "step_estimates points at positive literals: {other:?}"
+                                )
+                            }
+                        };
+                        let (probes, rows) = prof.get(cr.id, lit as u32);
+                        LiteralProfile {
+                            pred: self.pred_name(pred),
+                            estimated_rows: est as u64,
+                            probes,
+                            actual_rows: rows,
+                        }
+                    })
+                    .collect();
+                rules.push(RuleProfile {
+                    head: self.pred_name(cr.rule.head),
+                    literals,
+                });
+            }
+        }
+        QueryProfile { rules }
+    }
+
+    /// Describe the demand plan a point query `pred(args)` would run,
+    /// without running it: the goal adornment, the SIPS regime the
+    /// planner used, and — when the magic rewrite succeeds — every
+    /// rewritten rule's chosen join order with the planner's
+    /// per-literal row estimates (`~N`). Compiles and caches the plan
+    /// if this adornment has never been queried, so a following
+    /// [`Engine::query`] call reuses it.
+    pub fn explain(
+        &mut self,
+        pred: PredId,
+        args: &[Option<TermId>],
+    ) -> Result<String, EngineError> {
+        self.sync_exec();
+        let arity = self.preds.info(pred).arity;
+        if args.len() != arity {
+            return Err(EngineError::ArityMismatch {
+                pred: self.pred_name(pred),
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        self.materialize_universe()?;
+        let mask = magic::adornment_of(args);
+        self.refresh_query_cache_policy();
+        let key = (pred, mask);
+        if !self.query_plans.contains_key(&key) {
+            let entry = self.compile_query_plan(pred, mask);
+            self.insert_query_plan(key, entry);
+        } else {
+            self.touch_query_plan(key);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "goal: {}/{}  adornment: {}\n",
+            self.pred_name(pred),
+            arity,
+            magic::adornment_string(mask, arity)
+        ));
+        out.push_str(&format!(
+            "sips: {}\n",
+            if self.config.cost_planner {
+                "cost-based (per-predicate statistics)"
+            } else {
+                "textual (left-to-right)"
+            }
+        ));
+        match &self.query_plans[&key] {
+            QueryEntry::Fallback => {
+                out.push_str(
+                    "plan: fallback — rewrite obstructed; \
+                     the query materializes the shadow model\n",
+                );
+            }
+            QueryEntry::Demand(plan) => {
+                out.push_str(&format!(
+                    "plan: demand — {} adornments, answer relation {}\n",
+                    plan.adornments,
+                    self.pred_name(plan.answer)
+                ));
+                for cr in &plan.program.compiled {
+                    if cr.rule.is_fact() {
+                        continue;
+                    }
+                    out.push_str(&format!("  {} :-", self.pred_name(cr.rule.head)));
+                    let full = &cr.variants[0];
+                    for step in full.steps.iter().chain(&full.post_steps) {
+                        let desc = match step {
+                            Step::Pos { lit, .. } => {
+                                let BodyLit::Pos(p, _) = &cr.rule.outer[*lit] else {
+                                    unreachable!("Pos step on a positive literal")
+                                };
+                                let est = cr
+                                    .step_estimates
+                                    .iter()
+                                    .find(|(l, _)| l == lit)
+                                    .map_or(0, |&(_, e)| e);
+                                format!(" {}~{}", self.pred_name(*p), est)
+                            }
+                            Step::NegStep { lit } => {
+                                let BodyLit::Neg(p, _) = &cr.rule.outer[*lit] else {
+                                    unreachable!("Neg step on a negated literal")
+                                };
+                                format!(" !{}", self.pred_name(*p))
+                            }
+                            Step::BuiltinStep { lit, .. } => {
+                                let BodyLit::Builtin(b, _) = &cr.rule.outer[*lit] else {
+                                    unreachable!("Builtin step on a builtin literal")
+                                };
+                                format!(" <{}>", b.name())
+                            }
+                            Step::EnumUniverse { .. } => " <enum-universe>".to_owned(),
+                        };
+                        out.push_str(&desc);
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Reach the plan's fixpoint for the current seeds and EDB. Three
@@ -1330,13 +1557,14 @@ impl Engine {
         &mut self,
         plan: &mut QueryPlan,
         seed: &[TermId],
+        profiler: Option<&StepProfiler>,
     ) -> Result<EvalStats, EngineError> {
         let seed = plan.magic_seed.map(|m| (m, seed));
         let retain = self.config.demand_retention;
         let warm = retain && plan.live;
         plan.live = false;
         let stats = if warm {
-            self.continue_plan(plan, seed)?
+            self.continue_plan(plan, seed, profiler)?
         } else {
             if !retain {
                 self.invalidate_overlapping(&plan.space);
@@ -1352,6 +1580,7 @@ impl Engine {
                 seed,
                 !retain,
                 &mut self.exec,
+                profiler,
             )?
         };
         if retain {
@@ -1381,7 +1610,13 @@ impl Engine {
         &mut self,
         plan: &QueryPlan,
         seed: Option<(PredId, &[TermId])>,
+        profiler: Option<&StepProfiler>,
     ) -> Result<EvalStats, EngineError> {
+        let _continue_span = self.config.trace.then(|| {
+            lps_trace::span("demand_continue")
+                .arg("tracked", plan.tracked.len())
+                .arg("strata", plan.program.strat.num_strata)
+        });
         let mut stats = EvalStats {
             demand_continuations: 1,
             ..EvalStats::default()
@@ -1431,6 +1666,7 @@ impl Engine {
                     &self.config,
                     StratumStart::Seeded { sets_baseline },
                     &mut self.exec,
+                    profiler,
                 )?;
                 stats.absorb(stratum_stats);
             }
@@ -1521,6 +1757,11 @@ impl Engine {
     /// one of the reclaimed relations (plans can share demanded
     /// sub-adornments) goes cold and re-derives on its next use.
     fn evict_plan(&mut self, key: PlanKey) {
+        let _evict_span = self.config.trace.then(|| {
+            lps_trace::span("demand_evict")
+                .arg("pred", self.pred_name(key.0))
+                .arg("mask", key.1)
+        });
         let Some(entry) = self.query_plans.remove(&key) else {
             return;
         };
@@ -1684,6 +1925,7 @@ impl Engine {
             &self.config,
             StratumStart::Batch,
             &mut self.exec,
+            None,
         )?;
         if !shadow {
             self.stats_cache.invalidate();
@@ -1912,6 +2154,7 @@ impl Engine {
                 &self.config,
                 StratumStart::Batch,
                 &mut self.exec,
+                None,
             )?;
             stats.absorb(stratum_stats);
         }
@@ -1997,6 +2240,7 @@ impl Engine {
                     &self.config,
                     StratumStart::Seeded { sets_baseline },
                     &mut self.exec,
+                    None,
                 )?;
                 stats.absorb(stratum_stats);
             }
@@ -2087,6 +2331,7 @@ fn run_demand_program(
     seed: Option<(PredId, &[TermId])>,
     clear_space: bool,
     exec: &mut ParExec,
+    profiler: Option<&StepProfiler>,
 ) -> Result<EvalStats, EngineError> {
     let mut stats = EvalStats::default();
     if clear_space {
@@ -2134,6 +2379,7 @@ fn run_demand_program(
             config,
             StratumStart::Batch,
             exec,
+            profiler,
         )?;
         stats.absorb(stratum_stats);
     }
@@ -3535,6 +3781,72 @@ mod tests {
         let empty = e.query_rule(goal(ids[0])).unwrap();
         assert_eq!(empty.path, QueryPath::Demand);
         assert!(empty.rows.is_empty(), "no facts, no stale answers");
+    }
+
+    #[test]
+    fn profiled_query_reports_estimated_vs_actual_per_literal() {
+        let (mut e, _, path, ids) = tc_engine();
+        e.config_mut().profile = true;
+        e.config_mut().cost_planner = true;
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.path, QueryPath::Demand);
+        assert_eq!(res.rows.len(), 4);
+        let profile = e.last_profile().expect("profiled demand query").clone();
+        assert!(!profile.rules.is_empty(), "rewrite has rules with bodies");
+        let total_rows: u64 = profile
+            .rules
+            .iter()
+            .flat_map(|r| &r.literals)
+            .map(|l| l.actual_rows)
+            .sum();
+        assert!(total_rows > 0, "the join touched rows");
+        // Attribution covers all counted probe work: stats count only
+        // indexed probes, the profile additionally counts scans.
+        let total_probes: u64 = profile
+            .rules
+            .iter()
+            .flat_map(|r| &r.literals)
+            .map(|l| l.probes)
+            .sum();
+        assert!(total_probes as usize >= res.stats.index_probes);
+        // An unprofiled query clears the stale profile.
+        e.config_mut().profile = false;
+        e.query(path, &[Some(ids[1]), None]).unwrap();
+        assert!(e.last_profile().is_none());
+    }
+
+    #[test]
+    fn profiled_query_matches_unprofiled_answers() {
+        let (mut e, _, path, ids) = tc_engine();
+        let plain = e.query(path, &[Some(ids[0]), None]).unwrap();
+        let (mut p, _, ppath, pids) = tc_engine();
+        p.config_mut().profile = true;
+        let profiled = p.query(ppath, &[Some(pids[0]), None]).unwrap();
+        assert_eq!(plain.rows.sorted(), profiled.rows.sorted());
+    }
+
+    #[test]
+    fn explain_prints_adornment_and_join_order_without_running() {
+        let (mut e, _, path, ids) = tc_engine();
+        let text = e.explain(path, &[Some(ids[0]), None]).unwrap();
+        assert!(text.contains("adornment: bf"), "got:\n{text}");
+        assert!(text.contains("plan: demand"), "got:\n{text}");
+        assert!(text.contains(":-"), "join order lines present:\n{text}");
+        // Explaining compiled and cached the plan; the query reuses it.
+        let res = e.query(path, &[Some(ids[0]), None]).unwrap();
+        assert_eq!(res.stats.adornments_compiled, 0, "plan was pre-compiled");
+        assert_eq!(res.rows.len(), 4);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_last_and_cumulative() {
+        let (mut e, _, _, _) = tc_engine();
+        e.run().unwrap();
+        assert_ne!(e.stats(), EvalStats::default());
+        assert_ne!(e.cumulative_stats(), EvalStats::default());
+        e.reset_stats();
+        assert_eq!(e.stats(), EvalStats::default());
+        assert_eq!(e.cumulative_stats(), EvalStats::default());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!    as a join and grouped into a **coverage map**; a free-variable
 //!    binding qualifies iff the whole product is covered.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use lps_term::{FxHashMap, FxHashSet, Sort, TermId, TermStore};
 
@@ -59,6 +59,37 @@ impl ProbeCounters {
     }
 }
 
+/// Per-literal probe attribution for `:profile`, keyed by
+/// `(CompiledRule::id, outer-literal index)`. Interior-mutable for the
+/// same reason as [`ProbeCounters`]: the recursive executor holds the
+/// views immutably. Aggregation happens across every variant and round
+/// of a run, so the totals are what the whole fixpoint actually spent
+/// per body literal.
+#[derive(Debug, Default)]
+pub struct StepProfiler {
+    tab: RefCell<FxHashMap<(u32, u32), (u64, u64)>>,
+}
+
+impl StepProfiler {
+    /// Add `probes` lookups yielding `rows` rows to literal `lit` of
+    /// rule `rule`.
+    pub fn record(&self, rule: u32, lit: u32, probes: u64, rows: u64) {
+        let mut tab = self.tab.borrow_mut();
+        let e = tab.entry((rule, lit)).or_insert((0, 0));
+        e.0 += probes;
+        e.1 += rows;
+    }
+
+    /// `(probes, rows)` recorded for literal `lit` of rule `rule`.
+    pub fn get(&self, rule: u32, lit: u32) -> (u64, u64) {
+        self.tab
+            .borrow()
+            .get(&(rule, lit))
+            .copied()
+            .unwrap_or((0, 0))
+    }
+}
+
 /// Read-only view of the relation state during one rule evaluation.
 pub struct RelViews<'a> {
     /// Full relations, indexed by `PredId::index()`.
@@ -68,6 +99,10 @@ pub struct RelViews<'a> {
     pub delta: &'a [Relation],
     /// Probe counters for this evaluation pass.
     pub counters: &'a ProbeCounters,
+    /// Per-literal attribution, tagged with the id of the rule being
+    /// evaluated. `None` outside `:profile` runs — the hot path pays
+    /// one branch.
+    pub profile: Option<(&'a StepProfiler, u32)>,
 }
 
 /// Optional restriction used by the semi-naive ∀-trigger (experiment
@@ -175,6 +210,9 @@ fn run_steps(
                 &views.full[pred.index()]
             };
             if *mask == 0 {
+                if let Some((prof, rid)) = views.profile {
+                    prof.record(rid, *lit as u32, 1, rel.len() as u64);
+                }
                 for row in 0..rel.len() as u32 {
                     match_row_then_continue(
                         lits,
@@ -208,6 +246,9 @@ fn run_steps(
                 ProbeCounters::bump(&views.counters.probes, 1);
                 let rows = rel.lookup(*mask, &key[..klen]);
                 ProbeCounters::bump(&views.counters.rows, rows.len() as u64);
+                if let Some((prof, rid)) = views.profile {
+                    prof.record(rid, *lit as u32, 1, rows.len() as u64);
+                }
                 for &row in rows {
                     match_row_then_continue(
                         lits,

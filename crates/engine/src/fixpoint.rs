@@ -13,7 +13,7 @@ use lps_term::{FxHashSet, TermId, TermStore};
 
 use crate::config::{EvalConfig, EvalStats, FixpointStrategy};
 use crate::error::EngineError;
-use crate::eval::{eval_rule_variant, ProbeCounters, QuantTrigger, RelViews};
+use crate::eval::{eval_rule_variant, ProbeCounters, QuantTrigger, RelViews, StepProfiler};
 use crate::parallel::{self, ParExec};
 use crate::pattern::Pattern;
 use crate::plan::CompiledRule;
@@ -93,7 +93,9 @@ pub enum StratumStart {
 /// must be empty for a [`StratumStart::Seeded`] run). `exec` carries
 /// the session's worker pool for the parallel semi-naive join phase
 /// (E15); with `exec.threads() == 1` every path below is the exact
-/// sequential legacy code.
+/// sequential legacy code. `profiler` (when `config.profile` runs a
+/// query) receives per-literal probe attribution; profiled strata stay
+/// sequential so attribution is complete.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stratum(
     store: &mut TermStore,
@@ -104,7 +106,20 @@ pub fn run_stratum(
     config: &EvalConfig,
     start: StratumStart,
     exec: &mut ParExec,
+    profiler: Option<&StepProfiler>,
 ) -> Result<EvalStats, EngineError> {
+    let _stratum_span = config.trace.then(|| {
+        lps_trace::span("stratum")
+            .arg("rules", regular.len())
+            .arg("grouping", grouping.len())
+            .arg(
+                "start",
+                match start {
+                    StratumStart::Batch => "batch",
+                    StratumStart::Seeded { .. } => "seeded",
+                },
+            )
+    });
     let mut stats = EvalStats {
         strata: 1,
         ..EvalStats::default()
@@ -119,7 +134,16 @@ pub fn run_stratum(
     let mut derived = DerivedBuf::default();
     for cr in grouping {
         derived.clear();
-        eval_grouping(cr, store, full, delta, config, &counters, &mut derived)?;
+        eval_grouping(
+            cr,
+            store,
+            full,
+            delta,
+            config,
+            &counters,
+            profiler,
+            &mut derived,
+        )?;
         stats.rule_evaluations += 1;
         stats.tuples_considered += derived.len();
         for (pred, tuple) in derived.iter() {
@@ -135,10 +159,12 @@ pub fn run_stratum(
             // relations until quiescent, so a seeded continuation needs
             // no delta plumbing: resuming from the retained model is
             // already its semantics (`T_P` is monotone on this path).
-            naive(store, full, delta, regular, config, &counters, &mut stats)?
+            naive(
+                store, full, delta, regular, config, &counters, profiler, &mut stats,
+            )?
         }
         FixpointStrategy::SemiNaive => seminaive(
-            store, full, delta, regular, config, start, &counters, &mut stats, exec,
+            store, full, delta, regular, config, start, &counters, profiler, &mut stats, exec,
         )?,
     }
     stats.index_probes = counters.probes.get() as usize;
@@ -157,12 +183,14 @@ fn collect_variant(
     config: &EvalConfig,
     trigger: Option<&QuantTrigger<'_>>,
     counters: &ProbeCounters,
+    profiler: Option<&StepProfiler>,
     out: &mut DerivedBuf,
 ) -> Result<(), EngineError> {
     let views = RelViews {
         full,
         delta,
         counters,
+        profile: profiler.map(|p| (p, cr.id)),
     };
     let rule = &cr.rule;
     eval_rule_variant(
@@ -198,6 +226,7 @@ fn eval_grouping(
     delta: &[Relation],
     config: &EvalConfig,
     counters: &ProbeCounters,
+    profiler: Option<&StepProfiler>,
     out: &mut DerivedBuf,
 ) -> Result<(), EngineError> {
     let rule = &cr.rule;
@@ -206,6 +235,7 @@ fn eval_grouping(
         full,
         delta,
         counters,
+        profile: profiler.map(|p| (p, cr.id)),
     };
     // key (non-group head args) → collected group values.
     let mut groups: lps_term::FxHashMap<Vec<TermId>, Vec<TermId>> = lps_term::FxHashMap::default();
@@ -258,6 +288,7 @@ fn naive(
     regular: &[&CompiledRule],
     config: &EvalConfig,
     counters: &ProbeCounters,
+    profiler: Option<&StepProfiler>,
     stats: &mut EvalStats,
 ) -> Result<(), EngineError> {
     // One derivation buffer for the whole fixpoint, cleared per round.
@@ -268,6 +299,9 @@ fn naive(
                 limit: config.max_iterations,
             });
         }
+        let _round_span = config
+            .trace
+            .then(|| lps_trace::span("round").arg("round", stats.iterations));
         let sets_at_round_start = store.set_ids().len();
         derived.clear();
         for cr in regular {
@@ -280,6 +314,7 @@ fn naive(
                 config,
                 None,
                 counters,
+                profiler,
                 &mut derived,
             )?;
             stats.rule_evaluations += 1;
@@ -329,6 +364,7 @@ fn seminaive(
     config: &EvalConfig,
     start: StratumStart,
     counters: &ProbeCounters,
+    profiler: Option<&StepProfiler>,
     stats: &mut EvalStats,
     exec: &mut ParExec,
 ) -> Result<(), EngineError> {
@@ -340,6 +376,9 @@ fn seminaive(
     let mut sets_seen = match start {
         StratumStart::Batch => {
             // Round 0: all rules, full relations.
+            let _round_span = config
+                .trace
+                .then(|| lps_trace::span("round").arg("round", 0));
             let sets_seen = store.set_ids().len();
             for cr in regular {
                 collect_variant(
@@ -351,6 +390,7 @@ fn seminaive(
                     config,
                     None,
                     counters,
+                    profiler,
                     &mut derived,
                 )?;
                 stats.rule_evaluations += 1;
@@ -387,6 +427,9 @@ fn seminaive(
                 limit: config.max_iterations,
             });
         }
+        let _round_span = config
+            .trace
+            .then(|| lps_trace::span("round").arg("round", stats.iterations));
 
         // Candidate sets for the ∀-trigger: sets containing any newly
         // derived component.
@@ -408,7 +451,9 @@ fn seminaive(
         }
 
         derived.clear();
-        let par_tasks = if exec.threads() > 1 {
+        // Profiled runs stay sequential: worker arenas never feed the
+        // profiler, so dispatching them would silently under-attribute.
+        let par_tasks = if exec.threads() > 1 && profiler.is_none() {
             parallel::collect_tasks(regular, delta)
         } else {
             Vec::new()
@@ -426,6 +471,7 @@ fn seminaive(
                 config,
                 &candidate_sets,
                 counters,
+                profiler,
                 &mut derived,
                 stats,
             )?;
@@ -452,6 +498,7 @@ fn seminaive(
                 full,
                 delta,
                 counters,
+                config.trace,
                 |full_s, delta_s| {
                     round_passes(
                         regular,
@@ -463,6 +510,7 @@ fn seminaive(
                         config,
                         &candidate_sets,
                         counters,
+                        None,
                         &mut derived,
                         stats,
                     )
@@ -489,7 +537,7 @@ fn seminaive(
                     changed = true;
                 }
             }
-            changed |= exec.merge(&par_tasks, regular, full, delta, stats);
+            changed |= exec.merge(&par_tasks, regular, full, delta, stats, config.trace);
         }
         // No new facts: done — unless this round interned new sets, in
         // which case the top-of-loop universe trigger must get a look
@@ -515,6 +563,7 @@ fn round_passes(
     config: &EvalConfig,
     candidate_sets: &FxHashSet<TermId>,
     counters: &ProbeCounters,
+    profiler: Option<&StepProfiler>,
     derived: &mut DerivedBuf,
     stats: &mut EvalStats,
 ) -> Result<(), EngineError> {
@@ -522,7 +571,9 @@ fn round_passes(
         // Universe-growth trigger: rules that enumerate the active
         // set universe must re-run against the enlarged universe.
         if universe_grew && cr.uses_active_universe {
-            collect_variant(cr, 0, store, full, delta, config, None, counters, derived)?;
+            collect_variant(
+                cr, 0, store, full, delta, config, None, counters, profiler, derived,
+            )?;
             stats.rule_evaluations += 1;
         }
         // Delta variants: re-join from each recursive literal.
@@ -539,7 +590,9 @@ fn round_passes(
             if delta[p.index()].is_empty() {
                 continue;
             }
-            collect_variant(cr, vi, store, full, delta, config, None, counters, derived)?;
+            collect_variant(
+                cr, vi, store, full, delta, config, None, counters, profiler, derived,
+            )?;
             stats.rule_evaluations += 1;
         }
         // Quantifier trigger: inner predicates grew.
@@ -552,7 +605,7 @@ fn round_passes(
                 None
             };
             collect_variant(
-                cr, 0, store, full, delta, config, trigger, counters, derived,
+                cr, 0, store, full, delta, config, trigger, counters, profiler, derived,
             )?;
             stats.rule_evaluations += 1;
         }

@@ -161,6 +161,7 @@ impl ParExec {
     /// pool; the relations stay frozen (shared borrows) until both the
     /// fan-out and `seq` complete. Worker probe counters are folded
     /// into `shared` before returning.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn join_round<R>(
         &mut self,
         tasks: &[(usize, usize)],
@@ -168,8 +169,14 @@ impl ParExec {
         full: &[Relation],
         delta: &[Relation],
         shared: &ProbeCounters,
+        trace: bool,
         seq: impl FnOnce(&[Relation], &[Relation]) -> R,
     ) -> (R, JoinOutcome) {
+        let _fan_span = trace.then(|| {
+            lps_trace::span("par_fanout")
+                .arg("tasks", tasks.len())
+                .arg("workers", self.threads)
+        });
         let w = self.threads;
         debug_assert!(w > 1, "the driver dispatches only when threads > 1");
         self.bufs.resize_with(w, WorkerBuf::default);
@@ -186,9 +193,11 @@ impl ParExec {
         let result = pool.scoped(|scope| {
             for (i, buf) in rest.iter_mut().enumerate() {
                 let wi = i + 1;
-                scope.execute(move || run_worker(buf, tasks, regular, full, delta, assigns, wi, w));
+                scope.execute(move || {
+                    run_worker(buf, tasks, regular, full, delta, assigns, wi, w, trace)
+                });
             }
-            run_worker(buf0, tasks, regular, full, delta, assigns, 0, w);
+            run_worker(buf0, tasks, regular, full, delta, assigns, 0, w, trace);
             seq(full, delta)
         });
         let mut produced = 0u64;
@@ -227,7 +236,9 @@ impl ParExec {
         full: &mut [Relation],
         delta: &mut [Relation],
         stats: &mut EvalStats,
+        trace: bool,
     ) -> bool {
+        let _merge_span = trace.then(|| lps_trace::span("par_merge").arg("tasks", tasks.len()));
         let mut changed = false;
         for (t, &(ri, _vi)) in tasks.iter().enumerate() {
             let rule = &regular[ri].rule;
@@ -369,7 +380,13 @@ fn run_worker(
     assigns: &[Option<Vec<u8>>],
     worker: usize,
     nworkers: usize,
+    trace: bool,
 ) {
+    let _worker_span = trace.then(|| {
+        lps_trace::span("par_worker")
+            .arg("worker", worker)
+            .arg("tasks", tasks.len())
+    });
     for (t, &(ri, vi)) in tasks.iter().enumerate() {
         let cr = regular[ri];
         let rule = &cr.rule;

@@ -133,6 +133,10 @@ pub struct QuantPlan {
 /// A fully planned rule.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompiledRule {
+    /// Position of this rule within its [`CompiledProgram`] (0 for
+    /// rules compiled standalone). Profiling keys per-literal probe
+    /// attribution on `(id, lit)`.
+    pub id: u32,
     /// The rule being planned (owned copy).
     pub rule: Rule,
     /// `variants[0]` is always the full variant.
@@ -169,6 +173,12 @@ pub struct CompiledRule {
     ///
     /// [`EvalStats::estimated_rows`]: crate::config::EvalStats::estimated_rows
     pub estimated_rows: usize,
+    /// `(lit, estimated rows)` per positive step of the full variant,
+    /// in chosen join order — the planner's per-literal predictions
+    /// that `:profile` lines up against observed probe counts, and the
+    /// join order `:explain` prints. Estimates are 0 when compiled
+    /// without statistics.
+    pub step_estimates: Vec<(usize, usize)>,
 }
 
 /// A whole rule set stratified, compiled, and bucketed for evaluation:
@@ -216,8 +226,10 @@ pub fn compile_program(
 ) -> Result<CompiledProgram, EngineError> {
     let strat = stratify(rules, num_preds, names)?;
     let mut compiled: Vec<CompiledRule> = Vec::with_capacity(rules.len());
-    for rule in rules {
-        compiled.push(compile_rule(rule, preds, names, idb, policy, cost)?);
+    for (i, rule) in rules.iter().enumerate() {
+        let mut cr = compile_rule(rule, preds, names, idb, policy, cost)?;
+        cr.id = i as u32;
+        compiled.push(cr);
     }
 
     let mut regular_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
@@ -639,7 +651,27 @@ pub fn compile_rule(
                 })
         });
 
+    // Per-literal estimates of the full variant, in chosen join order
+    // (the masks stored in the steps are exactly the probe masks the
+    // planner scored, so re-asking the snapshot reproduces its
+    // predictions).
+    let step_estimates: Vec<(usize, usize)> = variants[0]
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Pos { lit, mask, .. } => match &rule.outer[*lit] {
+                BodyLit::Pos(p, _) => Some((
+                    *lit,
+                    cost.and_then(|st| st.estimate(*p, *mask)).unwrap_or(0),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+
     Ok(CompiledRule {
+        id: 0,
         rule: rule.clone(),
         variants,
         quant_plan,
@@ -649,6 +681,7 @@ pub fn compile_rule(
         parallel_safe,
         reorders,
         estimated_rows,
+        step_estimates,
     })
 }
 

@@ -1,0 +1,287 @@
+//! Property test: observability is invisible. Structured tracing
+//! (`EvalConfig::trace` + the global `lps_trace` collector) and
+//! per-literal profiling (`EvalConfig::profile`) may only *record*
+//! work, never change it — so for random programs (transitive closure,
+//! a join, a builtin guard, optionally a negation stratum and a
+//! grouping head) and random fact sets, evaluation with tracing or
+//! profiling on must produce exactly what evaluation with them off
+//! produces: bit-identical `TermId` rows on set-free programs,
+//! `Value`-identical rows under grouping (whose set interning order
+//! may legitimately differ), and the same demand/fallback decision for
+//! every query shape.
+
+use proptest::prelude::*;
+
+use lps_engine::pattern::{Pattern, VarId};
+use lps_engine::rule::{BodyLit, Builtin, GroupSpec, Rule};
+use lps_engine::{Engine, EvalConfig, PredId};
+use lps_term::{TermId, Value};
+
+fn v(i: u32) -> Pattern {
+    Pattern::Var(VarId(i))
+}
+
+fn rule(head: PredId, head_args: Vec<Pattern>, outer: Vec<BodyLit>, nv: usize) -> Rule {
+    Rule {
+        head,
+        head_args,
+        group: None,
+        outer,
+        quant: None,
+        num_vars: nv,
+        var_names: (0..nv).map(|i| format!("V{i}")).collect(),
+        var_sorts: vec![],
+    }
+}
+
+struct Preds {
+    e: PredId,
+    t: PredId,
+    s: PredId,
+    ne: PredId,
+    node: PredId,
+    iso: PredId,
+    grp: PredId,
+}
+
+/// Build the generated program family under a given observability
+/// configuration. When `trace` is on, the global collector is switched
+/// on too, so span sites actually record (the two-gate design: the
+/// config flag chooses the sites, the collector gate the sink).
+fn build(trace: bool, profile: bool, with_neg: bool, with_group: bool) -> (Engine, Preds) {
+    if trace {
+        lps_trace::set_enabled(true);
+    }
+    let mut e = Engine::new(EvalConfig {
+        trace,
+        profile,
+        ..EvalConfig::default()
+    });
+    let preds = Preds {
+        e: e.pred("e", 2),
+        t: e.pred("t", 2),
+        s: e.pred("s", 2),
+        ne: e.pred("ne", 2),
+        node: e.pred("node", 1),
+        iso: e.pred("iso", 1),
+        grp: e.pred("grp", 2),
+    };
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(1)],
+        vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+        2,
+    ))
+    .unwrap();
+    // Right-linear: t(X, Z) :- e(X, Y), t(Y, Z).
+    e.rule(rule(
+        preds.t,
+        vec![v(0), v(2)],
+        vec![
+            BodyLit::Pos(preds.e, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.t, vec![v(1), v(2)]),
+        ],
+        3,
+    ))
+    .unwrap();
+    // s(X, Z) :- t(X, Y), e(Y, Z).
+    e.rule(rule(
+        preds.s,
+        vec![v(0), v(2)],
+        vec![
+            BodyLit::Pos(preds.t, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.e, vec![v(1), v(2)]),
+        ],
+        3,
+    ))
+    .unwrap();
+    // ne(X, Y) :- e(X, Y), t(Y, X), X != Y.
+    e.rule(rule(
+        preds.ne,
+        vec![v(0), v(1)],
+        vec![
+            BodyLit::Pos(preds.e, vec![v(0), v(1)]),
+            BodyLit::Pos(preds.t, vec![v(1), v(0)]),
+            BodyLit::Builtin(Builtin::Ne, vec![v(0), v(1)]),
+        ],
+        2,
+    ))
+    .unwrap();
+    if with_neg {
+        e.rule(rule(
+            preds.node,
+            vec![v(0)],
+            vec![BodyLit::Pos(preds.e, vec![v(0), v(1)])],
+            2,
+        ))
+        .unwrap();
+        e.rule(rule(
+            preds.iso,
+            vec![v(0)],
+            vec![
+                BodyLit::Pos(preds.node, vec![v(0)]),
+                BodyLit::Neg(preds.t, vec![v(0), v(0)]),
+            ],
+            1,
+        ))
+        .unwrap();
+    }
+    if with_group {
+        let mut g = rule(
+            preds.grp,
+            vec![v(0), v(1)],
+            vec![BodyLit::Pos(preds.t, vec![v(0), v(1)])],
+            2,
+        );
+        g.group = Some(GroupSpec {
+            arg_pos: 1,
+            var: VarId(1),
+        });
+        e.rule(g).unwrap();
+    }
+    (e, preds)
+}
+
+fn atoms(e: &mut Engine) -> Vec<TermId> {
+    (0..6)
+        .map(|i| e.store_mut().atom(&format!("n{i}")))
+        .collect()
+}
+
+fn load_facts(e: &mut Engine, pred: PredId, ids: &[TermId], edges: &[(u8, u8)]) {
+    for &(a, b) in edges {
+        e.fact(pred, vec![ids[a as usize], ids[b as usize]])
+            .unwrap();
+    }
+}
+
+fn value_rows(e: &Engine, pred: PredId) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = e
+        .rows(pred)
+        .map(|row| {
+            row.iter()
+                .map(|&id| Value::from_store(e.store(), id))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn all_preds(p: &Preds) -> [PredId; 7] {
+    [p.e, p.t, p.s, p.ne, p.node, p.iso, p.grp]
+}
+
+/// Batch evaluation with observability on vs off: identical models and
+/// identical work counters (spans record rounds, they must not add or
+/// remove any).
+fn check_batch(edges: &[(u8, u8)], with_neg: bool, with_group: bool) {
+    let (mut on, p_on) = build(true, false, with_neg, with_group);
+    let ids_on = atoms(&mut on);
+    load_facts(&mut on, p_on.e, &ids_on, edges);
+    let stats_on = on.run().unwrap();
+
+    let (mut off, p_off) = build(false, false, with_neg, with_group);
+    let ids_off = atoms(&mut off);
+    load_facts(&mut off, p_off.e, &ids_off, edges);
+    let stats_off = off.run().unwrap();
+
+    for (pa, pb) in all_preds(&p_on).into_iter().zip(all_preds(&p_off)) {
+        if with_group {
+            assert_eq!(
+                value_rows(&on, pa),
+                value_rows(&off, pb),
+                "tracing changed the model of {} (neg={with_neg} group={with_group})",
+                on.pred_name(pa),
+            );
+        } else {
+            let mut rows_on: Vec<Vec<TermId>> = on.rows(pa).map(<[_]>::to_vec).collect();
+            let mut rows_off: Vec<Vec<TermId>> = off.rows(pb).map(<[_]>::to_vec).collect();
+            rows_on.sort();
+            rows_off.sort();
+            assert_eq!(
+                rows_on,
+                rows_off,
+                "tracing changed the model of {} (neg={with_neg})",
+                on.pred_name(pa),
+            );
+        }
+    }
+    assert_eq!(stats_on.facts_derived, stats_off.facts_derived);
+    assert_eq!(stats_on.iterations, stats_off.iterations);
+    assert_eq!(stats_on.rule_evaluations, stats_off.rule_evaluations);
+}
+
+/// Pick the query predicate and argument list (as in `prop_planner`).
+fn pick_query(
+    p: &Preds,
+    ids: &[TermId],
+    which: u8,
+    mask: u8,
+    consts: (u8, u8),
+) -> (PredId, Vec<Option<TermId>>) {
+    let (pred, arity) = match which % 7 {
+        0 => (p.e, 2),
+        1 => (p.t, 2),
+        2 => (p.s, 2),
+        3 => (p.ne, 2),
+        4 => (p.node, 1),
+        5 => (p.iso, 1),
+        _ => (p.grp, 2),
+    };
+    let consts = [consts.0, consts.1];
+    let args: Vec<Option<TermId>> = (0..arity)
+        .map(|i| (mask & (1 << i) != 0).then(|| ids[consts[i] as usize]))
+        .collect();
+    (pred, args)
+}
+
+/// Demand queries on fresh sessions with tracing *and* profiling on vs
+/// both off: identical answers and an identical demand/fallback path
+/// decision. Profiling additionally forces the sequential join path,
+/// which must be answer-invisible too.
+fn check_query(edges: &[(u8, u8)], which: u8, mask: u8, consts: (u8, u8), with_neg: bool) {
+    let run = |observed: bool| {
+        let (mut e, p) = build(observed, observed, with_neg, false);
+        let ids = atoms(&mut e);
+        load_facts(&mut e, p.e, &ids, edges);
+        let (pred, args) = pick_query(&p, &ids, which, mask, consts);
+        let res = e.query(pred, &args).unwrap();
+        let profiled = e.last_profile().is_some();
+        (res.rows.sorted(), res.path, profiled)
+    };
+    let (rows_on, path_on, _) = run(true);
+    let (rows_off, path_off, profiled_off) = run(false);
+    assert_eq!(
+        rows_on, rows_off,
+        "observability changed query answers (which={which} mask={mask:#b} neg={with_neg})"
+    );
+    assert_eq!(path_on, path_off, "observability changed the path decision");
+    assert!(!profiled_off, "profiles must not appear with profile off");
+}
+
+proptest! {
+    /// Batch fixpoints are trace-invariant, bit for bit — including
+    /// around negation strata and under grouping heads.
+    #[test]
+    fn tracing_is_invisible_in_batch(
+        edges in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
+        with_neg in any::<bool>(),
+        with_group in any::<bool>(),
+    ) {
+        check_batch(&edges, with_neg, with_group);
+    }
+
+    /// Demand queries are trace- and profile-invariant for every
+    /// bound/free pattern over every predicate.
+    #[test]
+    fn tracing_and_profiling_are_invisible_to_queries(
+        edges in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+        which in 0u8..7,
+        mask in 0u8..4,
+        consts in (0u8..6, 0u8..6),
+        with_neg in any::<bool>(),
+    ) {
+        check_query(&edges, which, mask, consts, with_neg);
+    }
+}

@@ -32,15 +32,27 @@
 //!                        (on by default; `stats` prints the
 //!                        per-predicate cardinality snapshot); answers
 //!                        are identical either way
+//! :profile GOAL          run GOAL with per-literal profiling: the
+//!                        planner's estimated rows next to the actual
+//!                        probes/rows of each body literal
+//! :explain GOAL          chosen adornment, SIPS, and join order for a
+//!                        point goal, without running it
 //! :model PRED            print a predicate's extension
 //! :program               print the accumulated program
 //! :normalized            print the Theorem-6-compiled program
 //! :sorts                 print inferred predicate signatures
-//! :stats                 evaluation statistics of the session
+//! :stats [reset]         evaluation statistics of the session
+//!                        (`reset` zeroes last-pass and cumulative)
 //! :reset                 drop facts, keep rules and compiled plans
 //! :clear                 drop the accumulated program
 //! :quit                  exit
 //! ```
+//!
+//! `--trace-out FILE` turns on structured tracing (`vendor/lps_trace`)
+//! for the session and writes the collected spans as Chrome
+//! trace-format JSON (load in `chrome://tracing` or Perfetto) when the
+//! session ends. `:server-stats` in `--client` mode fetches the
+//! server's metrics exposition (the `S` wire op).
 //!
 //! The session keeps one live engine. With demand mode on (the
 //! default), queries are answered *goal-directed*: the engine
@@ -233,6 +245,69 @@ impl Session {
         }
         Ok(())
     }
+
+    /// `:profile <goal>` — run the goal with per-literal profiling on
+    /// and print, for each rule of the chosen plan, the planner's
+    /// estimated row count next to the actual probes and rows each
+    /// body literal produced. The session is rebuilt first so the goal
+    /// derives from a cold plan: on a retained (warm) demand space a
+    /// repeat query is a pure read and there would be no per-literal
+    /// work to attribute.
+    fn profile(&mut self, text: &str) -> Result<(), String> {
+        self.invalidate();
+        self.ensure_session()?;
+        let model = self.model.as_mut().expect("just ensured");
+        model.engine_mut().config_mut().profile = true;
+        let outcome = self.query(text);
+        let report = self.model.as_mut().map(|m| {
+            m.engine_mut().config_mut().profile = false;
+            m.engine().last_profile().cloned()
+        });
+        outcome?;
+        match report.flatten() {
+            Some(profile) if !profile.rules.is_empty() => {
+                println!("  profile (estimated vs actual rows per body literal):");
+                for rule in &profile.rules {
+                    println!("    {}", rule.head);
+                    for lit in &rule.literals {
+                        println!(
+                            "      {}  est={}  probes={}  rows={}",
+                            lit.pred, lit.estimated_rows, lit.probes, lit.actual_rows
+                        );
+                    }
+                }
+            }
+            _ => println!(
+                "  (no per-literal profile — the goal took the \
+                 materialized/fallback path, not a demand plan)"
+            ),
+        }
+        Ok(())
+    }
+
+    /// `:explain <goal>` — print the chosen adornment, SIPS policy,
+    /// and per-rule join order for a point goal without running it.
+    fn explain(&mut self, text: &str) -> Result<(), String> {
+        let wrapped = format!("query_goal :- {text}");
+        let parsed = parse_program(&wrapped).map_err(|e| e.render(&wrapped))?;
+        let clause = parsed.clauses().next().ok_or("empty goal")?;
+        let body = clause.body.as_ref().ok_or("empty goal")?;
+        let point = match body {
+            Formula::Lit(Literal::Pred(name, args, _)) => {
+                point_query_args(args).map(|pa| (name.clone(), pa))
+            }
+            _ => None,
+        };
+        let Some((name, args)) = point else {
+            return Err("`:explain` takes a single point goal, e.g. `:explain t(a, X).`".into());
+        };
+        let model = self.ensure_session()?;
+        let report = model.explain(&name, &args).map_err(|e| e.to_string())?;
+        for line in report.lines() {
+            println!("  {line}");
+        }
+        Ok(())
+    }
 }
 
 /// The point-query argument vector of a literal whose arguments are
@@ -307,14 +382,16 @@ fn term_to_value(t: &lps_syntax::Term) -> Option<lps::Value> {
 fn print_help() {
     println!(
         "Enter facts/rules ending in `.`; `?- goal, goal, ....` to query.\n\
-         :help :dialect :universe :threads :demand :planner :model :program :normalized :sorts \
-         :stats :reset :clear :quit"
+         :help :dialect :universe :threads :demand :planner :profile :explain :model :program \
+         :normalized :sorts :stats [reset] :reset :clear :quit"
     );
 }
 
 /// `lpsi --serve ADDR [files…]`: compile the files and serve them.
-fn serve_main(addr: &str, files: &[String]) -> io::Result<()> {
-    let mut db = Database::new(Dialect::StratifiedElps);
+fn serve_main(addr: &str, files: &[String], trace: bool) -> io::Result<()> {
+    let mut config = EvalConfig::default();
+    config.trace = config.trace || trace;
+    let mut db = Database::with_config(Dialect::StratifiedElps, config);
     for path in files {
         let text = std::fs::read_to_string(path)?;
         if let Err(e) = db.load_str(&text) {
@@ -340,7 +417,10 @@ fn serve_main(addr: &str, files: &[String]) -> io::Result<()> {
 /// `lpsi --client ADDR`: a line-oriented REPL over the wire protocol.
 fn client_main(addr: &str) -> io::Result<()> {
     let mut client = lps::core::Client::connect(addr)?;
-    println!("connected to {addr}. `?- goal.` queries, fact clauses add facts, :quit exits.");
+    println!(
+        "connected to {addr}. `?- goal.` queries, fact clauses add facts, \
+         :server-stats fetches metrics, :quit exits."
+    );
     let stdin = io::stdin();
     loop {
         print!("lps> ");
@@ -355,6 +435,17 @@ fn client_main(addr: &str) -> io::Result<()> {
         }
         if input == ":quit" || input == ":q" {
             break;
+        }
+        if input == ":server-stats" {
+            match client.server_stats()? {
+                Ok(text) => {
+                    for metric_line in text.lines() {
+                        println!("  {metric_line}");
+                    }
+                }
+                Err(msg) => println!("error: {msg}"),
+            }
+            continue;
         }
         let outcome = if let Some(goal) = input.strip_prefix("?-") {
             client.query(goal.trim())
@@ -375,8 +466,25 @@ fn client_main(addr: &str) -> io::Result<()> {
 }
 
 fn main() -> io::Result<()> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--trace-out FILE`: collect structured spans for the whole
+    // session and write Chrome trace-format JSON at exit.
+    let trace_out = match argv.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            if argv.len() <= i + 1 {
+                eprintln!("usage: lpsi --trace-out FILE [...]");
+                std::process::exit(2);
+            }
+            let path = argv.remove(i + 1);
+            argv.remove(i);
+            lps_trace::set_enabled(true);
+            Some(path)
+        }
+        None => None,
+    };
+
     // Serving modes bypass the interactive session entirely.
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     for flag in ["--serve", "--client"] {
         if let Some(i) = argv.iter().position(|a| a == flag) {
             let Some(addr) = argv.get(i + 1) else {
@@ -385,7 +493,7 @@ fn main() -> io::Result<()> {
             };
             let files: Vec<String> = argv[..i].iter().chain(&argv[i + 2..]).cloned().collect();
             return if flag == "--serve" {
-                serve_main(addr, &files)
+                serve_main(addr, &files, trace_out.is_some())
             } else {
                 client_main(addr)
             };
@@ -393,6 +501,11 @@ fn main() -> io::Result<()> {
     }
 
     let mut session = Session::new();
+    if trace_out.is_some() {
+        // Engine span sites gate on the config flag as well as the
+        // global collector toggle — turn both on.
+        session.config.trace = true;
+    }
 
     // Load program files given on the command line.
     for path in argv {
@@ -463,6 +576,18 @@ fn main() -> io::Result<()> {
                     );
                 }
                 ":program" => print!("{}", session.source),
+                ":stats" if arg == "reset" => {
+                    // Zero both the last-pass and cumulative counters.
+                    // Max-merged ratios (misest_ratio) would otherwise
+                    // pin at their historical worst forever, which
+                    // makes before/after comparisons within one
+                    // session impossible.
+                    if let Some(m) = session.model.as_mut() {
+                        m.engine_mut().reset_stats();
+                    }
+                    session.last_stats = None;
+                    println!("stats reset.");
+                }
                 ":stats" => match &session.last_stats {
                     Some(s) => println!(
                         "facts={} rounds={} strata={} rule_evals={} \
@@ -664,6 +789,27 @@ fn main() -> io::Result<()> {
                         Err(e) => println!("error: {e}"),
                     }
                 }
+                ":profile" | ":explain" => {
+                    if arg.is_empty() {
+                        println!("usage: {cmd} GOAL (e.g. {cmd} t(a, X).)");
+                        continue;
+                    }
+                    // The query pipeline parses `goal.` — supply the
+                    // final period if the user left it off.
+                    let goal = if arg.ends_with('.') {
+                        arg.to_string()
+                    } else {
+                        format!("{arg}.")
+                    };
+                    let outcome = if cmd == ":profile" {
+                        session.profile(&goal)
+                    } else {
+                        session.explain(&goal)
+                    };
+                    if let Err(e) = outcome {
+                        println!("error: {e}");
+                    }
+                }
                 ":normalized" => match session.database().and_then(|db| db.normalized()) {
                     Ok(p) => print!("{}", pretty_program(&p)),
                     Err(e) => println!("error: {e}"),
@@ -713,6 +859,13 @@ fn main() -> io::Result<()> {
                 Ok(()) => println!("ok."),
                 Err(e) => println!("error: {e}"),
             }
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        match lps_trace::write_chrome_trace(path) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => eprintln!("cannot write trace to {path}: {e}"),
         }
     }
     Ok(())

@@ -467,6 +467,52 @@ fn underscore_variables_corefer_like_any_other() {
 }
 
 #[test]
+fn profile_explain_and_stats_reset_round_out_observability() {
+    let (stdout, _) = run_lpsi(
+        &[],
+        "e(a, b). e(b, c). e(c, d).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- e(X, Y), t(Y, Z).\n\
+         :explain t(a, X).\n\
+         :profile t(a, X).\n\
+         ?- t(a, X).\n\
+         :stats reset\n\
+         :stats\n\
+         :quit\n",
+    );
+    // :explain prints the plan without running the goal.
+    assert!(
+        stdout.contains("adornment: bf"),
+        "explain adornment:\n{stdout}"
+    );
+    assert!(stdout.contains("sips:"), "explain SIPS:\n{stdout}");
+    assert!(
+        stdout.contains("plan: demand"),
+        "explain join order:\n{stdout}"
+    );
+    // :profile re-runs from a cold plan with per-literal attribution.
+    assert!(
+        stdout.contains("profile (estimated vs actual rows per body literal):"),
+        "profile header:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("est=") && stdout.contains("probes="),
+        "per-literal estimated-vs-actual rows:\n{stdout}"
+    );
+    assert!(stdout.contains("3 answer(s)."), "answers:\n{stdout}");
+    // :stats reset zeroes the cumulative counters.
+    assert!(stdout.contains("stats reset."), "reset notice:\n{stdout}");
+    let after_reset = stdout
+        .split("stats reset.")
+        .nth(1)
+        .expect("output after reset");
+    assert!(
+        after_reset.contains("no evaluation yet."),
+        "counters cleared:\n{stdout}"
+    );
+}
+
+#[test]
 fn demand_queries_with_sets_and_negation_fall_back_soundly() {
     // Negation reachable from the goal forces the sound fallback; the
     // answers still come back correct, and the fallback is counted.

@@ -1,62 +1,34 @@
-//! End-to-end smoke test for `lpsi --serve`: spawn the real binary on
-//! a loopback port, speak the length-prefixed wire protocol to it from
-//! scripted clients, and assert the answers — the serving pipeline
-//! (writer thread, snapshot hit path, funnel) exercised exactly the
-//! way CI and a user would.
+//! End-to-end smoke test for the serving tier: spawn an in-process
+//! [`Server`] on a loopback port, speak the length-prefixed wire
+//! protocol to it from scripted clients, and assert the answers — the
+//! serving pipeline (writer thread, snapshot hit path, funnel, metrics
+//! endpoint) exercised exactly the way `lpsi --serve` wires it up. The
+//! server is stopped with the graceful [`Server::shutdown`] rather
+//! than by killing a child process, so every thread joins and a
+//! panicking assertion never leaks a listener.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::process::{Child, Command, Stdio};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 
-use lps::core::serve::{read_frame, write_frame, Client};
-
-/// Kills the spawned server on drop so a panicking assertion never
-/// leaks a listener process.
-struct ServerGuard(Child);
-
-impl Drop for ServerGuard {
-    fn drop(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
-
-/// Spawn `lpsi --serve 127.0.0.1:0 <program>` and return the guard
-/// plus the resolved address parsed from its `listening on <addr>`
-/// line.
-fn spawn_server(program: &str) -> (ServerGuard, String) {
-    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve_smoke");
-    std::fs::create_dir_all(&dir).expect("mkdir");
-    let path = dir.join("program.lps");
-    std::fs::write(&path, program).expect("write program");
-    let mut child = Command::new(env!("CARGO_BIN_EXE_lpsi"))
-        .args(["--serve", "127.0.0.1:0", path.to_str().expect("utf8 path")])
-        .stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn lpsi --serve");
-    let stdout = child.stdout.take().expect("stdout");
-    let mut lines = BufReader::new(stdout).lines();
-    let addr = loop {
-        let line = lines
-            .next()
-            .expect("server exited before announcing its address")
-            .expect("read server stdout");
-        if let Some(addr) = line.strip_prefix("listening on ") {
-            break addr.to_owned();
-        }
-    };
-    (ServerGuard(child), addr)
-}
+use lps::core::serve::{read_frame, write_frame};
+use lps::core::{Client, Database, Dialect, Server};
 
 const CHAIN: &str = "e(a, b). e(b, c). e(c, d).\n\
                      t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).\n";
 
+/// Serve `program` on an ephemeral loopback port, exactly as
+/// `lpsi --serve 127.0.0.1:0 <file>` does.
+fn spawn_server(program: &str) -> Server {
+    let mut db = Database::new(Dialect::Elps);
+    db.load_str(program).expect("load program");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    Server::spawn(listener, &db).expect("spawn server")
+}
+
 #[test]
 fn serve_answers_queries_over_the_wire() {
-    let (_guard, addr) = spawn_server(CHAIN);
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut server = spawn_server(CHAIN);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
     // Point query, twice: the repeat is served from the published
     // snapshot, and both must agree.
     let first = client.query("t(a, X).").unwrap().unwrap();
@@ -74,6 +46,7 @@ fn serve_answers_queries_over_the_wire() {
     assert!(client.query("t(a, X").unwrap().is_err(), "syntax error");
     let rows = client.query("t(a, X).").unwrap().unwrap();
     assert_eq!(rows.len(), 4, "session survives a bad request");
+    server.shutdown();
 }
 
 #[test]
@@ -81,8 +54,8 @@ fn serve_speaks_raw_length_prefixed_frames() {
     // No client helper: hand-rolled frames prove the wire format is
     // what the docs say — u32 big-endian length, UTF-8 payload,
     // `ok <n>` + sorted lines back.
-    let (_guard, addr) = spawn_server(CHAIN);
-    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut server = spawn_server(CHAIN);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
     let payload = "Q t(b, X).";
     stream
         .write_all(&(payload.len() as u32).to_be_bytes())
@@ -99,18 +72,55 @@ fn serve_speaks_raw_length_prefixed_frames() {
     write_frame(&mut stream, "X nonsense").unwrap();
     let response = read_frame(&mut stream).unwrap().expect("frame");
     assert!(response.starts_with("err "), "got: {response}");
+    server.shutdown();
+}
+
+#[test]
+fn serve_metrics_round_trip_over_the_wire() {
+    // The `S` op end-to-end: counters move with traffic and the text
+    // exposition parses as `name[{labels}] value` lines with latency
+    // quantiles for the ops this connection actually issued.
+    let mut server = spawn_server(CHAIN);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.query("t(a, X).").unwrap().unwrap(); // cold: funnels
+    client.query("t(a, X).").unwrap().unwrap(); // warm: snapshot hit
+    let text = client.server_stats().unwrap().unwrap();
+    let mut metrics = std::collections::BTreeMap::new();
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("`name value` line");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample `{line}` in:\n{text}"
+        );
+        metrics.insert(name.to_owned(), value.to_owned());
+    }
+    assert_eq!(metrics.get("lps_snapshot_hits_total").unwrap(), "1");
+    assert_eq!(metrics.get("lps_snapshot_misses_total").unwrap(), "1");
+    assert_eq!(metrics.get("lps_republish_total").unwrap(), "1");
+    assert_eq!(metrics.get("lps_funnel_depth").unwrap(), "0");
+    for q in ["0.5", "0.95", "0.99"] {
+        assert!(
+            metrics.contains_key(&format!("lps_op_q_us{{quantile=\"{q}\"}}")),
+            "missing Q latency quantile {q} in:\n{text}"
+        );
+    }
+    assert_eq!(metrics.get("lps_op_q_us_count").unwrap(), "2");
+    // A second scrape sees the first one's latency histogram.
+    let text = client.server_stats().unwrap().unwrap();
+    assert!(text.contains("lps_op_s_us_count 1"), "{text}");
+    server.shutdown();
 }
 
 #[test]
 fn serve_supports_concurrent_clients() {
-    let (_guard, addr) = spawn_server(CHAIN);
+    let mut server = spawn_server(CHAIN);
+    let addr = server.local_addr();
     let want = vec!["a, b".to_string(), "a, c".into(), "a, d".into()];
     let handles: Vec<_> = (0..4)
         .map(|_| {
-            let addr = addr.clone();
             let want = want.clone();
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addr).expect("connect");
+                let mut client = Client::connect(addr).expect("connect");
                 for _ in 0..10 {
                     assert_eq!(client.query("t(a, X).").unwrap().unwrap(), want);
                 }
@@ -120,4 +130,5 @@ fn serve_supports_concurrent_clients() {
     for h in handles {
         h.join().expect("client thread");
     }
+    server.shutdown();
 }
